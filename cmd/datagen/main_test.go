@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dbsherlock"
+)
+
+func TestKindByName(t *testing.T) {
+	k, err := kindByName("lock contention") // case-insensitive
+	if err != nil || k != dbsherlock.LockContention {
+		t.Errorf("kindByName = %v, %v", k, err)
+	}
+	if _, err := kindByName("nonsense"); err == nil {
+		t.Error("unknown kind: want error")
+	}
+}
+
+func TestRunWritesValidCSV(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "trace.csv")
+	if err := run("CPU Saturation", out, 60, 20, 30, 7, "tpcc", false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dbsherlock.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows() != 60 {
+		t.Errorf("rows = %d, want 60", ds.Rows())
+	}
+	if !ds.HasColumn(dbsherlock.AvgLatencyAttr) {
+		t.Error("latency column missing")
+	}
+}
+
+func TestRunCompoundAndWorkloads(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("Workload Spike, CPU Saturation", filepath.Join(dir, "c.csv"),
+		50, 10, 20, 1, "tpce", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", filepath.Join(dir, "healthy.csv"), 30, 0, 0, 1, "tpcc", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("CPU Saturation", filepath.Join(dir, "x.csv"), 30, 0, 10, 1, "wat", false); err == nil {
+		t.Error("unknown workload: want error")
+	}
+	if err := run("wat", filepath.Join(dir, "y.csv"), 30, 0, 10, 1, "tpcc", false); err == nil {
+		t.Error("unknown anomaly: want error")
+	}
+}

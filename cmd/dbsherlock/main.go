@@ -1,0 +1,229 @@
+// Command dbsherlock diagnoses performance anomalies in a statistics
+// dataset (CSV, as written by cmd/datagen or dbsherlock.WriteCSV).
+//
+// Subcommands:
+//
+//	plot     render an ASCII chart of an attribute over time
+//	detect   run automatic anomaly detection and print the region
+//	explain  generate explanatory predicates for a region
+//	learn    label a diagnosed anomaly with its cause (persists a causal model)
+//	diagnose rank the stored causal models against an anomaly
+//
+// Examples:
+//
+//	dbsherlock plot -in trace.csv -attr tx.avg_latency_ms
+//	dbsherlock detect -in trace.csv
+//	dbsherlock explain -in trace.csv -from 120 -to 180
+//	dbsherlock explain -in trace.csv -auto -rules
+//	dbsherlock learn -in trace.csv -from 120 -to 180 -cause "Lock Contention" -remedy "spread the hot district"
+//	dbsherlock diagnose -in trace2.csv -auto -detector perfaugur
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbsherlock"
+	"dbsherlock/internal/plot"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "plot":
+		err = runPlot(os.Args[2:])
+	case "detect":
+		err = runDetect(os.Args[2:])
+	case "explain":
+		err = runExplain(os.Args[2:])
+	case "learn":
+		err = runLearn(os.Args[2:])
+	case "diagnose":
+		err = runDiagnose(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbsherlock:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dbsherlock <plot|detect|explain|learn|diagnose> [flags]
+  plot     -in file.csv [-attr name] [-width N] [-height N]
+  detect   -in file.csv
+  explain  -in file.csv (-from N -to N | -auto) [-theta F] [-rules]
+  learn    -in file.csv -from N -to N -cause NAME [-remedy TEXT] [-models FILE]
+  diagnose -in file.csv (-from N -to N | -auto [-detector NAME]) [-models FILE] [-top K]`)
+}
+
+func loadDataset(path string) (*dbsherlock.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dbsherlock.ReadCSV(f)
+}
+
+func runPlot(args []string) error {
+	fs := flag.NewFlagSet("plot", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV dataset")
+	attr := fs.String("attr", dbsherlock.AvgLatencyAttr, "attribute to plot")
+	width := fs.Int("width", 100, "plot width (columns)")
+	height := fs.Int("height", 16, "plot height (rows)")
+	mark := fs.String("mark", "", "highlight rows FROM:TO on the axis (e.g. 120:180)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("plot: -in is required")
+	}
+	ds, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+	opts := plot.Options{Width: *width, Height: *height}
+	if *mark != "" {
+		var from, to int
+		if _, err := fmt.Sscanf(*mark, "%d:%d", &from, &to); err != nil || to <= from {
+			return fmt.Errorf("plot: -mark wants FROM:TO, got %q", *mark)
+		}
+		opts.Mark = dbsherlock.RegionFromRange(ds.Rows(), from, to)
+	}
+	out, err := plot.RenderColumn(ds, *attr, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func runDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV dataset")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("detect: -in is required")
+	}
+	ds, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+	a := dbsherlock.MustNew()
+	res, err := a.Detect(ds)
+	if err != nil {
+		return err
+	}
+	if res.Abnormal.Empty() {
+		fmt.Println("no anomaly detected")
+		return nil
+	}
+	fmt.Printf("anomalous rows: %d of %d\n", res.Abnormal.Count(), ds.Rows())
+	fmt.Printf("row indices: %s\n", summarizeRuns(res.Abnormal.Indices()))
+	fmt.Printf("selected attributes (%d): %s\n",
+		len(res.SelectedAttrs), strings.Join(res.SelectedAttrs, ", "))
+	return nil
+}
+
+// summarizeRuns prints sorted indices as compact ranges (3-9, 14, 20-22).
+func summarizeRuns(idx []int) string {
+	if len(idx) == 0 {
+		return "(none)"
+	}
+	var parts []string
+	start, prev := idx[0], idx[0]
+	flush := func() {
+		if start == prev {
+			parts = append(parts, fmt.Sprintf("%d", start))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d", start, prev))
+		}
+	}
+	for _, i := range idx[1:] {
+		if i == prev+1 {
+			prev = i
+			continue
+		}
+		flush()
+		start, prev = i, i
+	}
+	flush()
+	return strings.Join(parts, ", ")
+}
+
+func runExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV dataset")
+	from := fs.Int("from", -1, "abnormal region start (row index, inclusive)")
+	to := fs.Int("to", -1, "abnormal region end (row index, exclusive)")
+	auto := fs.Bool("auto", false, "detect the abnormal region automatically")
+	theta := fs.Float64("theta", 0.2, "normalized difference threshold")
+	rules := fs.Bool("rules", false, "apply the MySQL/Linux domain-knowledge rules")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("explain: -in is required")
+	}
+	ds, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+
+	opts := []dbsherlock.Option{dbsherlock.WithTheta(*theta)}
+	if *rules {
+		opts = append(opts, dbsherlock.WithDomainKnowledge(dbsherlock.MySQLLinuxRules()))
+	}
+	a, err := dbsherlock.New(opts...)
+	if err != nil {
+		return err
+	}
+
+	var abnormal *dbsherlock.Region
+	switch {
+	case *auto:
+		res, err := a.Detect(ds)
+		if err != nil {
+			return err
+		}
+		if res.Abnormal.Empty() {
+			return fmt.Errorf("explain: automatic detection found no anomaly")
+		}
+		abnormal = res.Abnormal
+		fmt.Printf("auto-detected abnormal rows: %s\n", summarizeRuns(abnormal.Indices()))
+	case *from >= 0 && *to > *from:
+		abnormal = dbsherlock.RegionFromRange(ds.Rows(), *from, *to)
+	default:
+		return fmt.Errorf("explain: specify -from/-to or -auto")
+	}
+
+	expl, err := a.Explain(ds, abnormal, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d explanatory predicates:\n", len(expl.Predicates))
+	for _, p := range expl.Predicates {
+		fmt.Printf("  %s\n", p)
+	}
+	for _, pr := range expl.Pruned {
+		fmt.Printf("pruned as secondary symptom (%s, kappa %.2f): %s\n", pr.Rule, pr.Kappa, pr.Predicate)
+	}
+	if len(expl.Causes) > 0 {
+		fmt.Println("likely causes:")
+		for _, c := range expl.Causes {
+			fmt.Printf("  %-30s confidence %.1f%%\n", c.Cause, 100*c.Confidence)
+		}
+	}
+	return nil
+}

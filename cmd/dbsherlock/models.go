@@ -1,0 +1,182 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+
+	"dbsherlock"
+)
+
+// loadModels populates the analyzer from a model-store file, treating a
+// missing file as an empty store.
+func loadModels(a *dbsherlock.Analyzer, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return a.LoadModels(f)
+}
+
+// saveModels writes the analyzer's models back to the store.
+func saveModels(a *dbsherlock.Analyzer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return a.SaveModels(f)
+}
+
+// runLearn implements `dbsherlock learn`: diagnose an anomaly, label it
+// with the confirmed cause, and persist the (merged) causal model.
+func runLearn(args []string) error {
+	fs := flag.NewFlagSet("learn", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV dataset")
+	from := fs.Int("from", -1, "abnormal region start (row index, inclusive)")
+	to := fs.Int("to", -1, "abnormal region end (row index, exclusive)")
+	cause := fs.String("cause", "", "the diagnosed root cause")
+	models := fs.String("models", "models.json", "model store file")
+	remedy := fs.String("remedy", "", "optional: the corrective action taken")
+	theta := fs.Float64("theta", 0.05, "normalized difference threshold (low: models will merge)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *cause == "" || *from < 0 || *to <= *from {
+		return fmt.Errorf("learn: -in, -cause, -from and -to are required")
+	}
+	ds, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+	a, err := dbsherlock.New(dbsherlock.WithTheta(*theta))
+	if err != nil {
+		return err
+	}
+	if err := loadModels(a, *models); err != nil {
+		return err
+	}
+	abnormal := dbsherlock.RegionFromRange(ds.Rows(), *from, *to)
+	model, err := a.LearnCause(*cause, ds, abnormal, nil)
+	if err != nil {
+		return err
+	}
+	if *remedy != "" {
+		if err := a.RecordRemediation(*cause, *remedy); err != nil {
+			return err
+		}
+	}
+	if err := saveModels(a, *models); err != nil {
+		return err
+	}
+	fmt.Printf("learned %q: model now merged from %d diagnoses, %d predicates (store: %s)\n",
+		*cause, model.Merged, len(model.Predicates), *models)
+	return nil
+}
+
+// runDiagnose implements `dbsherlock diagnose`: rank the stored causal
+// models against an anomaly and print causes plus recommended actions.
+func runDiagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
+	in := fs.String("in", "", "input CSV dataset")
+	from := fs.Int("from", -1, "abnormal region start (row index, inclusive)")
+	to := fs.Int("to", -1, "abnormal region end (row index, exclusive)")
+	auto := fs.Bool("auto", false, "detect the abnormal region automatically")
+	detector := fs.String("detector", "dbscan", "detector for -auto: dbscan, threshold, perfaugur")
+	models := fs.String("models", "models.json", "model store file")
+	top := fs.Int("top", 3, "number of causes to show")
+	recommend := fs.Bool("recommend", true, "print recommended corrective actions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("diagnose: -in is required")
+	}
+	ds, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+	a, err := dbsherlock.New()
+	if err != nil {
+		return err
+	}
+	if err := loadModels(a, *models); err != nil {
+		return err
+	}
+	if len(a.Causes()) == 0 {
+		return fmt.Errorf("diagnose: model store %q has no causal models (use `dbsherlock learn` first)", *models)
+	}
+
+	var abnormal *dbsherlock.Region
+	switch {
+	case *auto:
+		d, err := detectorByName(*detector)
+		if err != nil {
+			return err
+		}
+		region, ok, err := a.DetectUsing(ds, d)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("diagnose: %s found no anomaly", d.Name())
+		}
+		abnormal = region
+		fmt.Printf("%s detected abnormal rows: %s\n", d.Name(), summarizeRuns(abnormal.Indices()))
+	case *from >= 0 && *to > *from:
+		abnormal = dbsherlock.RegionFromRange(ds.Rows(), *from, *to)
+	default:
+		return fmt.Errorf("diagnose: specify -from/-to or -auto")
+	}
+
+	ranked, err := a.RankAll(ds, abnormal, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("likely causes:")
+	shown := ranked
+	if len(shown) > *top {
+		shown = shown[:*top]
+	}
+	for i, c := range shown {
+		fmt.Printf("  %d. %-28s confidence %.1f%%\n", i+1, c.Cause, 100*c.Confidence)
+	}
+	if *recommend {
+		recs, err := a.Recommend(ranked, dbsherlock.DefaultActionPolicy())
+		if err != nil {
+			return err
+		}
+		if len(recs) > 0 {
+			fmt.Println("recommended actions:")
+			for _, r := range recs {
+				marker := " "
+				if r.AutoTriggerable {
+					marker = "*"
+				}
+				fmt.Printf(" %s [%s] %-22s (%s, %.0f%%): %s\n",
+					marker, r.Source, r.Action.Name, r.Cause, 100*r.Confidence, r.Action.Description)
+			}
+			fmt.Println("   (* = safe to trigger automatically at this confidence)")
+		}
+	}
+	return nil
+}
+
+func detectorByName(name string) (dbsherlock.Detector, error) {
+	switch name {
+	case "dbscan":
+		return dbsherlock.NewDBSCANDetector(), nil
+	case "threshold":
+		return dbsherlock.NewThresholdDetector(dbsherlock.AvgLatencyAttr, 3), nil
+	case "perfaugur":
+		return dbsherlock.NewPerfAugurDetector(dbsherlock.AvgLatencyAttr), nil
+	default:
+		return nil, fmt.Errorf("unknown detector %q (want dbscan, threshold, or perfaugur)", name)
+	}
+}

@@ -1,0 +1,114 @@
+// Command dbsherlockd serves DBSherlock over HTTP: upload per-second
+// statistics datasets, detect and explain anomalies, teach causes, and
+// manage the causal-model store.
+//
+//	dbsherlockd -addr :8080 -models models.json
+//
+// Quick tour with curl (after generating a trace with cmd/datagen):
+//
+//	curl -s -XPOST --data-binary @trace.csv localhost:8080/v1/datasets
+//	curl -s -XPOST -d '{"dataset":"ds-1","from":120,"to":180}' localhost:8080/v1/explain
+//	curl -s -XPOST -d '{"dataset":"ds-1","from":120,"to":180,"cause":"Lock Contention"}' localhost:8080/v1/learn
+//	curl -s localhost:8080/v1/causes
+//
+// The model store (if given) is loaded at startup and written back on
+// SIGINT/SIGTERM shutdown.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dbsherlock"
+	"dbsherlock/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	models := flag.String("models", "", "optional model store file (loaded at start, saved on shutdown)")
+	theta := flag.Float64("theta", 0.05, "normalized difference threshold for learned models")
+	flag.Parse()
+	if err := run(*addr, *models, *theta); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, models string, theta float64) error {
+	analyzer, err := dbsherlock.New(dbsherlock.WithTheta(theta))
+	if err != nil {
+		return err
+	}
+	if models != "" {
+		if err := loadStore(analyzer, models); err != nil {
+			return fmt.Errorf("load models: %w", err)
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           server.New(analyzer),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("dbsherlockd listening on %s (model store: %s)", addr, storeName(models))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		log.Printf("received %v, shutting down", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if models != "" {
+		if err := saveStore(analyzer, models); err != nil {
+			return fmt.Errorf("save models: %w", err)
+		}
+		log.Printf("model store saved to %s", models)
+	}
+	return nil
+}
+
+func storeName(models string) string {
+	if models == "" {
+		return "none"
+	}
+	return models
+}
+
+func loadStore(a *dbsherlock.Analyzer, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return a.LoadModels(f)
+}
+
+func saveStore(a *dbsherlock.Analyzer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return a.SaveModels(f)
+}

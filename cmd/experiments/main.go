@@ -1,0 +1,137 @@
+// Command experiments reproduces every table and figure of the
+// DBSherlock paper's evaluation (Section 8 and Appendices A-F) on the
+// synthetic testbed and prints paper-style tables.
+//
+//	experiments              # run everything at full scale
+//	experiments -run fig9    # run selected artifacts (comma-separated)
+//	experiments -quick       # reduced repetitions, for a fast look
+//
+// Artifact ids: fig7 fig8 fig8c fig9 fig10 fig11 fig12a fig12b fig12c
+// fig13 tab2 tab3 tab4 tab5 tab6 tab7 tab8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dbsherlock/internal/experiments"
+	"dbsherlock/internal/workload"
+)
+
+func main() {
+	runSel := flag.String("run", "", "comma-separated artifact ids (empty = all)")
+	quick := flag.Bool("quick", false, "reduced repetitions")
+	csvDir := flag.String("csv", "", "also write each artifact's data series as CSV into this directory")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*runSel, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[id] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	if err := run(want, *quick, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(want func(string) bool, quick bool, csvDir string) error {
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	reps := 50
+	fig8cReps := 50
+	tab7Tests := 3
+	tab8Runs := 10000
+	fig13Runs := 2000
+	if quick {
+		reps, fig8cReps, tab7Tests, tab8Runs, fig13Runs = 10, 10, 1, 1000, 300
+	}
+
+	fmt.Println("Generating the TPC-C dataset battery (10 anomaly classes x 11 datasets)...")
+	start := time.Now()
+	battery, err := experiments.GenerateBattery(workload.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("battery ready in %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	section := func(id string, f func() (fmt.Stringer, error)) error {
+		if !want(id) {
+			return nil
+		}
+		t0 := time.Now()
+		res, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Printf("== %s (%s)\n%s\n", id, time.Since(t0).Round(time.Millisecond), res)
+		if csvDir != "" {
+			if table, ok := res.(experiments.CSVTable); ok {
+				path := filepath.Join(csvDir, id+".csv")
+				f, err := os.Create(path)
+				if err != nil {
+					return err
+				}
+				err = experiments.WriteCSV(f, table)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					return fmt.Errorf("%s: %w", id, err)
+				}
+			}
+		}
+		return nil
+	}
+
+	var fig8Res *experiments.Fig8Result
+	steps := []struct {
+		id string
+		f  func() (fmt.Stringer, error)
+	}{
+		{"fig7", func() (fmt.Stringer, error) { return experiments.RunFig7(battery) }},
+		{"fig8", func() (fmt.Stringer, error) {
+			var err error
+			fig8Res, err = experiments.RunFig8(battery, reps)
+			return fig8Res, err
+		}},
+		{"fig8c", func() (fmt.Stringer, error) { return experiments.RunFig8c(battery, fig8cReps) }},
+		{"fig9", func() (fmt.Stringer, error) { return experiments.RunFig9(battery) }},
+		{"fig10", func() (fmt.Stringer, error) { return experiments.RunFig10(battery) }},
+		{"tab2", func() (fmt.Stringer, error) { return experiments.RunTable2(battery) }},
+		{"tab3", func() (fmt.Stringer, error) { return experiments.RunTable3(battery) }},
+		{"tab4", func() (fmt.Stringer, error) {
+			fmt.Println("   (generating the TPC-E battery...)")
+			tpce, err := experiments.GenerateBattery(workload.TPCEConfig())
+			if err != nil {
+				return nil, err
+			}
+			return experiments.RunTable4(battery, tpce, reps)
+		}},
+		{"fig11", func() (fmt.Stringer, error) { return experiments.RunFig11(battery, fig8Res) }},
+		{"tab5", func() (fmt.Stringer, error) { return experiments.RunTable5(battery) }},
+		{"tab6", func() (fmt.Stringer, error) { return experiments.RunTable6(battery) }},
+		{"fig12a", func() (fmt.Stringer, error) { return experiments.RunFig12a(battery) }},
+		{"fig12b", func() (fmt.Stringer, error) { return experiments.RunFig12b(battery) }},
+		{"fig12c", func() (fmt.Stringer, error) { return experiments.RunFig12c(battery) }},
+		{"tab7", func() (fmt.Stringer, error) { return experiments.RunTable7(battery, tab7Tests) }},
+		{"tab8", func() (fmt.Stringer, error) { return experiments.RunTable8(tab8Runs) }},
+		{"fig13", func() (fmt.Stringer, error) { return experiments.RunFig13(fig13Runs) }},
+	}
+	for _, s := range steps {
+		if err := section(s.id, s.f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+// Package dbsherlock is a from-scratch Go reproduction of DBSherlock
+// (Yoon, Niu, Mozafari — SIGMOD 2016): a performance diagnostic
+// framework for transactional databases. Given per-second OS/DBMS
+// statistics and a user-specified abnormal region, it explains the
+// anomaly with concise predicates and, once causes have been diagnosed
+// and fed back, with ranked human-readable causes backed by causal
+// models.
+//
+// Typical use:
+//
+//	a := dbsherlock.New()
+//	expl, err := a.Explain(ds, abnormalRegion, nil)
+//	// ... the DBA inspects expl.Predicates, identifies the cause ...
+//	a.LearnCause("Network Congestion", ds, abnormalRegion, nil)
+//	// future anomalies now rank "Network Congestion" by confidence:
+//	expl, err = a.Explain(ds2, abnormal2, nil)
+//	for _, c := range expl.Causes { fmt.Println(c.Cause, c.Confidence) }
+//
+// The package also ships the synthetic OLTP testbed used by the
+// reproduction's experiments (see Simulate), an automatic anomaly
+// detector (Detect), and domain-knowledge support for pruning secondary
+// symptoms.
+package dbsherlock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dbsherlock/internal/causal"
+	"dbsherlock/internal/core"
+	"dbsherlock/internal/detect"
+	"dbsherlock/internal/domain"
+)
+
+// Analyzer is the top-level diagnostic engine: predicate generation
+// parameters, accumulated causal models, and optional domain knowledge.
+// An Analyzer is not safe for concurrent use.
+type Analyzer struct {
+	params    core.Params
+	repo      *causal.Repository
+	knowledge *domain.Knowledge
+	lambda    float64
+	detectP   detect.Params
+}
+
+// Option configures an Analyzer.
+type Option func(*Analyzer) error
+
+// New returns an Analyzer with the paper's default parameters
+// (R=250, theta=0.2, delta=10, lambda=20%).
+func New(opts ...Option) (*Analyzer, error) {
+	a := &Analyzer{
+		params:  core.DefaultParams(),
+		repo:    causal.NewRepository(),
+		lambda:  causal.DefaultLambda,
+		detectP: detect.DefaultParams(),
+	}
+	for _, opt := range opts {
+		if err := opt(a); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// MustNew is New for static configurations; it panics on error.
+func MustNew(opts ...Option) *Analyzer {
+	a, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// WithParams replaces the predicate-generation parameters.
+func WithParams(p Params) Option {
+	return func(a *Analyzer) error {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		a.params = p
+		return nil
+	}
+}
+
+// WithTheta sets the normalized difference threshold (use a low value,
+// e.g. 0.05, when the generated models will be merged).
+func WithTheta(theta float64) Option {
+	return func(a *Analyzer) error {
+		if theta < 0 || theta > 1 {
+			return errors.New("dbsherlock: theta must be in [0, 1]")
+		}
+		a.params.Theta = theta
+		return nil
+	}
+}
+
+// WithLambda sets the minimum confidence for a cause to be reported.
+func WithLambda(lambda float64) Option {
+	return func(a *Analyzer) error {
+		if lambda < 0 || lambda > 1 {
+			return errors.New("dbsherlock: lambda must be in [0, 1]")
+		}
+		a.lambda = lambda
+		return nil
+	}
+}
+
+// WithDomainKnowledge installs secondary-symptom pruning rules
+// (Section 5 of the paper). Rules are validated: a rule and its reverse
+// cannot coexist.
+func WithDomainKnowledge(rules []Rule) Option {
+	return func(a *Analyzer) error {
+		k, err := domain.NewKnowledge(rules)
+		if err != nil {
+			return err
+		}
+		a.knowledge = k
+		return nil
+	}
+}
+
+// Params returns the analyzer's current predicate-generation parameters.
+func (a *Analyzer) Params() Params { return a.params }
+
+// Explanation is the output of a diagnosis: the generated predicates
+// (secondary symptoms already pruned if domain knowledge is installed)
+// and, when causal models exist, the causes whose confidence clears
+// lambda, in decreasing order.
+type Explanation struct {
+	// Predicates is the conjunct of simple predicates explaining the
+	// anomaly, in dataset column order.
+	Predicates []Predicate
+	// Ranked holds the same predicates ordered by decreasing separation
+	// power (Equation 1) — the order a user should read them in.
+	Ranked []ScoredPredicate
+	// Pruned reports predicates removed as secondary symptoms.
+	Pruned []PrunedPredicate
+	// Causes are the qualifying causal-model diagnoses (may be empty:
+	// fall back to Predicates).
+	Causes []RankedCause
+}
+
+// ScoredPredicate pairs a predicate with its separation power on the
+// diagnosed data.
+type ScoredPredicate struct {
+	Predicate Predicate
+	// SeparationPower is Equation (1) evaluated on the diagnosis
+	// regions, in [-1, 1].
+	SeparationPower float64
+}
+
+// resolveRegions applies the paper's convention: a nil normal region
+// means every row outside the abnormal region is implicitly normal.
+func resolveRegions(ds *Dataset, abnormal, normal *Region) (*Region, *Region, error) {
+	if ds == nil {
+		return nil, nil, errors.New("dbsherlock: nil dataset")
+	}
+	if abnormal == nil || abnormal.Empty() {
+		return nil, nil, errors.New("dbsherlock: abnormal region must be non-empty")
+	}
+	if normal == nil {
+		normal = abnormal.Complement()
+	}
+	return abnormal, normal, nil
+}
+
+// Explain diagnoses a user-perceived anomaly: it generates predicates
+// with high separation power (Algorithm 1), prunes secondary symptoms
+// if domain knowledge is installed, and ranks every known causal model
+// by confidence (Equation 3), returning those above lambda.
+func (a *Analyzer) Explain(ds *Dataset, abnormal, normal *Region) (*Explanation, error) {
+	abnormal, normal, err := resolveRegions(ds, abnormal, normal)
+	if err != nil {
+		return nil, err
+	}
+	preds, err := core.Generate(ds, abnormal, normal, a.params)
+	if err != nil {
+		return nil, fmt.Errorf("dbsherlock: %w", err)
+	}
+	expl := &Explanation{Predicates: preds}
+	if a.knowledge != nil {
+		expl.Predicates, expl.Pruned = a.knowledge.Apply(preds, ds)
+	}
+	expl.Ranked = make([]ScoredPredicate, len(expl.Predicates))
+	for i, p := range expl.Predicates {
+		expl.Ranked[i] = ScoredPredicate{
+			Predicate:       p,
+			SeparationPower: core.SeparationPower(p, ds, abnormal, normal),
+		}
+	}
+	sort.SliceStable(expl.Ranked, func(i, j int) bool {
+		return expl.Ranked[i].SeparationPower > expl.Ranked[j].SeparationPower
+	})
+	if a.repo.Len() > 0 {
+		expl.Causes = a.repo.Diagnose(ds, abnormal, normal, a.params, a.lambda)
+	}
+	return expl, nil
+}
+
+// LearnCause incorporates user feedback: it generates predicates for
+// the diagnosed anomaly, labels them with the confirmed cause, and adds
+// the resulting causal model to the repository (merging with any
+// existing model of the same cause, Section 6.2). The new or merged
+// model is returned.
+func (a *Analyzer) LearnCause(cause string, ds *Dataset, abnormal, normal *Region) (*CausalModel, error) {
+	if cause == "" {
+		return nil, errors.New("dbsherlock: cause must be non-empty")
+	}
+	abnormal, normal, err := resolveRegions(ds, abnormal, normal)
+	if err != nil {
+		return nil, err
+	}
+	preds, err := core.Generate(ds, abnormal, normal, a.params)
+	if err != nil {
+		return nil, fmt.Errorf("dbsherlock: %w", err)
+	}
+	if a.knowledge != nil {
+		preds, _ = a.knowledge.Apply(preds, ds)
+	}
+	if err := a.repo.Add(causal.New(cause, preds)); err != nil {
+		return nil, err
+	}
+	return a.repo.Model(cause), nil
+}
+
+// AddModel installs an externally built causal model (merging with any
+// existing model of the same cause).
+func (a *Analyzer) AddModel(m *CausalModel) error { return a.repo.Add(m) }
+
+// Model returns the (merged) causal model for a cause, or nil.
+func (a *Analyzer) Model(cause string) *CausalModel { return a.repo.Model(cause) }
+
+// Causes lists the known causes in the order they were first learned.
+func (a *Analyzer) Causes() []string { return a.repo.Causes() }
+
+// RankAll computes every known model's confidence for the given anomaly
+// without applying the lambda threshold (useful for inspecting margins).
+func (a *Analyzer) RankAll(ds *Dataset, abnormal, normal *Region) ([]RankedCause, error) {
+	abnormal, normal, err := resolveRegions(ds, abnormal, normal)
+	if err != nil {
+		return nil, err
+	}
+	return a.repo.Rank(ds, abnormal, normal, a.params), nil
+}
+
+// DetectResult is the outcome of automatic anomaly detection.
+type DetectResult struct {
+	// Abnormal selects the rows the detector flags.
+	Abnormal *Region
+	// SelectedAttrs are the attributes whose potential power exceeded
+	// the threshold.
+	SelectedAttrs []string
+}
+
+// Detect runs the paper's automatic anomaly detection (Section 7):
+// attributes with abrupt sustained changes are selected by potential
+// power, rows are clustered with DBSCAN, and small clusters are flagged
+// as the anomaly. Use it when the user cannot pinpoint the anomaly
+// visually; feed the result's Abnormal region to Explain.
+func (a *Analyzer) Detect(ds *Dataset) (*DetectResult, error) {
+	if ds == nil {
+		return nil, errors.New("dbsherlock: nil dataset")
+	}
+	res := detect.Detect(ds, a.detectP)
+	return &DetectResult{Abnormal: res.Abnormal, SelectedAttrs: res.SelectedAttrs}, nil
+}

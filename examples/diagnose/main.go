@@ -1,0 +1,70 @@
+// Diagnose: the full DBSherlock loop of the paper's Figure 2. The DBA
+// diagnoses a few anomalies manually; each confirmed cause becomes a
+// causal model (merged across instances of the same cause). Future
+// anomalies are then diagnosed automatically with ranked causes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbsherlock"
+)
+
+func main() {
+	// Low theta because models will be merged (paper Section 8.5).
+	analyzer := dbsherlock.MustNew(dbsherlock.WithTheta(0.05))
+
+	// Phase 1 — build institutional knowledge: the DBA diagnoses two
+	// past incidents of each cause; DBSherlock merges the models.
+	teaching := []dbsherlock.AnomalyKind{
+		dbsherlock.LockContention,
+		dbsherlock.NetworkCongestion,
+		dbsherlock.CPUSaturation,
+		dbsherlock.TableRestore,
+	}
+	fmt.Println("Phase 1: learning causal models from diagnosed incidents")
+	for _, kind := range teaching {
+		for instance := 0; instance < 2; instance++ {
+			ds, abnormal := simulate(kind, int64(100*int(kind)+instance))
+			model, err := analyzer.LearnCause(kind.String(), ds, abnormal, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  learned %-22s (model merged from %d diagnoses, %d predicates)\n",
+				kind, model.Merged, len(model.Predicates))
+		}
+	}
+
+	// Phase 2 — a new incident arrives: DBSherlock ranks the causes.
+	fmt.Println("\nPhase 2: diagnosing a fresh incident (actual cause: Network Congestion)")
+	ds, abnormal := simulate(dbsherlock.NetworkCongestion, 999)
+	expl, err := analyzer.Explain(ds, abnormal, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(expl.Causes) == 0 {
+		fmt.Println("no cause cleared the confidence threshold; predicates only:")
+		for _, p := range expl.Predicates {
+			fmt.Printf("  %s\n", p)
+		}
+		return
+	}
+	fmt.Println("likely causes (confidence above the 20% threshold):")
+	for _, c := range expl.Causes {
+		fmt.Printf("  %-22s %.1f%%\n", c.Cause, 100*c.Confidence)
+	}
+	fmt.Printf("\ntop diagnosis: %s\n", expl.Causes[0].Cause)
+}
+
+func simulate(kind dbsherlock.AnomalyKind, seed int64) (*dbsherlock.Dataset, *dbsherlock.Region) {
+	cfg := dbsherlock.DefaultTestbed()
+	cfg.Seed = seed
+	ds, abnormal, err := dbsherlock.Simulate(cfg, 0, 190, []dbsherlock.Injection{
+		{Kind: kind, Start: 120, Duration: 60},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ds, abnormal
+}

@@ -1,0 +1,91 @@
+// Remediation: the paper's Section 10 future work, implemented. Once a
+// cause is diagnosed with high confidence, DBSherlock recommends
+// corrective actions — built-in remedies plus the fixes DBAs recorded on
+// past diagnoses — and can trigger the safe ones automatically. Models
+// (including the recorded fixes) persist as JSON across restarts.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"dbsherlock"
+)
+
+func main() {
+	analyzer := dbsherlock.MustNew(dbsherlock.WithTheta(0.05))
+
+	// A DBA diagnoses two workload-spike incidents and records what
+	// fixed them.
+	for seed := int64(1); seed <= 2; seed++ {
+		ds, abnormal := simulate(dbsherlock.WorkloadSpike, seed)
+		if _, err := analyzer.LearnCause("Workload Spike", ds, abnormal, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := analyzer.RecordRemediation("Workload Spike", "throttled tenant 42 to 100 tx/s"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The models (with the recorded fix) survive a restart.
+	var store bytes.Buffer
+	if err := analyzer.SaveModels(&store); err != nil {
+		log.Fatal(err)
+	}
+	restarted := dbsherlock.MustNew()
+	if err := restarted.LoadModels(&store); err != nil {
+		log.Fatal(err)
+	}
+
+	// A new spike hits at 3am. Diagnose and recommend.
+	ds, abnormal := simulate(dbsherlock.WorkloadSpike, 77)
+	expl, err := restarted.Explain(ds, abnormal, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(expl.Causes) == 0 {
+		log.Fatal("no cause diagnosed")
+	}
+	fmt.Printf("diagnosis: %s (%.0f%% confidence)\n\n", expl.Causes[0].Cause, 100*expl.Causes[0].Confidence)
+
+	recs, err := restarted.Recommend(expl.Causes, dbsherlock.DefaultActionPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recommended actions:")
+	for _, r := range recs {
+		fmt.Printf("  [%s] %s: %s\n", r.Source, r.Action.Name, r.Action.Description)
+	}
+
+	// Trigger the automatic ones (here the "orchestrator" just logs).
+	applied, suggested, err := triggerAutomatic(recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nauto-applied %d action(s); %d left for the operator\n", applied, suggested)
+}
+
+func triggerAutomatic(recs []dbsherlock.Recommendation) (applied, suggested int, err error) {
+	for _, r := range recs {
+		if r.AutoTriggerable {
+			fmt.Printf("  -> triggering %q\n", r.Action.Name)
+			applied++
+		} else {
+			suggested++
+		}
+	}
+	return applied, suggested, nil
+}
+
+func simulate(kind dbsherlock.AnomalyKind, seed int64) (*dbsherlock.Dataset, *dbsherlock.Region) {
+	cfg := dbsherlock.DefaultTestbed()
+	cfg.Seed = seed
+	ds, abnormal, err := dbsherlock.Simulate(cfg, 0, 190, []dbsherlock.Injection{
+		{Kind: kind, Start: 120, Duration: 60},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ds, abnormal
+}

@@ -1,0 +1,96 @@
+// Watch: continuous monitoring. A Monitor ingests the statistics stream
+// chunk by chunk (as a real collector would flush them), detects a
+// developing anomaly with the Section 7 algorithm, and each alert is
+// diagnosed on the spot against previously learned causal models.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbsherlock"
+)
+
+func main() {
+	// Learn one cause up front so alerts come with a diagnosis.
+	analyzer := dbsherlock.MustNew(dbsherlock.WithTheta(0.05))
+	for seed := int64(1); seed <= 2; seed++ {
+		cfg := dbsherlock.DefaultTestbed()
+		cfg.Seed = seed
+		ds, abn, err := dbsherlock.Simulate(cfg, 0, 190, []dbsherlock.Injection{
+			{Kind: dbsherlock.IOSaturation, Start: 120, Duration: 60},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := analyzer.LearnCause("I/O Saturation", ds, abn, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The "production" stream: 12 minutes with an I/O saturation
+	// starting at minute 8.
+	cfg := dbsherlock.DefaultTestbed()
+	cfg.Seed = 99
+	stream, _, err := dbsherlock.Simulate(cfg, 0, 720, []dbsherlock.Injection{
+		{Kind: dbsherlock.IOSaturation, Start: 480, Duration: 70},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mon, err := dbsherlock.NewMonitor(dbsherlock.MonitorConfig{
+		WindowSeconds: 420,
+		CheckEvery:    30,
+	}, func(a dbsherlock.MonitorAlert) {
+		fmt.Printf("ALERT: anomaly over t=[%d, %d) (%d keyed attributes)\n",
+			a.FromTime, a.ToTime, len(a.SelectedAttrs))
+		expl, err := analyzer.Explain(a.Window, a.Region, nil)
+		if err != nil {
+			log.Printf("  diagnosis failed: %v", err)
+			return
+		}
+		if len(expl.Causes) > 0 {
+			fmt.Printf("  diagnosis: %s (%.0f%% confidence)\n",
+				expl.Causes[0].Cause, 100*expl.Causes[0].Confidence)
+		} else {
+			fmt.Printf("  no known cause; %d predicates generated\n", len(expl.Predicates))
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Feed the stream in 30-second collector flushes.
+	ts := stream.Timestamps()
+	for lo := 0; lo < stream.Rows(); lo += 30 {
+		hi := min(lo+30, stream.Rows())
+		chunk, err := sliceDataset(stream, ts, lo, hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mon.Append(chunk); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("stream finished")
+}
+
+func sliceDataset(ds *dbsherlock.Dataset, ts []int64, lo, hi int) (*dbsherlock.Dataset, error) {
+	chunk, err := dbsherlock.NewDataset(ts[lo:hi])
+	if err != nil {
+		return nil, err
+	}
+	for a := 0; a < ds.NumAttrs(); a++ {
+		col := ds.ColumnAt(a)
+		if col.Num != nil {
+			err = chunk.AddNumeric(col.Attr.Name, col.Num[lo:hi])
+		} else {
+			err = chunk.AddCategorical(col.Attr.Name, col.Cat[lo:hi])
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return chunk, nil
+}

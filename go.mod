@@ -1,0 +1,3 @@
+module dbsherlock
+
+go 1.22

@@ -1,0 +1,213 @@
+// Package actions implements the paper's Section 10 future work: once an
+// anomaly has been diagnosed with sufficient confidence, DBSherlock can
+// recommend corrective actions — and trigger the simple, reversible ones
+// automatically. Two sources feed the recommendations: a built-in
+// catalog of standard remedies per cause, and the remediation notes DBAs
+// recorded on causal models during past diagnoses (Model.AddRemediation),
+// replayed as suggestions for future occurrences of the same anomaly.
+package actions
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dbsherlock/internal/causal"
+)
+
+// Action is one corrective measure.
+type Action struct {
+	// Name is a short identifier ("throttle-tenant").
+	Name string
+	// Description tells the operator what the action does.
+	Description string
+	// Automatic marks actions that are simple and reversible enough to
+	// trigger without a human in the loop (paper Section 10: throttling
+	// certain tenants, triggering a migration).
+	Automatic bool
+}
+
+// Source says where a recommendation came from.
+type Source int
+
+const (
+	// Builtin recommendations come from the standard catalog.
+	Builtin Source = iota
+	// Learned recommendations replay a DBA's recorded remediation.
+	Learned
+)
+
+// String names the source.
+func (s Source) String() string {
+	if s == Learned {
+		return "learned"
+	}
+	return "builtin"
+}
+
+// Recommendation pairs a diagnosed cause with an action.
+type Recommendation struct {
+	Cause      string
+	Confidence float64
+	Action     Action
+	Source     Source
+	// AutoTriggerable is true when the action is Automatic and the
+	// diagnosis confidence clears the policy's automatic threshold.
+	AutoTriggerable bool
+}
+
+// Policy sets the confidence bars.
+type Policy struct {
+	// MinConfidence gates recommendations at all.
+	MinConfidence float64
+	// AutoConfidence gates automatic triggering; it should be
+	// substantially higher than MinConfidence.
+	AutoConfidence float64
+}
+
+// DefaultPolicy recommends above the paper's lambda (20%) and only
+// auto-triggers on near-certain diagnoses.
+func DefaultPolicy() Policy { return Policy{MinConfidence: 0.20, AutoConfidence: 0.90} }
+
+// Validate rejects inconsistent policies.
+func (p Policy) Validate() error {
+	if p.MinConfidence < 0 || p.MinConfidence > 1 || p.AutoConfidence < 0 || p.AutoConfidence > 1 {
+		return errors.New("actions: confidences must be in [0, 1]")
+	}
+	if p.AutoConfidence < p.MinConfidence {
+		return errors.New("actions: AutoConfidence must be at least MinConfidence")
+	}
+	return nil
+}
+
+// Recommender maps diagnosed causes to actions.
+type Recommender struct {
+	policy  Policy
+	catalog map[string][]Action
+}
+
+// NewRecommender builds a recommender with the given policy and the
+// built-in catalog for the paper's ten anomaly classes.
+func NewRecommender(policy Policy) (*Recommender, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Recommender{policy: policy, catalog: make(map[string][]Action)}
+	for cause, as := range builtinCatalog() {
+		r.catalog[cause] = as
+	}
+	return r, nil
+}
+
+// Register adds (or extends) the actions for a cause.
+func (r *Recommender) Register(cause string, actions ...Action) {
+	r.catalog[cause] = append(r.catalog[cause], actions...)
+}
+
+// Recommend turns a ranked diagnosis into actionable recommendations:
+// for every cause whose confidence clears the policy minimum, the
+// built-in actions come first, then the remediations recorded on the
+// cause's causal model. Output is ordered by confidence, then source.
+func (r *Recommender) Recommend(ranked []causal.RankedCause) []Recommendation {
+	var out []Recommendation
+	for _, rc := range ranked {
+		if rc.Confidence < r.policy.MinConfidence {
+			continue
+		}
+		for _, a := range r.catalog[rc.Cause] {
+			out = append(out, Recommendation{
+				Cause:           rc.Cause,
+				Confidence:      rc.Confidence,
+				Action:          a,
+				Source:          Builtin,
+				AutoTriggerable: a.Automatic && rc.Confidence >= r.policy.AutoConfidence,
+			})
+		}
+		if rc.Model != nil {
+			for _, note := range rc.Model.Remediations {
+				out = append(out, Recommendation{
+					Cause:      rc.Cause,
+					Confidence: rc.Confidence,
+					Action:     Action{Name: "dba-remediation", Description: note},
+					Source:     Learned,
+				})
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// Trigger executes an automatic action (e.g. calling an orchestration
+// hook). Implementations must be idempotent.
+type Trigger func(Recommendation) error
+
+// Apply fires the trigger for every auto-triggerable recommendation and
+// returns what was applied and what was only suggested. The first
+// trigger error aborts further automatic actions (fail-safe) and is
+// returned alongside the partial results.
+func (r *Recommender) Apply(recs []Recommendation, trigger Trigger) (applied, suggested []Recommendation, err error) {
+	for _, rec := range recs {
+		if !rec.AutoTriggerable || trigger == nil {
+			suggested = append(suggested, rec)
+			continue
+		}
+		if err = trigger(rec); err != nil {
+			err = fmt.Errorf("actions: trigger %q for %q: %w", rec.Action.Name, rec.Cause, err)
+			suggested = append(suggested, rec)
+			return applied, suggested, err
+		}
+		applied = append(applied, rec)
+	}
+	return applied, suggested, nil
+}
+
+// builtinCatalog holds the standard remedies per anomaly class, derived
+// from the paper's discussion (Sections 2.4 and 10) and standard DBA
+// practice.
+func builtinCatalog() map[string][]Action {
+	return map[string][]Action{
+		"Workload Spike": {
+			{Name: "throttle-tenants", Description: "rate-limit the tenants driving the extra load", Automatic: true},
+			{Name: "scale-out", Description: "provision an additional replica or larger instance"},
+		},
+		"I/O Saturation": {
+			{Name: "isolate-io", Description: "cgroup-limit the external I/O-heavy processes", Automatic: true},
+			{Name: "faster-storage", Description: "move hot tablespaces to faster storage"},
+		},
+		"CPU Saturation": {
+			{Name: "isolate-cpu", Description: "pin or cgroup-limit the external CPU hogs", Automatic: true},
+			{Name: "add-cores", Description: "scale up the instance's CPU allocation"},
+		},
+		"Database Backup": {
+			{Name: "reschedule-backup", Description: "move the backup window off peak hours", Automatic: true},
+			{Name: "throttled-dump", Description: "use a rate-limited or snapshot-based backup"},
+		},
+		"Table Restore": {
+			{Name: "batch-restore", Description: "restore in smaller batches with commit throttling"},
+		},
+		"Flush Log/Table": {
+			{Name: "enable-adaptive-flush", Description: "enable adaptive flushing so checkpoints spread out"},
+		},
+		"Network Congestion": {
+			{Name: "reroute-traffic", Description: "fail over to the secondary network path", Automatic: true},
+			{Name: "inspect-router", Description: "inspect switches/routers between clients and server"},
+		},
+		"Lock Contention": {
+			{Name: "spread-hotspot", Description: "randomize the hot key (warehouse/district) access pattern"},
+			{Name: "shorten-transactions", Description: "move work outside the critical section to shorten lock hold times"},
+		},
+		"Poor Physical Design": {
+			{Name: "drop-unused-indexes", Description: "drop the unnecessary indexes on insert-heavy tables"},
+		},
+		"Poorly Written Query": {
+			{Name: "kill-query", Description: "kill the offending scan query", Automatic: true},
+			{Name: "add-index", Description: "add the missing join index or rewrite the query"},
+		},
+	}
+}

@@ -1,0 +1,207 @@
+package actions
+
+import (
+	"errors"
+	"testing"
+
+	"dbsherlock/internal/causal"
+)
+
+func ranked(cause string, conf float64, remediations ...string) causal.RankedCause {
+	m := causal.New(cause, nil)
+	for _, r := range remediations {
+		m.AddRemediation(r)
+	}
+	return causal.RankedCause{Cause: cause, Confidence: conf, Model: m}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	if err := (Policy{MinConfidence: -0.1, AutoConfidence: 0.5}).Validate(); err == nil {
+		t.Error("negative min: want error")
+	}
+	if err := (Policy{MinConfidence: 0.5, AutoConfidence: 0.2}).Validate(); err == nil {
+		t.Error("auto below min: want error")
+	}
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Errorf("default policy invalid: %v", err)
+	}
+	if _, err := NewRecommender(Policy{MinConfidence: 2, AutoConfidence: 3}); err == nil {
+		t.Error("NewRecommender with bad policy: want error")
+	}
+}
+
+func TestRecommendFiltersByConfidence(t *testing.T) {
+	r, err := NewRecommender(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := r.Recommend([]causal.RankedCause{
+		ranked("Workload Spike", 0.95),
+		ranked("CPU Saturation", 0.10), // below MinConfidence
+	})
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	for _, rec := range recs {
+		if rec.Cause != "Workload Spike" {
+			t.Errorf("low-confidence cause leaked: %+v", rec)
+		}
+	}
+}
+
+func TestRecommendIncludesLearnedRemediations(t *testing.T) {
+	r, err := NewRecommender(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := r.Recommend([]causal.RankedCause{
+		ranked("Network Congestion", 0.8, "replace router rack B"),
+	})
+	var sawLearned, sawBuiltin bool
+	for _, rec := range recs {
+		switch rec.Source {
+		case Learned:
+			sawLearned = true
+			if rec.Action.Description != "replace router rack B" {
+				t.Errorf("learned action = %+v", rec.Action)
+			}
+			if rec.AutoTriggerable {
+				t.Error("learned free-text remediations must never auto-trigger")
+			}
+		case Builtin:
+			sawBuiltin = true
+		}
+	}
+	if !sawLearned || !sawBuiltin {
+		t.Errorf("sources missing: learned=%v builtin=%v", sawLearned, sawBuiltin)
+	}
+}
+
+func TestAutoTriggerableRequiresBothFlags(t *testing.T) {
+	r, err := NewRecommender(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Confidence above auto threshold: automatic actions become
+	// triggerable, manual ones never do.
+	recs := r.Recommend([]causal.RankedCause{ranked("Workload Spike", 0.95)})
+	byName := map[string]Recommendation{}
+	for _, rec := range recs {
+		byName[rec.Action.Name] = rec
+	}
+	if !byName["throttle-tenants"].AutoTriggerable {
+		t.Error("throttle-tenants should auto-trigger at 0.95")
+	}
+	if byName["scale-out"].AutoTriggerable {
+		t.Error("scale-out is manual and must not auto-trigger")
+	}
+	// Below the auto threshold nothing triggers.
+	recs = r.Recommend([]causal.RankedCause{ranked("Workload Spike", 0.5)})
+	for _, rec := range recs {
+		if rec.AutoTriggerable {
+			t.Errorf("auto-trigger below threshold: %+v", rec)
+		}
+	}
+}
+
+func TestRecommendOrdering(t *testing.T) {
+	r, err := NewRecommender(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := r.Recommend([]causal.RankedCause{
+		ranked("CPU Saturation", 0.6),
+		ranked("Workload Spike", 0.9),
+	})
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Confidence > recs[i-1].Confidence {
+			t.Fatal("recommendations not ordered by confidence")
+		}
+	}
+}
+
+func TestRegisterExtendsCatalog(t *testing.T) {
+	r, err := NewRecommender(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Register("My Custom Cause", Action{Name: "page-oncall", Description: "page the on-call DBA"})
+	recs := r.Recommend([]causal.RankedCause{ranked("My Custom Cause", 0.9)})
+	if len(recs) != 1 || recs[0].Action.Name != "page-oncall" {
+		t.Errorf("recs = %+v", recs)
+	}
+}
+
+func TestApplyTriggersOnlyAutomatic(t *testing.T) {
+	r, err := NewRecommender(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := r.Recommend([]causal.RankedCause{ranked("Workload Spike", 0.95)})
+	var fired []string
+	applied, suggested, err := r.Apply(recs, func(rec Recommendation) error {
+		fired = append(fired, rec.Action.Name)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 1 || applied[0].Action.Name != "throttle-tenants" {
+		t.Errorf("applied = %+v", applied)
+	}
+	if len(fired) != 1 {
+		t.Errorf("trigger fired %d times", len(fired))
+	}
+	if len(suggested)+len(applied) != len(recs) {
+		t.Error("recommendations lost")
+	}
+}
+
+func TestApplyStopsOnTriggerError(t *testing.T) {
+	r, err := NewRecommender(Policy{MinConfidence: 0.2, AutoConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := r.Recommend([]causal.RankedCause{
+		ranked("Workload Spike", 0.95),
+		ranked("CPU Saturation", 0.9),
+	})
+	boom := errors.New("orchestrator down")
+	applied, _, err := r.Apply(recs, func(Recommendation) error { return boom })
+	if err == nil || !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+	if len(applied) != 0 {
+		t.Errorf("applied = %+v, want none after failure", applied)
+	}
+}
+
+func TestApplyNilTriggerSuggestsEverything(t *testing.T) {
+	r, err := NewRecommender(DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := r.Recommend([]causal.RankedCause{ranked("Workload Spike", 0.95)})
+	applied, suggested, err := r.Apply(recs, nil)
+	if err != nil || len(applied) != 0 || len(suggested) != len(recs) {
+		t.Errorf("applied=%v suggested=%v err=%v", applied, suggested, err)
+	}
+}
+
+func TestBuiltinCatalogCoversAllTenCauses(t *testing.T) {
+	cat := builtinCatalog()
+	if len(cat) != 10 {
+		t.Errorf("catalog covers %d causes, want the paper's 10", len(cat))
+	}
+	for cause, as := range cat {
+		if len(as) == 0 {
+			t.Errorf("cause %q has no actions", cause)
+		}
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	if Builtin.String() != "builtin" || Learned.String() != "learned" {
+		t.Error("Source.String mismatch")
+	}
+}

@@ -1,0 +1,198 @@
+// Package anomaly defines the ten anomaly classes of the paper's
+// evaluation (Table 1) as perturbations of the simulated testbed, plus
+// the compound scenarios of Section 8.7. Each injector reproduces the
+// mechanism the paper triggered with external tools (stress-ng, tc,
+// mysqldump, workload changes).
+package anomaly
+
+import (
+	"fmt"
+	"math"
+
+	"dbsherlock/internal/workload"
+)
+
+// Kind identifies one anomaly class.
+type Kind int
+
+const (
+	// PoorlyWrittenQuery executes an unindexed JOIN query that would run
+	// efficiently if written properly: next-row read requests and DBMS
+	// CPU spike.
+	PoorlyWrittenQuery Kind = iota
+	// PoorPhysicalDesign maintains unnecessary indexes on insert-heavy
+	// tables: extra data writes and redo per insert.
+	PoorPhysicalDesign
+	// WorkloadSpike adds 128 aggressive terminals (the paper requests a
+	// 50,000 tx/s rate, i.e. near-zero think time).
+	WorkloadSpike
+	// IOSaturation spins external processes on write()/unlink()/sync().
+	IOSaturation
+	// DatabaseBackup runs a mysqldump-style full dump to the client
+	// machine over the network.
+	DatabaseBackup
+	// TableRestore bulk re-inserts a pre-dumped history table.
+	TableRestore
+	// CPUSaturation spins external poll() processes on all cores.
+	CPUSaturation
+	// FlushLogTable flushes all tables and logs (mysqladmin flush-logs
+	// and refresh).
+	FlushLogTable
+	// NetworkCongestion adds an artificial 300 ms delay to all traffic.
+	NetworkCongestion
+	// LockContention executes NewOrder transactions against a single
+	// warehouse and district.
+	LockContention
+)
+
+// Kinds lists all ten anomaly classes in the paper's order (Table 1).
+func Kinds() []Kind {
+	return []Kind{
+		PoorlyWrittenQuery, PoorPhysicalDesign, WorkloadSpike, IOSaturation,
+		DatabaseBackup, TableRestore, CPUSaturation, FlushLogTable,
+		NetworkCongestion, LockContention,
+	}
+}
+
+var kindNames = map[Kind]string{
+	PoorlyWrittenQuery: "Poorly Written Query",
+	PoorPhysicalDesign: "Poor Physical Design",
+	WorkloadSpike:      "Workload Spike",
+	IOSaturation:       "I/O Saturation",
+	DatabaseBackup:     "Database Backup",
+	TableRestore:       "Table Restore",
+	CPUSaturation:      "CPU Saturation",
+	FlushLogTable:      "Flush Log/Table",
+	NetworkCongestion:  "Network Congestion",
+	LockContention:     "Lock Contention",
+}
+
+// String returns the paper's name for the anomaly class.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Injection is one anomaly active during [Start, Start+Duration) seconds
+// of a run.
+type Injection struct {
+	Kind     Kind
+	Start    int
+	Duration int
+}
+
+// Active reports whether the injection is live at second sec.
+func (inj Injection) Active(sec int) bool {
+	return sec >= inj.Start && sec < inj.Start+inj.Duration
+}
+
+// Ramp-up and decay constants: real anomalies do not switch on and off
+// instantaneously — stress tools take a few seconds to reach full
+// pressure and their effects linger briefly after they stop. The
+// transition rows this produces (abnormal-looking values outside the
+// labeled window) are precisely the noise the paper's partition
+// filtering step exists to remove.
+const (
+	rampUpSeconds = 4.0
+	decayTau      = 4.0
+)
+
+// Intensity returns the injection's effect strength at second sec:
+// a linear ramp to 1 over the first rampUpSeconds of the window, then an
+// exponential decay after the window ends.
+func (inj Injection) Intensity(sec int) float64 {
+	if sec < inj.Start {
+		return 0
+	}
+	if sec < inj.Start+inj.Duration {
+		elapsed := float64(sec-inj.Start) + 1
+		if elapsed >= rampUpSeconds {
+			return 1
+		}
+		return elapsed / rampUpSeconds
+	}
+	after := float64(sec - (inj.Start + inj.Duration))
+	v := math.Exp(-(after + 1) / decayTau)
+	if v < 0.05 {
+		return 0
+	}
+	return v
+}
+
+// perturbations maps each anomaly class to its Env mutation at a given
+// intensity in (0, 1].
+var perturbations = map[Kind]func(env *workload.Env, x float64){
+	PoorlyWrittenQuery: func(env *workload.Env, x float64) {
+		env.ScanQueriesPerSec += 5 * x
+		env.ScanRowsPerQuery = 2e6
+	},
+	PoorPhysicalDesign: func(env *workload.Env, x float64) {
+		// Index creation is discrete: the indexes either exist or not.
+		if x >= 0.5 {
+			env.ExtraIndexes += 3
+		}
+	},
+	WorkloadSpike: func(env *workload.Env, x float64) {
+		env.ExtraTerminals += int(128 * x)
+		env.ExtraThinkTimeMS = 5
+	},
+	IOSaturation: func(env *workload.Env, x float64) {
+		env.ExternalIOPS += 2600 * x
+		env.ExternalIOMBps += 110 * x
+	},
+	DatabaseBackup: func(env *workload.Env, x float64) {
+		env.BackupReadMBps += 70 * x
+	},
+	TableRestore: func(env *workload.Env, x float64) {
+		env.RestoreRowsPerSec += 60000 * x
+	},
+	CPUSaturation: func(env *workload.Env, x float64) {
+		env.ExternalCPUCores += 3.9 * x
+	},
+	FlushLogTable: func(env *workload.Env, x float64) {
+		if x >= 0.5 {
+			env.FlushStorm = true
+		}
+	},
+	NetworkCongestion: func(env *workload.Env, x float64) {
+		env.NetworkDelayMS += 300 * x
+	},
+	LockContention: func(env *workload.Env, x float64) {
+		if x > env.LockHotspot {
+			env.LockHotspot = x
+		}
+	},
+}
+
+// Perturb returns a workload.Perturb applying every injection at its
+// ramp/decay intensity. Injections compose, which is how the compound
+// scenarios of Section 8.7 are built.
+func Perturb(injections []Injection) workload.Perturb {
+	return func(sec int, env *workload.Env) {
+		for _, inj := range injections {
+			if x := inj.Intensity(sec); x > 0 {
+				perturbations[inj.Kind](env, x)
+			}
+		}
+	}
+}
+
+// Compound is one multi-anomaly scenario of Section 8.7 (Figure 10).
+type Compound struct {
+	Name  string
+	Kinds []Kind
+}
+
+// Compounds lists the six compound test cases of Figure 10.
+func Compounds() []Compound {
+	return []Compound{
+		{Name: "CPU,IO,Network Saturation", Kinds: []Kind{CPUSaturation, IOSaturation, NetworkCongestion}},
+		{Name: "Workload Spike + Flush Log/Table", Kinds: []Kind{WorkloadSpike, FlushLogTable}},
+		{Name: "Workload Spike + Table Restore", Kinds: []Kind{WorkloadSpike, TableRestore}},
+		{Name: "Workload Spike + CPU Saturation", Kinds: []Kind{WorkloadSpike, CPUSaturation}},
+		{Name: "Workload Spike + I/O Saturation", Kinds: []Kind{WorkloadSpike, IOSaturation}},
+		{Name: "Workload Spike + Network Congestion", Kinds: []Kind{WorkloadSpike, NetworkCongestion}},
+	}
+}

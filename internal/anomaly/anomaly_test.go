@@ -1,0 +1,149 @@
+package anomaly
+
+import (
+	"testing"
+
+	"dbsherlock/internal/workload"
+)
+
+func TestKindsCoverTableOne(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) != 10 {
+		t.Fatalf("len(Kinds) = %d, want 10 (paper Table 1)", len(kinds))
+	}
+	seen := map[Kind]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			t.Errorf("duplicate kind %v", k)
+		}
+		seen[k] = true
+		if _, ok := perturbations[k]; !ok {
+			t.Errorf("kind %v has no perturbation", k)
+		}
+		if k.String() == "" || k.String()[0] == 'K' {
+			t.Errorf("kind %v has no paper name", int(k))
+		}
+	}
+}
+
+func TestInjectionActive(t *testing.T) {
+	inj := Injection{Kind: CPUSaturation, Start: 10, Duration: 5}
+	for sec, want := range map[int]bool{9: false, 10: true, 14: true, 15: false} {
+		if got := inj.Active(sec); got != want {
+			t.Errorf("Active(%d) = %v, want %v", sec, got, want)
+		}
+	}
+}
+
+func TestPerturbAppliesOnlyInWindow(t *testing.T) {
+	p := Perturb([]Injection{{Kind: NetworkCongestion, Start: 5, Duration: 20}})
+	var env workload.Env
+	p(4, &env)
+	if env.NetworkDelayMS != 0 {
+		t.Error("perturbation applied before window")
+	}
+	env = workload.Env{}
+	p(15, &env) // past the ramp: full intensity
+	if env.NetworkDelayMS != 300 {
+		t.Errorf("NetworkDelayMS = %v, want 300", env.NetworkDelayMS)
+	}
+}
+
+func TestIntensityRampAndDecay(t *testing.T) {
+	inj := Injection{Kind: CPUSaturation, Start: 10, Duration: 20}
+	if got := inj.Intensity(9); got != 0 {
+		t.Errorf("Intensity before window = %v", got)
+	}
+	if got := inj.Intensity(10); got <= 0 || got >= 1 {
+		t.Errorf("Intensity at onset = %v, want a partial ramp", got)
+	}
+	if got := inj.Intensity(20); got != 1 {
+		t.Errorf("Intensity mid-window = %v, want 1", got)
+	}
+	if got := inj.Intensity(30); got <= 0 || got >= 1 {
+		t.Errorf("Intensity just after window = %v, want decaying", got)
+	}
+	if got := inj.Intensity(60); got != 0 {
+		t.Errorf("Intensity long after window = %v, want 0", got)
+	}
+	// Decay is monotone.
+	prev := 1.0
+	for sec := 30; sec < 50; sec++ {
+		cur := inj.Intensity(sec)
+		if cur > prev {
+			t.Fatalf("decay not monotone at %d: %v > %v", sec, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestPerturbComposesCompound(t *testing.T) {
+	p := Perturb([]Injection{
+		{Kind: WorkloadSpike, Start: 0, Duration: 10},
+		{Kind: CPUSaturation, Start: 0, Duration: 10},
+	})
+	var env workload.Env
+	p(8, &env) // past the ramp
+	if env.ExtraTerminals != 128 || env.ExternalCPUCores == 0 {
+		t.Errorf("compound perturbation incomplete: %+v", env)
+	}
+}
+
+func TestCompoundsMatchFigure10(t *testing.T) {
+	cs := Compounds()
+	if len(cs) != 6 {
+		t.Fatalf("len(Compounds) = %d, want 6 (Figure 10)", len(cs))
+	}
+	for _, c := range cs {
+		if len(c.Kinds) < 2 {
+			t.Errorf("compound %q has %d kinds, want >= 2", c.Name, len(c.Kinds))
+		}
+	}
+	if got := cs[0].Kinds; len(got) != 3 {
+		t.Errorf("first compound should combine three saturations, got %v", got)
+	}
+}
+
+func TestStringUnknownKind(t *testing.T) {
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestEveryPerturbationMutatesEnv invokes every class at full intensity
+// and checks it changes the environment (an injector that does nothing
+// would silently produce unlabeled "anomalies").
+func TestEveryPerturbationMutatesEnv(t *testing.T) {
+	for _, kind := range Kinds() {
+		p := Perturb([]Injection{{Kind: kind, Start: 0, Duration: 100}})
+		var env workload.Env
+		p(50, &env) // mid-window: full intensity
+		if env == (workload.Env{}) {
+			t.Errorf("%v: perturbation left Env zero", kind)
+		}
+	}
+}
+
+// TestRampScalesContinuousPerturbations verifies the continuous
+// injectors scale with intensity while the discrete ones gate on it.
+func TestRampScalesContinuousPerturbations(t *testing.T) {
+	inj := Injection{Kind: IOSaturation, Start: 0, Duration: 100}
+	p := Perturb([]Injection{inj})
+	var early, late workload.Env
+	p(0, &early) // first ramp second
+	p(50, &late) // full intensity
+	if early.ExternalIOPS <= 0 || early.ExternalIOPS >= late.ExternalIOPS {
+		t.Errorf("ramp not scaling: early=%v late=%v", early.ExternalIOPS, late.ExternalIOPS)
+	}
+	// Discrete injectors stay off at low intensity...
+	pd := Perturb([]Injection{{Kind: PoorPhysicalDesign, Start: 0, Duration: 100}})
+	var envLow, envHigh workload.Env
+	pd(0, &envLow) // intensity 0.25 < 0.5
+	if envLow.ExtraIndexes != 0 {
+		t.Errorf("discrete injector active during early ramp: %+v", envLow)
+	}
+	pd(50, &envHigh)
+	if envHigh.ExtraIndexes != 3 {
+		t.Errorf("discrete injector inactive at full intensity: %+v", envHigh)
+	}
+}

@@ -1,0 +1,322 @@
+package causal
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dbsherlock/internal/core"
+	"dbsherlock/internal/metrics"
+)
+
+func numPred(attr string, lower, upper float64, hasLower, hasUpper bool) core.Predicate {
+	return core.Predicate{Attr: attr, Type: metrics.Numeric,
+		HasLower: hasLower, Lower: lower, HasUpper: hasUpper, Upper: upper}
+}
+
+func catPred(attr string, cats ...string) core.Predicate {
+	return core.Predicate{Attr: attr, Type: metrics.Categorical, Categories: cats}
+}
+
+// TestMergePaperExample reproduces the worked example of Section 6.2.
+func TestMergePaperExample(t *testing.T) {
+	m1 := New("X", []core.Predicate{
+		numPred("A", 10, 0, true, false),
+		numPred("B", 100, 0, true, false),
+		numPred("C", 20, 0, true, false),
+		catPred("E", "xx", "yy", "zz"),
+	})
+	m2 := New("X", []core.Predicate{
+		numPred("A", 15, 0, true, false),
+		numPred("C", 15, 0, true, false),
+		numPred("D", 0, 250, false, true),
+		catPred("E", "xx", "zz"),
+	})
+	merged, err := Merge(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Merged != 2 {
+		t.Errorf("Merged count = %d, want 2", merged.Merged)
+	}
+	want := map[string]string{
+		"A": "A > 10",
+		"C": "C > 15",
+		"E": "E ∈ {xx, zz}",
+	}
+	if len(merged.Predicates) != len(want) {
+		t.Fatalf("merged predicates = %v, want %d of them", merged.Predicates, len(want))
+	}
+	for _, p := range merged.Predicates {
+		if got := p.String(); got != want[p.Attr] {
+			t.Errorf("merged %s = %q, want %q", p.Attr, got, want[p.Attr])
+		}
+	}
+}
+
+func TestMergeInconsistentDirectionsDiscarded(t *testing.T) {
+	m1 := New("X", []core.Predicate{numPred("A", 10, 0, true, false)})
+	m2 := New("X", []core.Predicate{numPred("A", 0, 30, false, true)})
+	merged, err := Merge(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Predicates) != 0 {
+		t.Errorf("conflicting directions should be discarded, got %v", merged.Predicates)
+	}
+}
+
+func TestMergeRangePredicates(t *testing.T) {
+	m1 := New("X", []core.Predicate{numPred("A", 10, 20, true, true)})
+	m2 := New("X", []core.Predicate{numPred("A", 12, 25, true, true)})
+	merged, err := Merge(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Predicates) != 1 {
+		t.Fatalf("predicates = %v", merged.Predicates)
+	}
+	p := merged.Predicates[0]
+	if p.Lower != 10 || p.Upper != 25 {
+		t.Errorf("merged range = %v, want 10 < A < 25", p)
+	}
+}
+
+func TestMergeRangeWithOneSided(t *testing.T) {
+	// {10 < A < 20} + {A > 12}: the union has lower bound 10 and no
+	// upper bound.
+	m1 := New("X", []core.Predicate{numPred("A", 10, 20, true, true)})
+	m2 := New("X", []core.Predicate{numPred("A", 12, 0, true, false)})
+	merged, err := Merge(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := merged.Predicates[0]
+	if !p.HasLower || p.HasUpper || p.Lower != 10 {
+		t.Errorf("merged = %v, want A > 10", p)
+	}
+}
+
+func TestMergeDisjointCategoriesDiscarded(t *testing.T) {
+	m1 := New("X", []core.Predicate{catPred("E", "a")})
+	m2 := New("X", []core.Predicate{catPred("E", "b")})
+	merged, err := Merge(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Predicates) != 0 {
+		t.Errorf("disjoint categories should be discarded, got %v", merged.Predicates)
+	}
+}
+
+func TestMergeDifferentCausesFails(t *testing.T) {
+	m1 := New("X", nil)
+	m2 := New("Y", nil)
+	if _, err := Merge(m1, m2); err == nil {
+		t.Error("want error merging different causes")
+	}
+}
+
+func TestMergeAll(t *testing.T) {
+	models := []*Model{
+		New("X", []core.Predicate{numPred("A", 10, 0, true, false)}),
+		New("X", []core.Predicate{numPred("A", 8, 0, true, false)}),
+		New("X", []core.Predicate{numPred("A", 12, 0, true, false)}),
+	}
+	merged, err := MergeAll(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Merged != 3 || merged.Predicates[0].Lower != 8 {
+		t.Errorf("MergeAll = %+v", merged)
+	}
+	if _, err := MergeAll(nil); err == nil {
+		t.Error("MergeAll(nil): want error")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := New("Log Rotation", []core.Predicate{
+		numPred("cpu_wait", 50, 0, true, false),
+		numPred("latency", 100, 0, true, false),
+	})
+	s := m.String()
+	if !strings.Contains(s, "Log Rotation:") || !strings.Contains(s, "∧") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// confidenceFixture builds a dataset where "hot" separates the anomaly
+// and "cold" does not.
+func confidenceFixture(t *testing.T, seed int64) (*metrics.Dataset, *metrics.Region, *metrics.Region) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rows := 200
+	ts := make([]int64, rows)
+	hot := make([]float64, rows)
+	cold := make([]float64, rows)
+	for i := range ts {
+		ts[i] = int64(i)
+		if i >= 120 && i < 170 {
+			hot[i] = 900 + 30*rng.NormFloat64()
+		} else {
+			hot[i] = 100 + 30*rng.NormFloat64()
+		}
+		cold[i] = 40 + 5*rng.NormFloat64()
+	}
+	ds := metrics.MustNewDataset(ts)
+	if err := ds.AddNumeric("hot", hot); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddNumeric("cold", cold); err != nil {
+		t.Fatal(err)
+	}
+	a := metrics.RegionFromRange(rows, 120, 170)
+	return ds, a, a.Complement()
+}
+
+func TestConfidenceSeparatesRelevantModel(t *testing.T) {
+	ds, a, n := confidenceFixture(t, 1)
+	good := New("real cause", []core.Predicate{numPred("hot", 500, 0, true, false)})
+	bad := New("wrong cause", []core.Predicate{numPred("cold", 500, 0, true, false)})
+	p := core.DefaultParams()
+	cg := good.Confidence(ds, a, n, p)
+	cb := bad.Confidence(ds, a, n, p)
+	if cg < 0.8 {
+		t.Errorf("good model confidence = %v, want > 0.8", cg)
+	}
+	if cb > 0.2 {
+		t.Errorf("bad model confidence = %v, want near 0", cb)
+	}
+	if empty := New("none", nil).Confidence(ds, a, n, p); empty != 0 {
+		t.Errorf("empty model confidence = %v, want 0", empty)
+	}
+}
+
+func TestRepositoryAddMergesSameCause(t *testing.T) {
+	r := NewRepository()
+	if err := r.Add(New("X", []core.Predicate{numPred("A", 10, 0, true, false)})); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(New("X", []core.Predicate{numPred("A", 8, 0, true, false)})); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	m := r.Model("X")
+	if m.Merged != 2 || m.Predicates[0].Lower != 8 {
+		t.Errorf("merged model = %+v", m)
+	}
+}
+
+func TestRepositoryRankOrdersByConfidence(t *testing.T) {
+	ds, a, n := confidenceFixture(t, 2)
+	r := NewRepository()
+	if err := r.Add(New("wrong", []core.Predicate{numPred("cold", 500, 0, true, false)})); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(New("right", []core.Predicate{numPred("hot", 500, 0, true, false)})); err != nil {
+		t.Fatal(err)
+	}
+	ranked := r.Rank(ds, a, n, core.DefaultParams())
+	if len(ranked) != 2 || ranked[0].Cause != "right" {
+		t.Fatalf("ranked = %+v", ranked)
+	}
+	if ranked[0].Confidence <= ranked[1].Confidence {
+		t.Error("ranking not in decreasing confidence order")
+	}
+}
+
+func TestRepositoryDiagnoseAppliesLambda(t *testing.T) {
+	ds, a, n := confidenceFixture(t, 3)
+	r := NewRepository()
+	if err := r.Add(New("right", []core.Predicate{numPred("hot", 500, 0, true, false)})); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(New("wrong", []core.Predicate{numPred("cold", 500, 0, true, false)})); err != nil {
+		t.Fatal(err)
+	}
+	shown := r.Diagnose(ds, a, n, core.DefaultParams(), DefaultLambda)
+	if len(shown) != 1 || shown[0].Cause != "right" {
+		t.Errorf("Diagnose = %+v, want only the right cause above lambda", shown)
+	}
+	// With an impossible threshold nothing is shown: the UI falls back
+	// to raw predicates.
+	if got := r.Diagnose(ds, a, n, core.DefaultParams(), 1.1); len(got) != 0 {
+		t.Errorf("Diagnose(lambda=1.1) = %+v, want empty", got)
+	}
+}
+
+func TestRepositoryCausesInsertionOrder(t *testing.T) {
+	r := NewRepository()
+	for _, c := range []string{"c", "a", "b"} {
+		if err := r.Add(New(c, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.Causes()
+	if got[0] != "c" || got[1] != "a" || got[2] != "b" {
+		t.Errorf("Causes = %v, want insertion order", got)
+	}
+}
+
+func TestMergedModelConfidenceNotWorse(t *testing.T) {
+	// Merging models from two instances of the same cause should keep
+	// confidence high on a third instance (the paper's Figure 8 effect).
+	p := core.DefaultParams()
+	p.Theta = 0.05
+	var models []*Model
+	for seed := int64(10); seed < 12; seed++ {
+		ds, a, n := confidenceFixture(t, seed)
+		preds, err := core.Generate(ds, a, n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, New("X", preds))
+	}
+	merged, err := MergeAll(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, a, n := confidenceFixture(t, 99)
+	conf := merged.Confidence(ds, a, n, p)
+	if conf < 0.5 {
+		t.Errorf("merged model confidence on unseen instance = %v, want > 0.5", conf)
+	}
+	if math.IsNaN(conf) {
+		t.Error("confidence is NaN")
+	}
+}
+
+// TestPartitionConfidenceMoreNoiseRobust validates the paper's rationale
+// for Equation (3): computing confidence over the partition space damps
+// tuple-level noise, so under a sloppy region boundary the correct
+// model's partition confidence degrades less than its tuple confidence.
+func TestPartitionConfidenceMoreNoiseRobust(t *testing.T) {
+	p := core.DefaultParams()
+	var partitionDrop, tupleDrop float64
+	const trials = 5
+	for seed := int64(0); seed < trials; seed++ {
+		ds, a, n := confidenceFixture(t, 40+seed)
+		preds, err := core.Generate(ds, a, n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := New("X", preds)
+
+		cleanPart := m.Confidence(ds, a, n, p)
+		cleanTuple := m.TupleConfidence(ds, a, n)
+
+		// A sloppy user selection: 8 rows of boundary error.
+		sloppyA := metrics.RegionFromRange(ds.Rows(), 112, 162)
+		sloppyN := sloppyA.Complement()
+		partitionDrop += cleanPart - m.Confidence(ds, sloppyA, sloppyN, p)
+		tupleDrop += cleanTuple - m.TupleConfidence(ds, sloppyA, sloppyN)
+	}
+	if partitionDrop >= tupleDrop {
+		t.Errorf("partition confidence dropped %.3f, tuple dropped %.3f: partition space should be more robust",
+			partitionDrop/trials, tupleDrop/trials)
+	}
+}

@@ -1,0 +1,135 @@
+package causal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dbsherlock/internal/core"
+	"dbsherlock/internal/metrics"
+)
+
+// The JSON schema is versioned so stored model files survive future
+// format evolution.
+const persistVersion = 1
+
+type predicateJSON struct {
+	Attr       string   `json:"attr"`
+	Type       string   `json:"type"`
+	Lower      *float64 `json:"lower,omitempty"`
+	Upper      *float64 `json:"upper,omitempty"`
+	Categories []string `json:"categories,omitempty"`
+}
+
+type modelJSON struct {
+	Cause      string          `json:"cause"`
+	Merged     int             `json:"merged"`
+	Predicates []predicateJSON `json:"predicates"`
+	// Remediations preserves DBA-recorded actions (paper Section 10
+	// future work: store the actions taken for future occurrences).
+	Remediations []string `json:"remediations,omitempty"`
+}
+
+type repositoryJSON struct {
+	Version int         `json:"version"`
+	Models  []modelJSON `json:"models"`
+}
+
+func predicateToJSON(p core.Predicate) predicateJSON {
+	out := predicateJSON{Attr: p.Attr}
+	if p.Type == metrics.Categorical {
+		out.Type = "categorical"
+		out.Categories = p.Categories
+		return out
+	}
+	out.Type = "numeric"
+	if p.HasLower {
+		v := p.Lower
+		out.Lower = &v
+	}
+	if p.HasUpper {
+		v := p.Upper
+		out.Upper = &v
+	}
+	return out
+}
+
+func predicateFromJSON(j predicateJSON) (core.Predicate, error) {
+	switch j.Type {
+	case "categorical":
+		if len(j.Categories) == 0 {
+			return core.Predicate{}, fmt.Errorf("causal: categorical predicate on %q has no categories", j.Attr)
+		}
+		return core.Predicate{Attr: j.Attr, Type: metrics.Categorical, Categories: j.Categories}, nil
+	case "numeric":
+		p := core.Predicate{Attr: j.Attr, Type: metrics.Numeric}
+		if j.Lower != nil {
+			p.HasLower = true
+			p.Lower = *j.Lower
+		}
+		if j.Upper != nil {
+			p.HasUpper = true
+			p.Upper = *j.Upper
+		}
+		if !p.HasLower && !p.HasUpper {
+			return core.Predicate{}, fmt.Errorf("causal: numeric predicate on %q has no bounds", j.Attr)
+		}
+		return p, nil
+	default:
+		return core.Predicate{}, fmt.Errorf("causal: unknown predicate type %q", j.Type)
+	}
+}
+
+// Save serializes the repository's models (including remediation notes)
+// as versioned JSON.
+func (r *Repository) Save(w io.Writer) error {
+	doc := repositoryJSON{Version: persistVersion}
+	for _, cause := range r.order {
+		m := r.models[cause]
+		mj := modelJSON{Cause: m.Cause, Merged: m.Merged, Remediations: m.Remediations}
+		for _, p := range m.Predicates {
+			mj.Predicates = append(mj.Predicates, predicateToJSON(p))
+		}
+		doc.Models = append(doc.Models, mj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("causal: save repository: %w", err)
+	}
+	return nil
+}
+
+// LoadRepository parses a repository saved with Save.
+func LoadRepository(r io.Reader) (*Repository, error) {
+	var doc repositoryJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("causal: load repository: %w", err)
+	}
+	if doc.Version != persistVersion {
+		return nil, fmt.Errorf("causal: unsupported repository version %d (want %d)", doc.Version, persistVersion)
+	}
+	repo := NewRepository()
+	for _, mj := range doc.Models {
+		if mj.Cause == "" {
+			return nil, fmt.Errorf("causal: model with empty cause")
+		}
+		m := &Model{Cause: mj.Cause, Merged: mj.Merged, Remediations: mj.Remediations}
+		if m.Merged < 1 {
+			m.Merged = 1
+		}
+		for _, pj := range mj.Predicates {
+			p, err := predicateFromJSON(pj)
+			if err != nil {
+				return nil, err
+			}
+			m.Predicates = append(m.Predicates, p)
+		}
+		if _, dup := repo.models[m.Cause]; dup {
+			return nil, fmt.Errorf("causal: duplicate cause %q in stored repository", m.Cause)
+		}
+		repo.models[m.Cause] = m
+		repo.order = append(repo.order, m.Cause)
+	}
+	return repo, nil
+}

@@ -1,0 +1,117 @@
+package causal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dbsherlock/internal/core"
+	"dbsherlock/internal/metrics"
+)
+
+func persistFixture(t *testing.T) *Repository {
+	t.Helper()
+	r := NewRepository()
+	m1 := New("Network Congestion", []core.Predicate{
+		numPred("os.net_send_kb", 0, 10, false, true),
+		numPred("tx.client_wait_time_ms", 100, 0, true, false),
+		catPred("db.checkpoint_state", "normal"),
+	})
+	m1.AddRemediation("replace the faulty router")
+	if err := r.Add(m1); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New("Lock Contention", []core.Predicate{
+		numPred("db.innodb_row_lock_waits", 50, 500, true, true),
+	})
+	if err := r.Add(m2); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := persistFixture(t)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadRepository(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("Len = %d, want %d", back.Len(), orig.Len())
+	}
+	causes := back.Causes()
+	if causes[0] != "Network Congestion" || causes[1] != "Lock Contention" {
+		t.Errorf("cause order = %v", causes)
+	}
+	m := back.Model("Network Congestion")
+	if len(m.Predicates) != 3 {
+		t.Fatalf("predicates = %v", m.Predicates)
+	}
+	for i, p := range m.Predicates {
+		if got, want := p.String(), orig.Model("Network Congestion").Predicates[i].String(); got != want {
+			t.Errorf("predicate %d = %q, want %q", i, got, want)
+		}
+	}
+	if len(m.Remediations) != 1 || m.Remediations[0] != "replace the faulty router" {
+		t.Errorf("remediations = %v", m.Remediations)
+	}
+	lock := back.Model("Lock Contention")
+	p := lock.Predicates[0]
+	if !p.HasLower || !p.HasUpper || p.Lower != 50 || p.Upper != 500 {
+		t.Errorf("range predicate = %+v", p)
+	}
+	if p.Type != metrics.Numeric {
+		t.Errorf("type = %v", p.Type)
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "not json",
+		"bad version":   `{"version": 99, "models": []}`,
+		"empty cause":   `{"version": 1, "models": [{"cause": "", "predicates": []}]}`,
+		"no bounds":     `{"version": 1, "models": [{"cause": "X", "predicates": [{"attr":"a","type":"numeric"}]}]}`,
+		"bad type":      `{"version": 1, "models": [{"cause": "X", "predicates": [{"attr":"a","type":"wat"}]}]}`,
+		"no categories": `{"version": 1, "models": [{"cause": "X", "predicates": [{"attr":"a","type":"categorical"}]}]}`,
+		"duplicate":     `{"version": 1, "models": [{"cause": "X", "predicates": []}, {"cause": "X", "predicates": []}]}`,
+	}
+	for name, in := range cases {
+		if _, err := LoadRepository(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestLoadDefaultsMergedCount(t *testing.T) {
+	in := `{"version": 1, "models": [{"cause": "X", "predicates": [{"attr":"a","type":"numeric","lower":1}]}]}`
+	repo, err := LoadRepository(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := repo.Model("X").Merged; got != 1 {
+		t.Errorf("Merged = %d, want default 1", got)
+	}
+}
+
+func TestRemediationDedupAndMerge(t *testing.T) {
+	m1 := New("X", []core.Predicate{numPred("a", 10, 0, true, false)})
+	m1.AddRemediation("restart")
+	m1.AddRemediation("restart")
+	if len(m1.Remediations) != 1 {
+		t.Fatalf("remediations = %v", m1.Remediations)
+	}
+	m2 := New("X", []core.Predicate{numPred("a", 5, 0, true, false)})
+	m2.AddRemediation("throttle tenant")
+	m2.AddRemediation("restart")
+	merged, err := Merge(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Remediations) != 2 {
+		t.Errorf("merged remediations = %v", merged.Remediations)
+	}
+}

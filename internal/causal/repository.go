@@ -1,0 +1,107 @@
+package causal
+
+import (
+	"sort"
+
+	"dbsherlock/internal/core"
+	"dbsherlock/internal/metrics"
+)
+
+// DefaultLambda is the minimum confidence a cause needs to be shown to
+// the user (the paper's default threshold of 20%).
+const DefaultLambda = 0.20
+
+// RankedCause is one diagnosis candidate returned by a repository.
+type RankedCause struct {
+	Cause      string
+	Confidence float64
+	Model      *Model
+}
+
+// Repository holds the causal models accumulated from past diagnoses.
+// Models sharing a cause are merged incrementally (Section 6.2), so each
+// cause maps to one (possibly merged) model.
+type Repository struct {
+	models map[string]*Model
+	order  []string // insertion order, for deterministic iteration
+}
+
+// NewRepository returns an empty model repository.
+func NewRepository() *Repository {
+	return &Repository{models: make(map[string]*Model)}
+}
+
+// Add incorporates a newly diagnosed model. If a model for the same
+// cause exists, the two are merged; otherwise the model is stored as-is.
+func (r *Repository) Add(m *Model) error {
+	existing, ok := r.models[m.Cause]
+	if !ok {
+		r.models[m.Cause] = m
+		r.order = append(r.order, m.Cause)
+		return nil
+	}
+	merged, err := Merge(existing, m)
+	if err != nil {
+		return err
+	}
+	r.models[m.Cause] = merged
+	return nil
+}
+
+// Len returns the number of distinct causes known.
+func (r *Repository) Len() int { return len(r.models) }
+
+// Model returns the (merged) model for a cause, or nil.
+func (r *Repository) Model(cause string) *Model { return r.models[cause] }
+
+// Causes returns the known causes in insertion order.
+func (r *Repository) Causes() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Rank computes every model's confidence for the given anomaly and
+// returns all causes in decreasing confidence order (ties broken by
+// cause name for determinism). The caller applies a lambda threshold to
+// decide what to show; Rank itself returns everything so callers can
+// also inspect margins (Section 8.3).
+func (r *Repository) Rank(ds *metrics.Dataset, abnormal, normal *metrics.Region, p core.Params) []RankedCause {
+	return r.RankEval(core.NewEvaluator(ds, abnormal, normal, p))
+}
+
+// RankEval is Rank against a prepared evaluator (shared partition-space
+// cache across all models).
+func (r *Repository) RankEval(ev *core.Evaluator) []RankedCause {
+	out := make([]RankedCause, 0, len(r.models))
+	for _, cause := range r.order {
+		m := r.models[cause]
+		out = append(out, RankedCause{
+			Cause:      cause,
+			Confidence: m.ConfidenceEval(ev),
+			Model:      m,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		return out[i].Cause < out[j].Cause
+	})
+	return out
+}
+
+// Diagnose returns the causes whose confidence exceeds lambda, in
+// decreasing confidence order (what DBSherlock shows the user,
+// Section 6). With no qualifying model the caller should fall back to
+// raw predicates.
+func (r *Repository) Diagnose(ds *metrics.Dataset, abnormal, normal *metrics.Region, p core.Params, lambda float64) []RankedCause {
+	ranked := r.Rank(ds, abnormal, normal, p)
+	out := ranked[:0:0]
+	for _, rc := range ranked {
+		if rc.Confidence > lambda {
+			out = append(out, rc)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+// Package collector implements the DBSeer-style preprocessing step of
+// paper Section 2.1: it takes the raw OS, DBMS, and transaction log
+// streams (sampled at slightly different offsets within each second),
+// aligns them on one-second boundaries, and joins them into the
+// timestamped tuple table (Timestamp, Attr1, ..., Attrk) that the
+// diagnostic algorithm consumes. It also persists datasets as CSV.
+package collector
+
+import (
+	"fmt"
+	"sort"
+
+	"dbsherlock/internal/metrics"
+	"dbsherlock/internal/workload"
+)
+
+// Align joins the three raw log streams into a Dataset. A second is kept
+// only if all three sources produced a sample for it (an inner join, as
+// DBSeer does); within a second the last sample of each source wins.
+// Columns appear in catalog order: transaction aggregates first, then OS,
+// then DBMS numerics, then the categorical attributes.
+func Align(logs *workload.RawLogs) (*metrics.Dataset, error) {
+	type rowData struct {
+		num map[string]float64
+		cat map[string]string
+	}
+	rows := make(map[int64]*rowData)
+	get := func(sec int64) *rowData {
+		r, ok := rows[sec]
+		if !ok {
+			r = &rowData{num: make(map[string]float64), cat: make(map[string]string)}
+			rows[sec] = r
+		}
+		return r
+	}
+	seen := map[int64]int{} // bitmask of sources present per second
+	merge := func(samples []workload.Sample, bit int) {
+		for _, s := range samples {
+			sec := s.TimeMS / 1000
+			r := get(sec)
+			for k, v := range s.Num {
+				r.num[k] = v
+			}
+			for k, v := range s.Cat {
+				r.cat[k] = v
+			}
+			seen[sec] |= bit
+		}
+	}
+	merge(logs.OS, 1)
+	merge(logs.DB, 2)
+	merge(logs.Tx, 4)
+
+	var secs []int64
+	for sec, mask := range seen {
+		if mask == 7 {
+			secs = append(secs, sec)
+		}
+	}
+	if len(secs) == 0 {
+		return nil, fmt.Errorf("collector: no second has samples from all three sources")
+	}
+	sort.Slice(secs, func(i, j int) bool { return secs[i] < secs[j] })
+
+	ds, err := metrics.NewDataset(secs)
+	if err != nil {
+		return nil, fmt.Errorf("collector: %w", err)
+	}
+
+	numeric := append(workload.TxAttrs(logs.Mix), workload.OSAttrs()...)
+	numeric = append(numeric, workload.DBAttrs()...)
+	for _, name := range numeric {
+		col := make([]float64, len(secs))
+		for i, sec := range secs {
+			v, ok := rows[sec].num[name]
+			if !ok {
+				return nil, fmt.Errorf("collector: attribute %q missing at second %d", name, sec)
+			}
+			col[i] = v
+		}
+		if err := ds.AddNumeric(name, col); err != nil {
+			return nil, fmt.Errorf("collector: %w", err)
+		}
+	}
+	for _, name := range workload.CategoricalAttrs() {
+		col := make([]string, len(secs))
+		for i, sec := range secs {
+			v, ok := rows[sec].cat[name]
+			if !ok {
+				return nil, fmt.Errorf("collector: categorical attribute %q missing at second %d", name, sec)
+			}
+			col[i] = v
+		}
+		if err := ds.AddCategorical(name, col); err != nil {
+			return nil, fmt.Errorf("collector: %w", err)
+		}
+	}
+	return ds, nil
+}

@@ -1,0 +1,123 @@
+package collector
+
+import (
+	"bytes"
+	"testing"
+
+	"dbsherlock/internal/metrics"
+	"dbsherlock/internal/workload"
+)
+
+func simLogs(t *testing.T, seconds int) *workload.RawLogs {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Seed = 17
+	return workload.NewSimulator(cfg).Run(5000, seconds, nil)
+}
+
+func TestAlignProducesOneRowPerSecond(t *testing.T) {
+	logs := simLogs(t, 30)
+	ds, err := Align(logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows() != 30 {
+		t.Errorf("Rows = %d, want 30", ds.Rows())
+	}
+	want := len(workload.TxAttrs(logs.Mix)) + len(workload.OSAttrs()) +
+		len(workload.DBAttrs()) + len(workload.CategoricalAttrs())
+	if ds.NumAttrs() != want {
+		t.Errorf("NumAttrs = %d, want %d", ds.NumAttrs(), want)
+	}
+	ts := ds.Timestamps()
+	for i := 1; i < len(ts); i++ {
+		if ts[i] != ts[i-1]+1 {
+			t.Fatalf("timestamps not contiguous at %d: %d after %d", i, ts[i], ts[i-1])
+		}
+	}
+}
+
+func TestAlignColumnOrderIsStable(t *testing.T) {
+	a, err := Align(simLogs(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Align(simLogs(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aAttrs, bAttrs := a.Attributes(), b.Attributes()
+	for i := range aAttrs {
+		if aAttrs[i] != bAttrs[i] {
+			t.Fatalf("column %d differs: %v vs %v", i, aAttrs[i], bAttrs[i])
+		}
+	}
+	if aAttrs[0].Name != workload.AttrTxCount {
+		t.Errorf("first column = %q, want %q", aAttrs[0].Name, workload.AttrTxCount)
+	}
+}
+
+func TestAlignDropsIncompleteSeconds(t *testing.T) {
+	logs := simLogs(t, 10)
+	logs.OS = logs.OS[:9] // drop one OS sample: that second is incomplete
+	ds, err := Align(logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows() != 9 {
+		t.Errorf("Rows = %d, want 9 (incomplete second dropped)", ds.Rows())
+	}
+}
+
+func TestAlignEmptyFails(t *testing.T) {
+	if _, err := Align(&workload.RawLogs{Mix: workload.TPCCMix()}); err == nil {
+		t.Error("Align on empty logs: want error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds, err := Align(simLogs(t, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != ds.Rows() || back.NumAttrs() != ds.NumAttrs() {
+		t.Fatalf("shape mismatch: %dx%d vs %dx%d", back.Rows(), back.NumAttrs(), ds.Rows(), ds.NumAttrs())
+	}
+	for j := 0; j < ds.NumAttrs(); j++ {
+		orig, got := ds.ColumnAt(j), back.ColumnAt(j)
+		if orig.Attr != got.Attr {
+			t.Fatalf("column %d attr mismatch: %v vs %v", j, orig.Attr, got.Attr)
+		}
+		for i := 0; i < ds.Rows(); i++ {
+			if orig.Attr.Type == metrics.Numeric {
+				if orig.Num[i] != got.Num[i] {
+					t.Fatalf("col %q row %d: %v vs %v", orig.Attr.Name, i, orig.Num[i], got.Num[i])
+				}
+			} else if orig.Cat[i] != got.Cat[i] {
+				t.Fatalf("col %q row %d: %q vs %q", orig.Attr.Name, i, orig.Cat[i], got.Cat[i])
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"nope,a\n1,2\n",
+		"timestamp,a\nxx,2\n",
+		"timestamp,a\n1,notanumber\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(bytes.NewBufferString(in)); err == nil {
+			t.Errorf("ReadCSV(%q): want error", in)
+		}
+	}
+}

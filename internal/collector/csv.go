@@ -1,0 +1,106 @@
+package collector
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dbsherlock/internal/metrics"
+)
+
+// categoricalPrefix marks categorical columns in the CSV header so the
+// schema round-trips without a side channel.
+const categoricalPrefix = "cat:"
+
+// WriteCSV serializes a dataset: a header row of "timestamp" plus
+// attribute names (categorical ones prefixed with "cat:"), then one row
+// per second.
+func WriteCSV(w io.Writer, ds *metrics.Dataset) error {
+	cw := csv.NewWriter(w)
+	header := []string{"timestamp"}
+	for _, a := range ds.Attributes() {
+		name := a.Name
+		if a.Type == metrics.Categorical {
+			name = categoricalPrefix + name
+		}
+		header = append(header, name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("collector: write csv header: %w", err)
+	}
+	ts := ds.Timestamps()
+	for i := 0; i < ds.Rows(); i++ {
+		row := make([]string, 0, len(header))
+		row = append(row, strconv.FormatInt(ts[i], 10))
+		for j := 0; j < ds.NumAttrs(); j++ {
+			col := ds.ColumnAt(j)
+			if col.Attr.Type == metrics.Numeric {
+				row = append(row, strconv.FormatFloat(col.Num[i], 'g', -1, 64))
+			} else {
+				row = append(row, col.Cat[i])
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("collector: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*metrics.Dataset, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("collector: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("collector: empty csv")
+	}
+	header := records[0]
+	if len(header) < 2 || header[0] != "timestamp" {
+		return nil, fmt.Errorf("collector: csv must start with a timestamp column")
+	}
+	rows := records[1:]
+	ts := make([]int64, len(rows))
+	for i, rec := range rows {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("collector: csv row %d has %d fields, want %d", i, len(rec), len(header))
+		}
+		ts[i], err = strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("collector: csv row %d timestamp: %w", i, err)
+		}
+	}
+	ds, err := metrics.NewDataset(ts)
+	if err != nil {
+		return nil, fmt.Errorf("collector: %w", err)
+	}
+	for c := 1; c < len(header); c++ {
+		name := header[c]
+		if cat, ok := strings.CutPrefix(name, categoricalPrefix); ok {
+			col := make([]string, len(rows))
+			for i, rec := range rows {
+				col[i] = rec[c]
+			}
+			if err := ds.AddCategorical(cat, col); err != nil {
+				return nil, fmt.Errorf("collector: %w", err)
+			}
+			continue
+		}
+		col := make([]float64, len(rows))
+		for i, rec := range rows {
+			col[i], err = strconv.ParseFloat(rec[c], 64)
+			if err != nil {
+				return nil, fmt.Errorf("collector: csv row %d column %q: %w", i, name, err)
+			}
+		}
+		if err := ds.AddNumeric(name, col); err != nil {
+			return nil, fmt.Errorf("collector: %w", err)
+		}
+	}
+	return ds, nil
+}

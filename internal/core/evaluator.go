@@ -1,0 +1,104 @@
+package core
+
+import "dbsherlock/internal/metrics"
+
+// Evaluator scores predicates against one (dataset, abnormal, normal)
+// diagnosis context, caching the labeled-and-filtered partition space of
+// each attribute. Confidence computation (Equation 3) scores every
+// causal model's predicates against the same context, so the cache turns
+// an O(models x predicates x rows) recomputation into one partition
+// build per attribute.
+type Evaluator struct {
+	ds       *metrics.Dataset
+	abnormal *metrics.Region
+	normal   *metrics.Region
+	p        Params
+
+	num map[string]*NumericSpace
+	cat map[string]*CategoricalSpace
+}
+
+// NewEvaluator prepares an evaluation context. Spaces are built lazily.
+func NewEvaluator(ds *metrics.Dataset, abnormal, normal *metrics.Region, p Params) *Evaluator {
+	return &Evaluator{
+		ds: ds, abnormal: abnormal, normal: normal, p: p,
+		num: make(map[string]*NumericSpace),
+		cat: make(map[string]*CategoricalSpace),
+	}
+}
+
+// Params returns the evaluation parameters.
+func (e *Evaluator) Params() Params { return e.p }
+
+// Separation computes the partition-space separation of one predicate,
+// identically to PartitionSeparation but with cached spaces.
+func (e *Evaluator) Separation(pred Predicate) float64 {
+	col, ok := e.ds.Column(pred.Attr)
+	if !ok || col.Attr.Type != pred.Type {
+		return 0
+	}
+	if pred.Type == metrics.Numeric {
+		ps := e.numericSpace(pred.Attr, col)
+		if ps == nil {
+			return 0
+		}
+		var nA, nN, hitA, hitN int
+		for j, l := range ps.Labels {
+			switch l {
+			case Abnormal:
+				nA++
+				if pred.MatchesNumeric(ps.Midpoint(j)) {
+					hitA++
+				}
+			case Normal:
+				nN++
+				if pred.MatchesNumeric(ps.Midpoint(j)) {
+					hitN++
+				}
+			}
+		}
+		return ratio(hitA, nA) - ratio(hitN, nN)
+	}
+
+	cs := e.categoricalSpace(pred.Attr, col)
+	if cs == nil {
+		return 0
+	}
+	var nA, nN, hitA, hitN int
+	for j, l := range cs.Labels {
+		switch l {
+		case Abnormal:
+			nA++
+			if pred.MatchesCategorical(cs.Values[j]) {
+				hitA++
+			}
+		case Normal:
+			nN++
+			if pred.MatchesCategorical(cs.Values[j]) {
+				hitN++
+			}
+		}
+	}
+	return ratio(hitA, nA) - ratio(hitN, nN)
+}
+
+func (e *Evaluator) numericSpace(attr string, col metrics.Column) *NumericSpace {
+	if ps, ok := e.num[attr]; ok {
+		return ps
+	}
+	ps := NewNumericSpace(attr, col.Num, e.abnormal, e.normal, e.p.NumPartitions)
+	if ps != nil && !e.p.DisableFiltering {
+		ps.Filter()
+	}
+	e.num[attr] = ps
+	return ps
+}
+
+func (e *Evaluator) categoricalSpace(attr string, col metrics.Column) *CategoricalSpace {
+	if cs, ok := e.cat[attr]; ok {
+		return cs
+	}
+	cs := NewCategoricalSpace(attr, col.Cat, e.abnormal, e.normal)
+	e.cat[attr] = cs
+	return cs
+}

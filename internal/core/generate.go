@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"dbsherlock/internal/metrics"
+	"dbsherlock/internal/stats"
+)
+
+// Params are the configurable parameters of the predicate-generation
+// algorithm (paper Section 4 and Appendix D).
+type Params struct {
+	// NumPartitions is R, the number of equi-width partitions per
+	// numeric attribute.
+	NumPartitions int
+	// Theta is the normalized difference threshold: a numeric attribute
+	// yields a predicate only if its normalized abnormal and normal
+	// means differ by more than Theta.
+	Theta float64
+	// Delta is the anomaly distance multiplier of the gap-filling step.
+	Delta float64
+
+	// Ablation switches for the step-contribution experiment
+	// (Table 6, Appendix D). Production use leaves them false.
+	DisableFiltering  bool
+	DisableGapFilling bool
+}
+
+// DefaultParams returns the paper's defaults: R=250, theta=0.2, delta=10
+// (the Appendix D sweep defaults; theta is lowered to 0.05 when building
+// models destined for merging, Section 8.5).
+func DefaultParams() Params {
+	return Params{NumPartitions: 250, Theta: 0.2, Delta: 10}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.NumPartitions < 2 {
+		return errors.New("core: NumPartitions must be at least 2")
+	}
+	if p.Theta < 0 || p.Theta > 1 {
+		return errors.New("core: Theta must be in [0, 1]")
+	}
+	if p.Delta <= 0 {
+		return errors.New("core: Delta must be positive")
+	}
+	return nil
+}
+
+// Generate runs Algorithm 1 over every attribute of the dataset and
+// returns the conjunct of candidate predicates with high separation
+// power, in dataset column order.
+func Generate(ds *metrics.Dataset, abnormal, normal *metrics.Region, p Params) ([]Predicate, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if ds == nil || ds.Rows() == 0 {
+		return nil, errors.New("core: empty dataset")
+	}
+	if abnormal == nil || abnormal.Empty() {
+		return nil, errors.New("core: abnormal region is empty")
+	}
+	if normal == nil || normal.Empty() {
+		return nil, errors.New("core: normal region is empty")
+	}
+	if abnormal.Intersects(normal) {
+		return nil, errors.New("core: abnormal and normal regions overlap")
+	}
+
+	var out []Predicate
+	for i := 0; i < ds.NumAttrs(); i++ {
+		col := ds.ColumnAt(i)
+		switch col.Attr.Type {
+		case metrics.Numeric:
+			if pred, ok := generateNumeric(col, abnormal, normal, p); ok {
+				out = append(out, pred)
+			}
+		case metrics.Categorical:
+			if pred, ok := generateCategorical(col, abnormal, normal); ok {
+				out = append(out, pred)
+			}
+		}
+	}
+	return out, nil
+}
+
+func generateNumeric(col metrics.Column, abnormal, normal *metrics.Region, p Params) (Predicate, bool) {
+	ps := NewNumericSpace(col.Attr.Name, col.Num, abnormal, normal, p.NumPartitions)
+	if ps == nil {
+		return Predicate{}, false
+	}
+	if !p.DisableFiltering {
+		ps.Filter()
+	}
+	if !p.DisableGapFilling {
+		ps.FillGaps(p.Delta, regionMean(col.Num, normal))
+	}
+
+	// Normalized mean-difference threshold (Section 4.5, Equation 2).
+	norm := stats.Normalize(col.Num)
+	muA := regionMean(norm, abnormal)
+	muN := regionMean(norm, normal)
+	if math.IsNaN(muA) || math.IsNaN(muN) || math.Abs(muA-muN) <= p.Theta {
+		return Predicate{}, false
+	}
+
+	first, last, ok := ps.AbnormalBlock()
+	if !ok {
+		return Predicate{}, false
+	}
+	pred := Predicate{Attr: col.Attr.Name, Type: metrics.Numeric}
+	if first > 0 {
+		lb, _ := ps.Bounds(first)
+		pred.HasLower = true
+		pred.Lower = lb
+	}
+	if last < ps.R-1 {
+		_, ub := ps.Bounds(last)
+		pred.HasUpper = true
+		pred.Upper = ub
+	}
+	if !pred.HasLower && !pred.HasUpper {
+		// The whole domain is abnormal: no discriminating predicate.
+		return Predicate{}, false
+	}
+	return pred, true
+}
+
+func generateCategorical(col metrics.Column, abnormal, normal *metrics.Region) (Predicate, bool) {
+	cs := NewCategoricalSpace(col.Attr.Name, col.Cat, abnormal, normal)
+	if cs == nil {
+		return Predicate{}, false
+	}
+	values := cs.AbnormalValues()
+	if len(values) == 0 {
+		return Predicate{}, false
+	}
+	pred := Predicate{Attr: col.Attr.Name, Type: metrics.Categorical, Categories: values}
+	sortCategories(&pred)
+	return pred, true
+}
+
+// regionMean returns the mean of values over the region's rows, skipping
+// NaNs.
+func regionMean(values []float64, r *metrics.Region) float64 {
+	var sum float64
+	var n int
+	for _, i := range r.Indices() {
+		if i >= len(values) || math.IsNaN(values[i]) {
+			continue
+		}
+		sum += values[i]
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

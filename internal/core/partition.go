@@ -1,0 +1,331 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"dbsherlock/internal/metrics"
+)
+
+// Label marks a partition as Empty, Normal, or Abnormal (paper Step 2).
+type Label int8
+
+const (
+	// Empty partitions contain no region-pure tuples (or were filtered).
+	Empty Label = iota
+	// Normal partitions contain only normal-region tuples.
+	Normal
+	// Abnormal partitions contain only abnormal-region tuples.
+	Abnormal
+)
+
+// String returns the label name.
+func (l Label) String() string {
+	switch l {
+	case Normal:
+		return "Normal"
+	case Abnormal:
+		return "Abnormal"
+	default:
+		return "Empty"
+	}
+}
+
+// NumericSpace is the discretized domain of one numeric attribute: R
+// equi-width partitions from Min to Max (paper Section 4.1).
+type NumericSpace struct {
+	Attr   string
+	Min    float64
+	Max    float64
+	R      int
+	Labels []Label
+}
+
+// width returns the partition width.
+func (ps *NumericSpace) width() float64 { return (ps.Max - ps.Min) / float64(ps.R) }
+
+// IndexOf returns the partition containing value v. Values at the domain
+// maximum are clamped into the last partition.
+func (ps *NumericSpace) IndexOf(v float64) int {
+	if ps.Max == ps.Min {
+		return 0
+	}
+	j := int(float64(ps.R) * (v - ps.Min) / (ps.Max - ps.Min))
+	if j < 0 {
+		j = 0
+	}
+	if j >= ps.R {
+		j = ps.R - 1
+	}
+	return j
+}
+
+// Bounds returns the half-open interval [lb, ub) of partition j.
+func (ps *NumericSpace) Bounds(j int) (lb, ub float64) {
+	w := ps.width()
+	return ps.Min + float64(j)*w, ps.Min + float64(j+1)*w
+}
+
+// Midpoint returns the centre value of partition j, used when testing
+// whether a partition satisfies a predicate (Section 6.1).
+func (ps *NumericSpace) Midpoint(j int) float64 {
+	lb, ub := ps.Bounds(j)
+	return (lb + ub) / 2
+}
+
+// NewNumericSpace builds and labels the partition space of a numeric
+// attribute from the region-pure tuples: a partition is Abnormal if every
+// tuple in it lies in the abnormal region, Normal if every tuple lies in
+// the normal region, and Empty otherwise. Tuples outside both regions are
+// ignored; NaNs are skipped. Returns nil for constant or all-NaN
+// attributes (invariants cannot explain an anomaly, Section 2.4).
+func NewNumericSpace(attr string, values []float64, abnormal, normal *metrics.Region, r int) *NumericSpace {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min >= max || math.IsInf(min, 1) {
+		return nil
+	}
+	ps := &NumericSpace{Attr: attr, Min: min, Max: max, R: r, Labels: make([]Label, r)}
+	hasA := make([]bool, r)
+	hasN := make([]bool, r)
+	for i, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		inA, inN := abnormal.Contains(i), normal.Contains(i)
+		if !inA && !inN {
+			continue
+		}
+		j := ps.IndexOf(v)
+		if inA {
+			hasA[j] = true
+		}
+		if inN {
+			hasN[j] = true
+		}
+	}
+	for j := 0; j < r; j++ {
+		switch {
+		case hasA[j] && !hasN[j]:
+			ps.Labels[j] = Abnormal
+		case hasN[j] && !hasA[j]:
+			ps.Labels[j] = Normal
+		default:
+			ps.Labels[j] = Empty
+		}
+	}
+	return ps
+}
+
+// Filter applies the paper's Step 3 to the numeric partition space: an
+// interior non-Empty partition keeps its label only if both of its
+// non-Empty adjacent partitions (closest on each side) carry the same
+// label. All replacements happen simultaneously against the original
+// labels, so partitions do not cascade-filter each other; consequently
+// the first and last non-Empty partitions — which lack a neighbour on
+// one side — are never filtered (the paper notes incremental filtering
+// would erode them too, Section 4.3). A space with a single non-Empty
+// partition is deemed significant and left untouched.
+func (ps *NumericSpace) Filter() {
+	type pos struct {
+		idx   int
+		label Label
+	}
+	var nonEmpty []pos
+	for j, l := range ps.Labels {
+		if l != Empty {
+			nonEmpty = append(nonEmpty, pos{j, l})
+		}
+	}
+	if len(nonEmpty) <= 1 {
+		return
+	}
+	out := make([]Label, len(ps.Labels))
+	copy(out, ps.Labels)
+	for k := 1; k < len(nonEmpty)-1; k++ {
+		p := nonEmpty[k]
+		if nonEmpty[k-1].label != p.label || nonEmpty[k+1].label != p.label {
+			out[p.idx] = Empty
+		}
+	}
+	ps.Labels = out
+}
+
+// FillGaps applies the paper's Step 4: every Empty partition receives the
+// label of its nearest non-Empty neighbour, with the distance to an
+// Abnormal neighbour multiplied by delta (delta > 1 yields more specific
+// predicates, delta < 1 more general ones). If only Abnormal partitions
+// remain, the partition containing normalMean (the attribute's average
+// over the normal region) is relabeled Normal first, so the predicate
+// direction is determinable.
+func (ps *NumericSpace) FillGaps(delta, normalMean float64) {
+	hasNormal, hasAbnormal := false, false
+	for _, l := range ps.Labels {
+		switch l {
+		case Normal:
+			hasNormal = true
+		case Abnormal:
+			hasAbnormal = true
+		}
+	}
+	if !hasNormal && !hasAbnormal {
+		return
+	}
+	if !hasNormal {
+		ps.Labels[ps.IndexOf(normalMean)] = Normal
+	}
+
+	// Distance to the closest non-Empty partition on the left.
+	n := len(ps.Labels)
+	leftIdx := make([]int, n)
+	last := -1
+	for j := 0; j < n; j++ {
+		if ps.Labels[j] != Empty {
+			last = j
+		}
+		leftIdx[j] = last
+	}
+	rightIdx := make([]int, n)
+	last = -1
+	for j := n - 1; j >= 0; j-- {
+		if ps.Labels[j] != Empty {
+			last = j
+		}
+		rightIdx[j] = last
+	}
+
+	out := make([]Label, n)
+	copy(out, ps.Labels)
+	for j := 0; j < n; j++ {
+		if ps.Labels[j] != Empty {
+			continue
+		}
+		li, ri := leftIdx[j], rightIdx[j]
+		switch {
+		case li < 0 && ri < 0:
+			// Unreachable: at least one partition is non-Empty here.
+		case li < 0:
+			out[j] = ps.Labels[ri]
+		case ri < 0:
+			out[j] = ps.Labels[li]
+		case ps.Labels[li] == ps.Labels[ri]:
+			out[j] = ps.Labels[li]
+		default:
+			dl := float64(j - li)
+			dr := float64(ri - j)
+			if ps.Labels[li] == Abnormal {
+				dl *= delta
+			} else {
+				dr *= delta
+			}
+			if dl <= dr {
+				out[j] = ps.Labels[li]
+			} else {
+				out[j] = ps.Labels[ri]
+			}
+		}
+	}
+	ps.Labels = out
+}
+
+// AbnormalBlock returns the bounds [first, last] of the single contiguous
+// block of Abnormal partitions, or ok=false if there is no Abnormal
+// partition or more than one block (the paper only extracts predicates
+// from a single block, Section 4.5).
+func (ps *NumericSpace) AbnormalBlock() (first, last int, ok bool) {
+	first, last = -1, -1
+	blocks := 0
+	inBlock := false
+	for j, l := range ps.Labels {
+		if l == Abnormal {
+			if !inBlock {
+				blocks++
+				if blocks > 1 {
+					return 0, 0, false
+				}
+				first = j
+				inBlock = true
+			}
+			last = j
+		} else {
+			inBlock = false
+		}
+	}
+	if first < 0 {
+		return 0, 0, false
+	}
+	return first, last, true
+}
+
+// CategoricalSpace is the partition space of a categorical attribute:
+// one partition per distinct value (paper Section 4.1). Partition order
+// is unimportant.
+type CategoricalSpace struct {
+	Attr   string
+	Values []string // distinct values, sorted
+	Labels []Label
+}
+
+// NewCategoricalSpace builds and labels a categorical partition space: a
+// value's partition is Abnormal if strictly more abnormal-region than
+// normal-region tuples carry it, Normal if strictly fewer, Empty on ties
+// (paper Section 4.2).
+func NewCategoricalSpace(attr string, values []string, abnormal, normal *metrics.Region) *CategoricalSpace {
+	countA := make(map[string]int)
+	countN := make(map[string]int)
+	seen := make(map[string]bool)
+	var order []string
+	for i, v := range values {
+		inA, inN := abnormal.Contains(i), normal.Contains(i)
+		if !inA && !inN {
+			continue
+		}
+		if !seen[v] {
+			seen[v] = true
+			order = append(order, v)
+		}
+		if inA {
+			countA[v]++
+		}
+		if inN {
+			countN[v]++
+		}
+	}
+	if len(order) == 0 {
+		return nil
+	}
+	sort.Strings(order)
+	cs := &CategoricalSpace{Attr: attr, Values: order, Labels: make([]Label, len(order))}
+	for j, v := range order {
+		switch {
+		case countA[v] > countN[v]:
+			cs.Labels[j] = Abnormal
+		case countA[v] < countN[v]:
+			cs.Labels[j] = Normal
+		default:
+			cs.Labels[j] = Empty
+		}
+	}
+	return cs
+}
+
+// AbnormalValues returns the category values labeled Abnormal.
+func (cs *CategoricalSpace) AbnormalValues() []string {
+	var out []string
+	for j, l := range cs.Labels {
+		if l == Abnormal {
+			out = append(out, cs.Values[j])
+		}
+	}
+	return out
+}

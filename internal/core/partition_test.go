@@ -1,0 +1,350 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dbsherlock/internal/metrics"
+)
+
+// labelsOf is shorthand for building a label slice from a compact string:
+// 'A' abnormal, 'N' normal, '.' empty.
+func labelsOf(s string) []Label {
+	out := make([]Label, len(s))
+	for i, c := range s {
+		switch c {
+		case 'A':
+			out[i] = Abnormal
+		case 'N':
+			out[i] = Normal
+		default:
+			out[i] = Empty
+		}
+	}
+	return out
+}
+
+func labelString(ls []Label) string {
+	out := make([]byte, len(ls))
+	for i, l := range ls {
+		switch l {
+		case Abnormal:
+			out[i] = 'A'
+		case Normal:
+			out[i] = 'N'
+		default:
+			out[i] = '.'
+		}
+	}
+	return string(out)
+}
+
+func spaceWith(s string) *NumericSpace {
+	return &NumericSpace{Attr: "x", Min: 0, Max: float64(len(s)), R: len(s), Labels: labelsOf(s)}
+}
+
+func TestIndexOfClampsAndBuckets(t *testing.T) {
+	ps := &NumericSpace{Min: 0, Max: 100, R: 5, Labels: make([]Label, 5)}
+	tests := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0}, {19.99, 0}, {20, 1}, {99.99, 4}, {100, 4}, {-5, 0}, {120, 4},
+	}
+	for _, tc := range tests {
+		if got := ps.IndexOf(tc.v); got != tc.want {
+			t.Errorf("IndexOf(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestBoundsAndMidpoint(t *testing.T) {
+	ps := &NumericSpace{Min: 10, Max: 20, R: 5}
+	lb, ub := ps.Bounds(2)
+	if lb != 14 || ub != 16 {
+		t.Errorf("Bounds(2) = %v,%v, want 14,16", lb, ub)
+	}
+	if mid := ps.Midpoint(0); mid != 11 {
+		t.Errorf("Midpoint(0) = %v, want 11", mid)
+	}
+}
+
+func TestNewNumericSpaceLabeling(t *testing.T) {
+	// 10 rows: first 5 normal (values near 0-4), last 5 abnormal
+	// (values near 6-10), value 5.5 shared by both regions.
+	values := []float64{0, 1, 2, 3, 5.5, 5.6, 7, 8, 9, 10}
+	n := metrics.RegionFromRange(10, 0, 5)
+	a := metrics.RegionFromRange(10, 5, 10)
+	ps := NewNumericSpace("x", values, a, n, 10)
+	if ps == nil {
+		t.Fatal("nil space")
+	}
+	// Partition of value 5.5 is IndexOf(5.5) = 5; 5.6 also maps there ->
+	// contains both a normal and abnormal tuple -> Empty.
+	if got := ps.Labels[ps.IndexOf(5.5)]; got != Empty {
+		t.Errorf("mixed partition label = %v, want Empty", got)
+	}
+	if got := ps.Labels[ps.IndexOf(1)]; got != Normal {
+		t.Errorf("normal value partition = %v, want Normal", got)
+	}
+	if got := ps.Labels[ps.IndexOf(9)]; got != Abnormal {
+		t.Errorf("abnormal value partition = %v, want Abnormal", got)
+	}
+}
+
+func TestNewNumericSpaceIgnoresUnselectedAndNaN(t *testing.T) {
+	values := []float64{1, math.NaN(), 2, 99}
+	a := metrics.RegionFromRange(4, 0, 2)
+	n := metrics.RegionFromRange(4, 2, 3)
+	ps := NewNumericSpace("x", values, a, n, 4)
+	if ps == nil {
+		t.Fatal("nil space")
+	}
+	// 99 (row 3) is in neither region: its partition stays Empty.
+	if got := ps.Labels[ps.IndexOf(99)]; got != Empty {
+		t.Errorf("unselected row's partition = %v, want Empty", got)
+	}
+}
+
+func TestNewNumericSpaceConstantAttr(t *testing.T) {
+	values := []float64{5, 5, 5}
+	a := metrics.RegionFromRange(3, 0, 1)
+	n := metrics.RegionFromRange(3, 1, 3)
+	if ps := NewNumericSpace("x", values, a, n, 10); ps != nil {
+		t.Error("constant attribute should yield nil space (invariant, Section 2.4)")
+	}
+	if ps := NewNumericSpace("x", []float64{math.NaN()}, a, n, 10); ps != nil {
+		t.Error("all-NaN attribute should yield nil space")
+	}
+}
+
+// TestFilterScenarios reproduces Figure 5: the only partition that
+// survives is one whose closest non-Empty neighbours on both sides share
+// its label.
+func TestFilterScenarios(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		// Scenario 1: both neighbours same label -> kept.
+		{"both same", "A.A.A", "A.A.A"},
+		// Scenario 2/3: one neighbour differs -> middle filtered; ends
+		// survive simultaneous filtering iff their single neighbour
+		// matches.
+		{"right differs", "A.A.N", "A...N"},
+		{"left differs", "N.A.A", "N...A"},
+		// Scenario 4: both differ -> filtered.
+		{"both differ", "N.A.N", "N...N"},
+		// Alternating noise collapses except the outer runs.
+		{"alternating", "ANANA", "A...A"},
+		// Single non-Empty partition is significant: kept.
+		{"single", "..A..", "..A.."},
+		// End partitions are never filtered, even when their single
+		// neighbour differs (simultaneous semantics, Section 4.3).
+		{"pair mixed", "A...N", "A...N"},
+		{"pair same", "A...A", "A...A"},
+		// Interior partitions are judged against the ORIGINAL labels.
+		{"chain", "AANNA", "A...A"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			ps := spaceWith(tc.in)
+			ps.Filter()
+			if got := labelString(ps.Labels); got != tc.want {
+				t.Errorf("Filter(%s) = %s, want %s", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFilterEndsSurvive(t *testing.T) {
+	// A realistic noisy signal: clusters at the ends, noise between.
+	ps := spaceWith("NNN.N.A.N..AAA")
+	ps.Filter()
+	got := labelString(ps.Labels)
+	// The noise partitions A(6) and N(8) are filtered, and so are the
+	// cluster-edge partitions N(4) and A(11) whose far-side neighbour is
+	// noise of the other label; the cluster cores and ends survive.
+	if got != "NNN.........AA" {
+		t.Fatalf("Filter(noisy) = %s", got)
+	}
+}
+
+func TestFillGapsNearest(t *testing.T) {
+	// delta=1: plain nearest-neighbour fill.
+	ps := spaceWith("N....A")
+	ps.FillGaps(1, 0)
+	if got := labelString(ps.Labels); got != "NNNAAA" {
+		t.Errorf("FillGaps delta=1: %s", got)
+	}
+}
+
+func TestFillGapsDeltaBiasesTowardNormal(t *testing.T) {
+	// delta=10 makes the abnormal side look 10x farther: all gaps go
+	// Normal until right next to the abnormal block.
+	ps := spaceWith("N........A")
+	ps.FillGaps(10, 0)
+	if got := labelString(ps.Labels); got != "NNNNNNNNNA" {
+		t.Errorf("FillGaps delta=10: %s", got)
+	}
+	ps = spaceWith("N........A")
+	ps.FillGaps(0.1, 0)
+	// delta<1 biases toward Abnormal instead.
+	if got := labelString(ps.Labels); got != "NAAAAAAAAA" {
+		t.Errorf("FillGaps delta=0.1: %s", got)
+	}
+}
+
+func TestFillGapsEnds(t *testing.T) {
+	ps := spaceWith("..A..N..")
+	ps.FillGaps(1, 0)
+	// Ends take their single neighbour's label; interior splits at the
+	// midpoint (ties go left: position 3 is 1 from A, 2 from N).
+	if got := labelString(ps.Labels); got != "AAAANNNN" {
+		t.Errorf("FillGaps ends: %s", got)
+	}
+}
+
+func TestFillGapsAllAbnormalUsesNormalMean(t *testing.T) {
+	// Only abnormal partitions remain; the partition containing the
+	// normal-region mean is relabeled Normal so a direction exists.
+	ps := spaceWith(".....AA...")
+	// Space covers [0,10); normal mean 1.5 lands in partition 1.
+	ps.FillGaps(1, 1.5)
+	got := labelString(ps.Labels)
+	if got[1] != 'N' {
+		t.Fatalf("normal-mean partition not relabeled: %s", got)
+	}
+	if first, last, ok := ps.AbnormalBlock(); !ok || first != 4 {
+		// After fill: N region around partition 1, A block to the right.
+		t.Errorf("block = %d..%d ok=%v labels=%s", first, last, ok, got)
+	}
+}
+
+func TestFillGapsAllEmptyNoop(t *testing.T) {
+	ps := spaceWith(".....")
+	ps.FillGaps(10, 0)
+	if got := labelString(ps.Labels); got != "....." {
+		t.Errorf("all-empty fill changed labels: %s", got)
+	}
+}
+
+func TestAbnormalBlock(t *testing.T) {
+	tests := []struct {
+		in          string
+		first, last int
+		ok          bool
+	}{
+		{"NNNAAA", 3, 5, true},
+		{"AAANNN", 0, 2, true},
+		{"NNANNA", 0, 0, false}, // two blocks
+		{"NNNNNN", 0, 0, false}, // no abnormal
+		{"A", 0, 0, true},
+	}
+	for _, tc := range tests {
+		first, last, ok := spaceWith(tc.in).AbnormalBlock()
+		if ok != tc.ok || (ok && (first != tc.first || last != tc.last)) {
+			t.Errorf("AbnormalBlock(%s) = %d,%d,%v; want %d,%d,%v",
+				tc.in, first, last, ok, tc.first, tc.last, tc.ok)
+		}
+	}
+}
+
+// Property: after FillGaps with any delta, no partition is Empty
+// (provided at least one non-Empty partition existed).
+func TestFillGapsCompletesProperty(t *testing.T) {
+	f := func(raw []uint8, deltaRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		labels := make([]Label, len(raw))
+		nonEmpty := false
+		for i, r := range raw {
+			labels[i] = Label(r % 3)
+			if labels[i] != Empty {
+				nonEmpty = true
+			}
+		}
+		ps := &NumericSpace{Min: 0, Max: float64(len(labels)), R: len(labels), Labels: labels}
+		delta := float64(deltaRaw%30)/3 + 0.1
+		ps.FillGaps(delta, 0.5)
+		if !nonEmpty {
+			return true // nothing to fill from; labels stay empty
+		}
+		for _, l := range ps.Labels {
+			if l == Empty {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Filter never introduces new non-Empty labels and is
+// idempotent on spaces whose runs are already separated.
+func TestFilterNeverAddsLabelsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		labels := make([]Label, len(raw))
+		for i, r := range raw {
+			labels[i] = Label(r % 3)
+		}
+		ps := &NumericSpace{Min: 0, Max: float64(len(labels) + 1), R: len(labels), Labels: labels}
+		before := append([]Label(nil), labels...)
+		ps.Filter()
+		for i, l := range ps.Labels {
+			if before[i] == Empty && l != Empty {
+				return false
+			}
+			if before[i] != Empty && l != Empty && l != before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCategoricalSpaceLabeling(t *testing.T) {
+	values := []string{"a", "a", "a", "b", "b", "c", "c", "d"}
+	// rows 0-3 normal, rows 4-7 abnormal.
+	n := metrics.RegionFromRange(8, 0, 4)
+	a := metrics.RegionFromRange(8, 4, 8)
+	cs := NewCategoricalSpace("x", values, a, n)
+	if cs == nil {
+		t.Fatal("nil categorical space")
+	}
+	want := map[string]Label{
+		"a": Normal,   // 3 normal vs 0 abnormal
+		"b": Empty,    // 1 vs 1
+		"c": Abnormal, // 0 vs 2
+		"d": Abnormal, // 0 vs 1
+	}
+	for j, v := range cs.Values {
+		if cs.Labels[j] != want[v] {
+			t.Errorf("label(%q) = %v, want %v", v, cs.Labels[j], want[v])
+		}
+	}
+	got := cs.AbnormalValues()
+	if len(got) != 2 || got[0] != "c" || got[1] != "d" {
+		t.Errorf("AbnormalValues = %v", got)
+	}
+}
+
+func TestCategoricalSpaceNoSelectedRows(t *testing.T) {
+	values := []string{"a", "b"}
+	a := metrics.NewRegion(2)
+	n := metrics.NewRegion(2)
+	if cs := NewCategoricalSpace("x", values, a, n); cs != nil {
+		t.Error("want nil space when no rows are selected")
+	}
+}

@@ -1,0 +1,128 @@
+// Package core implements DBSherlock's predicate-generation algorithm
+// (paper Sections 3 and 4): given the timestamp-aligned statistics table
+// and user-specified abnormal and normal regions, it produces a conjunct
+// of simple predicates with high separation power via the five steps of
+// Algorithm 1 — partition-space creation, labeling, filtering,
+// gap-filling, and predicate extraction.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dbsherlock/internal/metrics"
+)
+
+// Predicate is one simple predicate over an attribute, in one of the
+// paper's forms: Attr < x, Attr > x, x < Attr < y, or
+// Attr IN {c1, ..., cl} for categorical attributes.
+type Predicate struct {
+	Attr string
+	Type metrics.Type
+
+	// Numeric bounds (open interval; the paper's predicates are strict
+	// inequalities). HasLower/HasUpper select the form.
+	HasLower bool
+	HasUpper bool
+	Lower    float64
+	Upper    float64
+
+	// Categories holds the abnormal category values (sorted) for
+	// categorical predicates.
+	Categories []string
+}
+
+// MatchesNumeric reports whether a numeric value satisfies the predicate.
+func (p Predicate) MatchesNumeric(v float64) bool {
+	if p.Type != metrics.Numeric {
+		return false
+	}
+	if p.HasLower && !(v > p.Lower) {
+		return false
+	}
+	if p.HasUpper && !(v < p.Upper) {
+		return false
+	}
+	return p.HasLower || p.HasUpper
+}
+
+// MatchesCategorical reports whether a categorical value satisfies the
+// predicate.
+func (p Predicate) MatchesCategorical(v string) bool {
+	if p.Type != metrics.Categorical {
+		return false
+	}
+	for _, c := range p.Categories {
+		if c == v {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchesRow reports whether row i of the dataset satisfies the
+// predicate. Rows missing the attribute do not match.
+func (p Predicate) MatchesRow(ds *metrics.Dataset, i int) bool {
+	col, ok := ds.Column(p.Attr)
+	if !ok || col.Attr.Type != p.Type {
+		return false
+	}
+	if p.Type == metrics.Numeric {
+		return p.MatchesNumeric(col.Num[i])
+	}
+	return p.MatchesCategorical(col.Cat[i])
+}
+
+// String renders the predicate in the paper's notation.
+func (p Predicate) String() string {
+	switch {
+	case p.Type == metrics.Categorical:
+		return fmt.Sprintf("%s ∈ {%s}", p.Attr, strings.Join(p.Categories, ", "))
+	case p.HasLower && p.HasUpper:
+		return fmt.Sprintf("%.4g < %s < %.4g", p.Lower, p.Attr, p.Upper)
+	case p.HasLower:
+		return fmt.Sprintf("%s > %.4g", p.Attr, p.Lower)
+	case p.HasUpper:
+		return fmt.Sprintf("%s < %.4g", p.Attr, p.Upper)
+	default:
+		return p.Attr + " (empty predicate)"
+	}
+}
+
+// SeparationPower computes Equation (1): the fraction of abnormal-region
+// tuples satisfying the predicate minus the fraction of normal-region
+// tuples satisfying it.
+func SeparationPower(p Predicate, ds *metrics.Dataset, abnormal, normal *metrics.Region) float64 {
+	if abnormal.Count() == 0 || normal.Count() == 0 {
+		return 0
+	}
+	var inA, inN int
+	for _, i := range abnormal.Indices() {
+		if p.MatchesRow(ds, i) {
+			inA++
+		}
+	}
+	for _, i := range normal.Indices() {
+		if p.MatchesRow(ds, i) {
+			inN++
+		}
+	}
+	return float64(inA)/float64(abnormal.Count()) - float64(inN)/float64(normal.Count())
+}
+
+// MatchesAll reports whether row i satisfies every predicate in the
+// conjunct (the paper returns a conjunction of simple predicates).
+func MatchesAll(preds []Predicate, ds *metrics.Dataset, i int) bool {
+	for _, p := range preds {
+		if !p.MatchesRow(ds, i) {
+			return false
+		}
+	}
+	return len(preds) > 0
+}
+
+// sortCategories normalizes a categorical predicate's value order.
+func sortCategories(p *Predicate) {
+	sort.Strings(p.Categories)
+}

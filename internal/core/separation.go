@@ -1,0 +1,75 @@
+package core
+
+import "dbsherlock/internal/metrics"
+
+// PartitionSeparation computes one term of Equation (3): the fraction of
+// Abnormal-labeled partitions satisfying the predicate minus the
+// fraction of Normal-labeled partitions satisfying it, evaluated in the
+// partition space the given dataset and regions induce for the
+// predicate's attribute. Using partitions instead of raw tuples damps the
+// noise of real-world data (Section 6.1). Numeric spaces are filtered
+// before counting, matching the noise-robust labeling the confidence
+// definition relies on.
+//
+// A predicate whose attribute is missing from the dataset, or whose
+// partition space has no Abnormal or no Normal partitions, separates
+// nothing and scores 0.
+func PartitionSeparation(pred Predicate, ds *metrics.Dataset, abnormal, normal *metrics.Region, p Params) float64 {
+	col, ok := ds.Column(pred.Attr)
+	if !ok || col.Attr.Type != pred.Type {
+		return 0
+	}
+	if pred.Type == metrics.Numeric {
+		ps := NewNumericSpace(pred.Attr, col.Num, abnormal, normal, p.NumPartitions)
+		if ps == nil {
+			return 0
+		}
+		if !p.DisableFiltering {
+			ps.Filter()
+		}
+		var nA, nN, hitA, hitN int
+		for j, l := range ps.Labels {
+			switch l {
+			case Abnormal:
+				nA++
+				if pred.MatchesNumeric(ps.Midpoint(j)) {
+					hitA++
+				}
+			case Normal:
+				nN++
+				if pred.MatchesNumeric(ps.Midpoint(j)) {
+					hitN++
+				}
+			}
+		}
+		return ratio(hitA, nA) - ratio(hitN, nN)
+	}
+
+	cs := NewCategoricalSpace(pred.Attr, col.Cat, abnormal, normal)
+	if cs == nil {
+		return 0
+	}
+	var nA, nN, hitA, hitN int
+	for j, l := range cs.Labels {
+		switch l {
+		case Abnormal:
+			nA++
+			if pred.MatchesCategorical(cs.Values[j]) {
+				hitA++
+			}
+		case Normal:
+			nN++
+			if pred.MatchesCategorical(cs.Values[j]) {
+				hitN++
+			}
+		}
+	}
+	return ratio(hitA, nA) - ratio(hitN, nN)
+}
+
+func ratio(hit, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}

@@ -1,0 +1,133 @@
+// Package dbscan implements the DBSCAN density-based clustering
+// algorithm of Ester et al. [25], which DBSherlock's automatic anomaly
+// detection (paper Section 7) uses to separate anomalous time points
+// from the bulk of normal behaviour. Only what the paper needs is
+// provided: Euclidean distance, the k-dist list for choosing epsilon,
+// and the clustering itself.
+package dbscan
+
+import (
+	"math"
+	"sort"
+)
+
+// Noise is the cluster id assigned to points in no cluster.
+const Noise = -1
+
+// Point is a point in d-dimensional space.
+type Point []float64
+
+// Distance returns the Euclidean distance between two points. Points of
+// different dimensionality panic, as that is always a programming error.
+func Distance(a, b Point) float64 {
+	if len(a) != len(b) {
+		panic("dbscan: dimension mismatch")
+	}
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// KDist returns every point's distance to its k-th nearest neighbour
+// (excluding itself), sorted ascending. The DBSCAN paper suggests
+// inspecting this list to choose epsilon; DBSherlock uses
+// eps = max(KDist)/4 with k = minPts.
+func KDist(points []Point, k int) []float64 {
+	if len(points) == 0 || k <= 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(points))
+	dists := make([]float64, 0, len(points)-1)
+	for i := range points {
+		dists = dists[:0]
+		for j := range points {
+			if i != j {
+				dists = append(dists, Distance(points[i], points[j]))
+			}
+		}
+		if len(dists) == 0 {
+			out = append(out, 0)
+			continue
+		}
+		sort.Float64s(dists)
+		idx := k - 1
+		if idx >= len(dists) {
+			idx = len(dists) - 1
+		}
+		out = append(out, dists[idx])
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Cluster runs DBSCAN and returns a cluster id per point: 0..n-1 for
+// cluster members, Noise (-1) for noise points. A point is a core point
+// if at least minPts points (including itself) lie within eps.
+func Cluster(points []Point, eps float64, minPts int) []int {
+	const unvisited = -2
+	labels := make([]int, len(points))
+	for i := range labels {
+		labels[i] = unvisited
+	}
+	neighbours := func(i int) []int {
+		var out []int
+		for j := range points {
+			if Distance(points[i], points[j]) <= eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	next := 0
+	for i := range points {
+		if labels[i] != unvisited {
+			continue
+		}
+		seeds := neighbours(i)
+		if len(seeds) < minPts {
+			labels[i] = Noise
+			continue
+		}
+		id := next
+		next++
+		labels[i] = id
+		// Expand the cluster over density-reachable points.
+		for q := 0; q < len(seeds); q++ {
+			j := seeds[q]
+			if labels[j] == Noise {
+				labels[j] = id // border point
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = id
+			jn := neighbours(j)
+			if len(jn) >= minPts {
+				seeds = append(seeds, jn...)
+			}
+		}
+	}
+	// Normalize any remaining unvisited (unreachable) to noise; cannot
+	// happen with the loop above but keeps the invariant explicit.
+	for i, l := range labels {
+		if l == unvisited {
+			labels[i] = Noise
+		}
+	}
+	return labels
+}
+
+// Sizes returns the number of points in each cluster id (noise
+// excluded).
+func Sizes(labels []int) map[int]int {
+	out := make(map[int]int)
+	for _, l := range labels {
+		if l != Noise {
+			out[l]++
+		}
+	}
+	return out
+}

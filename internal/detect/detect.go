@@ -1,0 +1,134 @@
+// Package detect implements DBSherlock's automatic anomaly detection
+// (paper Section 7): attributes with high "potential power" — an abrupt
+// sustained change measured with a sliding median filter — are selected,
+// the rows are clustered with DBSCAN in the selected-attribute space,
+// and small clusters (and noise points) are reported as the anomaly.
+package detect
+
+import (
+	"math"
+
+	"dbsherlock/internal/dbscan"
+	"dbsherlock/internal/metrics"
+	"dbsherlock/internal/stats"
+)
+
+// Params configure the detector. The zero value is not usable; start
+// from DefaultParams.
+type Params struct {
+	// Tau is the sliding-window length of the median filter.
+	Tau int
+	// PotentialThreshold is PPt: attributes with potential power below
+	// it are excluded.
+	PotentialThreshold float64
+	// MinPts is DBSCAN's density threshold.
+	MinPts int
+	// SmallClusterFraction: clusters smaller than this fraction of all
+	// rows are reported as abnormal (the paper assumes the abnormal
+	// region is relatively small).
+	SmallClusterFraction float64
+}
+
+// DefaultParams returns the paper's defaults: tau=20, PPt=0.3, minPts=3,
+// small-cluster threshold 20%.
+func DefaultParams() Params {
+	return Params{Tau: 20, PotentialThreshold: 0.3, MinPts: 3, SmallClusterFraction: 0.2}
+}
+
+// PotentialPower computes Equation (4) for one attribute: the maximum
+// absolute difference between the overall median and the median of any
+// sliding window of length tau, over the normalized values. It is high
+// for attributes with an abrupt, sustained level shift and low for flat
+// or white-noise attributes.
+func PotentialPower(values []float64, tau int) float64 {
+	norm := stats.Normalize(values)
+	overall := stats.Median(norm)
+	if math.IsNaN(overall) {
+		return 0
+	}
+	var pp float64
+	for _, m := range stats.SlidingWindowMedians(norm, tau) {
+		if d := math.Abs(overall - m); d > pp {
+			pp = d
+		}
+	}
+	return pp
+}
+
+// Result is the outcome of automatic detection.
+type Result struct {
+	// Abnormal selects the detected anomalous rows.
+	Abnormal *metrics.Region
+	// SelectedAttrs are the attributes whose potential power exceeded
+	// the threshold, in dataset order.
+	SelectedAttrs []string
+	// Epsilon is the DBSCAN radius chosen from the k-dist list.
+	Epsilon float64
+}
+
+// Detect finds anomalous rows of the dataset. It returns an empty region
+// when no attribute shows potential (a flat, healthy trace).
+func Detect(ds *metrics.Dataset, p Params) Result {
+	rows := ds.Rows()
+	res := Result{Abnormal: metrics.NewRegion(rows)}
+	if rows == 0 {
+		return res
+	}
+
+	// Select attributes with an abrupt sustained change (Equation 4).
+	var cols [][]float64
+	for i := 0; i < ds.NumAttrs(); i++ {
+		col := ds.ColumnAt(i)
+		if col.Attr.Type != metrics.Numeric {
+			continue
+		}
+		if PotentialPower(col.Num, p.Tau) > p.PotentialThreshold {
+			res.SelectedAttrs = append(res.SelectedAttrs, col.Attr.Name)
+			cols = append(cols, stats.Normalize(col.Num))
+		}
+	}
+	if len(cols) == 0 {
+		return res
+	}
+
+	points := make([]dbscan.Point, rows)
+	for i := 0; i < rows; i++ {
+		pt := make(dbscan.Point, len(cols))
+		for c, col := range cols {
+			v := col[i]
+			if math.IsNaN(v) {
+				v = 0
+			}
+			pt[c] = v
+		}
+		points[i] = pt
+	}
+
+	// eps from the k-dist list with k = minPts (Section 7). The paper
+	// uses max(Lk)/4, which assumes a heavy-tailed k-dist curve (sparse
+	// outliers). When many attributes are selected, distances
+	// concentrate and max(Lk)/4 can fall below every point's k-dist,
+	// declaring everything noise; the 1.5*median(Lk) floor keeps eps
+	// above the dense-region neighbour distance in that regime.
+	lk := dbscan.KDist(points, p.MinPts)
+	eps := lk[len(lk)-1] / 4
+	if floor := 1.5 * lk[len(lk)/2]; floor > eps {
+		eps = floor
+	}
+	if eps <= 0 {
+		// Degenerate geometry (all selected attributes constant over the
+		// selected rows); nothing separates.
+		return res
+	}
+	res.Epsilon = eps
+
+	labels := dbscan.Cluster(points, eps, p.MinPts)
+	sizes := dbscan.Sizes(labels)
+	small := int(p.SmallClusterFraction * float64(rows))
+	for i, l := range labels {
+		if l == dbscan.Noise || sizes[l] < small {
+			res.Abnormal.Add(i)
+		}
+	}
+	return res
+}

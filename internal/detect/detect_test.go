@@ -1,0 +1,113 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbsherlock/internal/anomaly"
+	"dbsherlock/internal/collector"
+	"dbsherlock/internal/metrics"
+	"dbsherlock/internal/workload"
+)
+
+func TestPotentialPower(t *testing.T) {
+	flat := make([]float64, 100)
+	stepped := make([]float64, 100)
+	noisy := make([]float64, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := range flat {
+		flat[i] = 50
+		stepped[i] = 10
+		if i >= 60 && i < 90 {
+			stepped[i] = 100
+		}
+		noisy[i] = 50 + rng.NormFloat64() // white noise, no level shift
+	}
+	if pp := PotentialPower(flat, 20); pp != 0 {
+		t.Errorf("flat PP = %v, want 0", pp)
+	}
+	if pp := PotentialPower(stepped, 20); pp < 0.5 {
+		t.Errorf("stepped PP = %v, want large", pp)
+	}
+	if pp := PotentialPower(noisy, 20); pp > 0.25 {
+		t.Errorf("white-noise PP = %v, want small", pp)
+	}
+	if pp := PotentialPower(nil, 20); pp != 0 {
+		t.Errorf("empty PP = %v, want 0", pp)
+	}
+}
+
+func TestPotentialPowerShortSeries(t *testing.T) {
+	// Series shorter than tau: a single whole-series window, PP == 0.
+	if pp := PotentialPower([]float64{1, 2, 3}, 20); pp != 0 {
+		t.Errorf("short-series PP = %v, want 0", pp)
+	}
+}
+
+func TestDetectEmptyDataset(t *testing.T) {
+	ds := metrics.MustNewDataset(nil)
+	res := Detect(ds, DefaultParams())
+	if res.Abnormal.Count() != 0 || len(res.SelectedAttrs) != 0 {
+		t.Errorf("empty dataset: %+v", res)
+	}
+}
+
+func TestDetectFlatTraceFindsNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := 200
+	ts := make([]int64, rows)
+	vals := make([]float64, rows)
+	for i := range ts {
+		ts[i] = int64(i)
+		vals[i] = 100 + rng.NormFloat64()
+	}
+	ds := metrics.MustNewDataset(ts)
+	if err := ds.AddNumeric("v", vals); err != nil {
+		t.Fatal(err)
+	}
+	res := Detect(ds, DefaultParams())
+	if len(res.SelectedAttrs) != 0 {
+		t.Errorf("selected %v on a flat trace", res.SelectedAttrs)
+	}
+	if res.Abnormal.Count() != 0 {
+		t.Errorf("flagged %d rows on a flat trace", res.Abnormal.Count())
+	}
+}
+
+func TestDetectFindsInjectedAnomaly(t *testing.T) {
+	// A 10-minute run (as Appendix E uses) with a 60-second CPU
+	// saturation in the middle; detection should substantially overlap
+	// the injected window without flooding the normal region.
+	cfg := workload.DefaultConfig()
+	cfg.Seed = 23
+	start, dur, total := 300, 60, 600
+	injs := []anomaly.Injection{{Kind: anomaly.CPUSaturation, Start: start, Duration: dur}}
+	logs := workload.NewSimulator(cfg).Run(1000, total, anomaly.Perturb(injs))
+	ds, err := collector.Align(logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Detect(ds, DefaultParams())
+	truth := metrics.RegionFromRange(ds.Rows(), start, start+dur)
+	overlap := res.Abnormal.Overlap(truth)
+	if overlap < dur/2 {
+		t.Errorf("detected only %d/%d of the injected window", overlap, dur)
+	}
+	falsePositives := res.Abnormal.Count() - overlap
+	if falsePositives > total/10 {
+		t.Errorf("%d false-positive rows (detected %d total)", falsePositives, res.Abnormal.Count())
+	}
+	if len(res.SelectedAttrs) == 0 {
+		t.Error("no attributes selected despite a CPU saturation")
+	}
+	if res.Epsilon <= 0 {
+		t.Errorf("epsilon = %v", res.Epsilon)
+	}
+}
+
+func TestDetectParamsDefault(t *testing.T) {
+	p := DefaultParams()
+	if p.Tau != 20 || p.PotentialThreshold != 0.3 || p.MinPts != 3 || p.SmallClusterFraction != 0.2 {
+		t.Errorf("DefaultParams = %+v, want the paper's values", p)
+	}
+}

@@ -1,0 +1,117 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbsherlock/internal/anomaly"
+	"dbsherlock/internal/collector"
+	"dbsherlock/internal/metrics"
+	"dbsherlock/internal/workload"
+)
+
+func spikedTrace(t *testing.T, seed int64) (*metrics.Dataset, *metrics.Region) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 400
+	ts := make([]int64, n)
+	lat := make([]float64, n)
+	for i := range ts {
+		ts[i] = int64(i)
+		lat[i] = 20 + 2*rng.NormFloat64()
+		if i >= 200 && i < 260 {
+			lat[i] = 120 + 5*rng.NormFloat64()
+		}
+	}
+	ds := metrics.MustNewDataset(ts)
+	if err := ds.AddNumeric("latency", lat); err != nil {
+		t.Fatal(err)
+	}
+	return ds, metrics.RegionFromRange(n, 200, 260)
+}
+
+func TestThresholdDetectorFindsShift(t *testing.T) {
+	ds, truth := spikedTrace(t, 1)
+	d := ThresholdDetector{Indicator: "latency"}
+	region, ok := d.FindRegion(ds)
+	if !ok {
+		t.Fatal("nothing found")
+	}
+	if region.Overlap(truth) < 55 {
+		t.Errorf("overlap = %d/60", region.Overlap(truth))
+	}
+	if fp := region.Count() - region.Overlap(truth); fp > 10 {
+		t.Errorf("false positives = %d", fp)
+	}
+}
+
+func TestThresholdDetectorMissingIndicator(t *testing.T) {
+	ds, _ := spikedTrace(t, 2)
+	d := ThresholdDetector{Indicator: "ghost"}
+	if _, ok := d.FindRegion(ds); ok {
+		t.Error("missing indicator: want !ok")
+	}
+}
+
+func TestThresholdDetectorConstantIndicator(t *testing.T) {
+	n := 50
+	ts := make([]int64, n)
+	flat := make([]float64, n)
+	for i := range ts {
+		ts[i] = int64(i)
+		flat[i] = 5
+	}
+	ds := metrics.MustNewDataset(ts)
+	if err := ds.AddNumeric("v", flat); err != nil {
+		t.Fatal(err)
+	}
+	d := ThresholdDetector{Indicator: "v"}
+	if _, ok := d.FindRegion(ds); ok {
+		t.Error("constant indicator has zero spread: want !ok")
+	}
+}
+
+func TestPerfAugurDetectorAdapter(t *testing.T) {
+	ds, truth := spikedTrace(t, 3)
+	d := NewPerfAugurDetector("latency")
+	region, ok := d.FindRegion(ds)
+	if !ok {
+		t.Fatal("nothing found")
+	}
+	if region.Overlap(truth) < 45 {
+		t.Errorf("overlap = %d/60", region.Overlap(truth))
+	}
+}
+
+func TestDBSCANDetectorAdapter(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.Seed = 31
+	logs := workload.NewSimulator(cfg).Run(1000, 400, anomaly.Perturb([]anomaly.Injection{
+		{Kind: anomaly.LockContention, Start: 200, Duration: 60},
+	}))
+	ds, err := collector.Align(logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDBSCANDetector()
+	region, ok := d.FindRegion(ds)
+	if !ok {
+		t.Fatal("nothing found")
+	}
+	truth := metrics.RegionFromRange(ds.Rows(), 200, 260)
+	if region.Overlap(truth) < 30 {
+		t.Errorf("overlap = %d/60", region.Overlap(truth))
+	}
+}
+
+func TestDetectorNames(t *testing.T) {
+	if NewDBSCANDetector().Name() != "dbscan" {
+		t.Error("dbscan name")
+	}
+	if NewPerfAugurDetector("x").Name() != "perfaugur" {
+		t.Error("perfaugur name")
+	}
+	if (ThresholdDetector{Indicator: "lat"}).Name() != "threshold(lat)" {
+		t.Error("threshold name")
+	}
+}

@@ -1,0 +1,141 @@
+package domain
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbsherlock/internal/core"
+	"dbsherlock/internal/metrics"
+)
+
+func TestNewKnowledgeValidation(t *testing.T) {
+	if _, err := NewKnowledge([]Rule{{Cause: "a", Effect: "a"}}); err == nil {
+		t.Error("self-referential rule: want error")
+	}
+	if _, err := NewKnowledge([]Rule{{Cause: "a", Effect: "b"}, {Cause: "b", Effect: "a"}}); err == nil {
+		t.Error("bidirectional rules: want error (condition ii)")
+	}
+	k, err := NewKnowledge([]Rule{{Cause: "a", Effect: "b"}, {Cause: "a", Effect: "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Rules()) != 2 {
+		t.Errorf("Rules = %v", k.Rules())
+	}
+}
+
+func TestMySQLLinuxRulesAreValid(t *testing.T) {
+	k := MustMySQLLinuxKnowledge()
+	if len(k.Rules()) != 4 {
+		t.Errorf("want the paper's 4 rules, got %d", len(k.Rules()))
+	}
+}
+
+// dependentFixture builds a dataset where y = 100 - x (strongly
+// dependent), z is independent noise, and all three plus x carry
+// predicates.
+func dependentFixture(t *testing.T) *metrics.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	rows := 400
+	ts := make([]int64, rows)
+	x := make([]float64, rows)
+	y := make([]float64, rows)
+	z := make([]float64, rows)
+	for i := range ts {
+		ts[i] = int64(i)
+		x[i] = 50 + 20*rng.NormFloat64()
+		y[i] = 100 - x[i] + 0.5*rng.NormFloat64()
+		z[i] = 50 + 20*rng.NormFloat64()
+	}
+	ds := metrics.MustNewDataset(ts)
+	for name, col := range map[string][]float64{"x": x, "y": y, "z": z} {
+		if err := ds.AddNumeric(name, col); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+func TestKappaExtremes(t *testing.T) {
+	ds := dependentFixture(t)
+	k, err := NewKnowledge(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kappa := k.Kappa(ds, "x", "y"); kappa < 0.3 {
+		t.Errorf("kappa(x, 100-x) = %v, want high", kappa)
+	}
+	if kappa := k.Kappa(ds, "x", "z"); kappa > 0.14 {
+		t.Errorf("kappa(x, independent z) = %v, want low", kappa)
+	}
+	if kappa := k.Kappa(ds, "x", "missing"); kappa != 0 {
+		t.Errorf("kappa with missing attr = %v, want 0", kappa)
+	}
+}
+
+func pred(attr string) core.Predicate {
+	return core.Predicate{Attr: attr, Type: metrics.Numeric, HasLower: true, Lower: 1}
+}
+
+func TestApplyPrunesDependentEffect(t *testing.T) {
+	ds := dependentFixture(t)
+	k, err := NewKnowledge([]Rule{{Cause: "x", Effect: "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, pruned := k.Apply([]core.Predicate{pred("x"), pred("y"), pred("z")}, ds)
+	if len(pruned) != 1 || pruned[0].Predicate.Attr != "y" {
+		t.Fatalf("pruned = %+v, want y", pruned)
+	}
+	if len(kept) != 2 {
+		t.Errorf("kept = %v", kept)
+	}
+	if pruned[0].Rule.Cause != "x" || pruned[0].Kappa < k.KappaThreshold {
+		t.Errorf("pruned metadata = %+v", pruned[0])
+	}
+}
+
+func TestApplyKeepsIndependentEffect(t *testing.T) {
+	// Rule says x -> z, but z is independent of x in the data: the rule
+	// does not apply and both predicates survive (the paper's protection
+	// against imperfect domain knowledge).
+	ds := dependentFixture(t)
+	k, err := NewKnowledge([]Rule{{Cause: "x", Effect: "z"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, pruned := k.Apply([]core.Predicate{pred("x"), pred("z")}, ds)
+	if len(pruned) != 0 {
+		t.Errorf("independent pair pruned: %+v", pruned)
+	}
+	if len(kept) != 2 {
+		t.Errorf("kept = %v", kept)
+	}
+}
+
+func TestApplyRequiresBothPredicates(t *testing.T) {
+	ds := dependentFixture(t)
+	k, err := NewKnowledge([]Rule{{Cause: "x", Effect: "y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the effect predicate present: nothing to prune against.
+	kept, pruned := k.Apply([]core.Predicate{pred("y")}, ds)
+	if len(pruned) != 0 || len(kept) != 1 {
+		t.Errorf("kept=%v pruned=%v", kept, pruned)
+	}
+}
+
+func TestApplyPreservesOrder(t *testing.T) {
+	ds := dependentFixture(t)
+	k, err := NewKnowledge(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []core.Predicate{pred("z"), pred("x"), pred("y")}
+	kept, _ := k.Apply(in, ds)
+	if len(kept) != 3 || kept[0].Attr != "z" || kept[2].Attr != "y" {
+		t.Errorf("order not preserved: %v", kept)
+	}
+}

@@ -1,0 +1,126 @@
+// Package eval provides the evaluation metrics the paper reports:
+// precision, recall, F1-measure (its accuracy measure for predicates),
+// and the pruning confusion matrix of Appendix F.
+package eval
+
+import "dbsherlock/internal/metrics"
+
+// Counts is a binary-classification tally.
+type Counts struct {
+	TP, FP, FN, TN int
+}
+
+// Add accumulates another tally.
+func (c *Counts) Add(o Counts) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.FN += o.FN
+	c.TN += o.TN
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (c Counts) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (c Counts) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the balanced F-score 2pr/(p+r) (the paper's F1-measure).
+func (c Counts) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy returns (TP+TN)/total, or 0 for an empty tally.
+func (c Counts) Accuracy() float64 {
+	total := c.TP + c.FP + c.FN + c.TN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// CompareRegions scores a predicted row selection against the
+// ground-truth abnormal region, counting every row of the dataset.
+func CompareRegions(predicted, truth *metrics.Region) Counts {
+	var c Counts
+	n := truth.Len()
+	for i := 0; i < n; i++ {
+		p, t := predicted.Contains(i), truth.Contains(i)
+		switch {
+		case p && t:
+			c.TP++
+		case p && !t:
+			c.FP++
+		case !p && t:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// PruneConfusion is the Appendix F confusion matrix for
+// secondary-symptom pruning: rows are the pruning decision, columns the
+// ground truth.
+type PruneConfusion struct {
+	PrunedPositive int // pruned, should prune (correct)
+	PrunedNegative int // pruned, should keep (false prune)
+	KeptPositive   int // kept, should prune (miss)
+	KeptNegative   int // kept, should keep (correct)
+}
+
+// Add accumulates another matrix.
+func (m *PruneConfusion) Add(o PruneConfusion) {
+	m.PrunedPositive += o.PrunedPositive
+	m.PrunedNegative += o.PrunedNegative
+	m.KeptPositive += o.KeptPositive
+	m.KeptNegative += o.KeptNegative
+}
+
+// PrunedGivenPositive is the fraction of actual positives that were
+// pruned (the paper's 91.6% cell).
+func (m PruneConfusion) PrunedGivenPositive() float64 {
+	total := m.PrunedPositive + m.KeptPositive
+	if total == 0 {
+		return 0
+	}
+	return float64(m.PrunedPositive) / float64(total)
+}
+
+// PrunedGivenNegative is the fraction of actual negatives that were
+// (wrongly) pruned (the paper's 0.9% cell).
+func (m PruneConfusion) PrunedGivenNegative() float64 {
+	total := m.PrunedNegative + m.KeptNegative
+	if total == 0 {
+		return 0
+	}
+	return float64(m.PrunedNegative) / float64(total)
+}
+
+// Precision is the fraction of pruned predicates that were true
+// secondary symptoms.
+func (m PruneConfusion) Precision() float64 {
+	total := m.PrunedPositive + m.PrunedNegative
+	if total == 0 {
+		return 0
+	}
+	return float64(m.PrunedPositive) / float64(total)
+}
+
+// Recall is the fraction of true secondary symptoms that were pruned
+// (equals PrunedGivenPositive).
+func (m PruneConfusion) Recall() float64 { return m.PrunedGivenPositive() }

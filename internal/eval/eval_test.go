@@ -1,0 +1,97 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dbsherlock/internal/metrics"
+)
+
+func TestCountsMetrics(t *testing.T) {
+	c := Counts{TP: 8, FP: 2, FN: 4, TN: 86}
+	if got := c.Precision(); got != 0.8 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-8.0/12) > 1e-12 {
+		t.Errorf("Recall = %v", got)
+	}
+	wantF1 := 2 * 0.8 * (8.0 / 12) / (0.8 + 8.0/12)
+	if got := c.F1(); math.Abs(got-wantF1) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", got, wantF1)
+	}
+	if got := c.Accuracy(); got != 0.94 {
+		t.Errorf("Accuracy = %v", got)
+	}
+}
+
+func TestCountsZeroSafe(t *testing.T) {
+	var c Counts
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.Accuracy() != 0 {
+		t.Error("zero tally should yield zero metrics, not NaN")
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{TP: 1, FP: 2, FN: 3, TN: 4}
+	a.Add(Counts{TP: 10, FP: 20, FN: 30, TN: 40})
+	if a != (Counts{TP: 11, FP: 22, FN: 33, TN: 44}) {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestCompareRegions(t *testing.T) {
+	truth := metrics.RegionFromRange(10, 2, 6)     // rows 2..5
+	predicted := metrics.RegionFromRange(10, 4, 8) // rows 4..7
+	c := CompareRegions(predicted, truth)
+	want := Counts{TP: 2, FP: 2, FN: 2, TN: 4}
+	if c != want {
+		t.Errorf("CompareRegions = %+v, want %+v", c, want)
+	}
+}
+
+// Property: counts always partition the rows.
+func TestCompareRegionsPartitionProperty(t *testing.T) {
+	f := func(predMask, truthMask []bool) bool {
+		n := len(truthMask)
+		truth := metrics.NewRegion(n)
+		pred := metrics.NewRegion(n)
+		for i := 0; i < n; i++ {
+			if truthMask[i] {
+				truth.Add(i)
+			}
+			if i < len(predMask) && predMask[i] {
+				pred.Add(i)
+			}
+		}
+		c := CompareRegions(pred, truth)
+		return c.TP+c.FP+c.FN+c.TN == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPruneConfusion(t *testing.T) {
+	m := PruneConfusion{PrunedPositive: 90, PrunedNegative: 1, KeptPositive: 10, KeptNegative: 99}
+	if got := m.PrunedGivenPositive(); got != 0.9 {
+		t.Errorf("PrunedGivenPositive = %v", got)
+	}
+	if got := m.PrunedGivenNegative(); got != 0.01 {
+		t.Errorf("PrunedGivenNegative = %v", got)
+	}
+	if got := m.Precision(); math.Abs(got-90.0/91) > 1e-12 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := m.Recall(); got != 0.9 {
+		t.Errorf("Recall = %v", got)
+	}
+	var zero PruneConfusion
+	if zero.PrunedGivenPositive() != 0 || zero.PrunedGivenNegative() != 0 || zero.Precision() != 0 {
+		t.Error("zero matrix should yield zeros")
+	}
+	m.Add(PruneConfusion{PrunedPositive: 10})
+	if m.PrunedPositive != 100 {
+		t.Errorf("Add = %+v", m)
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dbsherlock/internal/workload"
+)
+
+func TestRunTable7DetectionOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10-minute traces are slow")
+	}
+	res, err := RunTable7(testBattery(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	manual, auto := res.Rows[0], res.Rows[1]
+	if manual.Top1Pct < 90 {
+		t.Errorf("manual top-1 = %.1f, want >= 90", manual.Top1Pct)
+	}
+	// Paper Appendix E: manual >= automatic; automatic stays strong.
+	if auto.Top1Pct > manual.Top1Pct+1e-9 {
+		t.Errorf("automatic (%.1f) should not beat manual (%.1f)", auto.Top1Pct, manual.Top1Pct)
+	}
+	if auto.Top1Pct < 70 {
+		t.Errorf("automatic top-1 = %.1f, want usable", auto.Top1Pct)
+	}
+	if !strings.Contains(res.String(), "PerfAugur") {
+		t.Error("String misses PerfAugur row")
+	}
+}
+
+func TestRunTable4BothWorkloadsStrong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second battery is slow")
+	}
+	tpce, err := GenerateBattery(workload.TPCEConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunTable4(testBattery(t), tpce, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TPCCTop1 < 90 || res.TPCETop1 < 85 {
+		t.Errorf("top-1: tpcc=%.1f tpce=%.1f, want both strong:\n%s",
+			res.TPCCTop1, res.TPCETop1, res)
+	}
+}
+
+func TestRunFig11OverfittingShape(t *testing.T) {
+	res, err := RunFig11(testBattery(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Top1Pct < 90 || res.Top2Pct < res.Top1Pct {
+		t.Errorf("top-1 %.1f top-2 %.1f", res.Top1Pct, res.Top2Pct)
+	}
+	for _, kind := range res.Kind10 {
+		if res.ConfidencePct[kind] < 50 {
+			t.Errorf("%v confidence = %.1f, want high with 10-dataset merges", kind, res.ConfidencePct[kind])
+		}
+	}
+}
+
+func TestRunFig12aMoreTimeNoGainPastThousand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("R sweep regenerates predicates five times")
+	}
+	res, err := RunFig12a(testBattery(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.R) != 5 {
+		t.Fatalf("points = %d", len(res.R))
+	}
+	// Time grows with R (paper Figure 12a).
+	if res.Elapsed[4] <= res.Elapsed[0] {
+		t.Errorf("R=2000 (%v) should cost more than R=125 (%v)", res.Elapsed[4], res.Elapsed[0])
+	}
+	// Confidence flat past R=1000.
+	if gain := res.ConfidencePct[4] - res.ConfidencePct[3]; gain > 2 {
+		t.Errorf("R=2000 gains %.1f points over R=1000, want ~none", gain)
+	}
+}
+
+func TestRunFig12bDeltaMonotoneish(t *testing.T) {
+	res, err := RunFig12b(testBattery(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// delta=10 (specific predicates) must clearly beat delta=0.1
+	// (paper Figure 12b).
+	if res.ConfidencePct[4] < res.ConfidencePct[0]+3 {
+		t.Errorf("delta sweep: %.1f (0.1) vs %.1f (10)", res.ConfidencePct[0], res.ConfidencePct[4])
+	}
+}
+
+func TestRunFig12cThetaTradeoff(t *testing.T) {
+	res, err := RunFig12c(testBattery(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predicate count falls monotonically with theta.
+	for i := 1; i < len(res.AvgPredicates); i++ {
+		if res.AvgPredicates[i] >= res.AvgPredicates[i-1] {
+			t.Errorf("avg predicates not decreasing at theta=%.2f", res.Theta[i])
+		}
+	}
+	// Confidence collapses at theta=0.4 (paper Figure 12c).
+	if res.ConfidencePct[4] > res.ConfidencePct[1]-20 {
+		t.Errorf("theta=0.4 confidence %.1f should collapse below theta=0.05's %.1f",
+			res.ConfidencePct[4], res.ConfidencePct[1])
+	}
+}

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"dbsherlock/internal/anomaly"
+	"dbsherlock/internal/workload"
+)
+
+// The battery is expensive; all tests share one instance.
+var (
+	batteryOnce sync.Once
+	batteryInst *Battery
+	batteryErr  error
+)
+
+func testBattery(t *testing.T) *Battery {
+	t.Helper()
+	batteryOnce.Do(func() {
+		batteryInst, batteryErr = GenerateBattery(workload.DefaultConfig())
+	})
+	if batteryErr != nil {
+		t.Fatal(batteryErr)
+	}
+	return batteryInst
+}
+
+func TestGenerateBatteryShape(t *testing.T) {
+	b := testBattery(t)
+	if len(b.ByKind) != 10 {
+		t.Fatalf("classes = %d, want 10", len(b.ByKind))
+	}
+	for _, kind := range b.Kinds() {
+		sets := b.ByKind[kind]
+		if len(sets) != DatasetsPerKind {
+			t.Fatalf("%v: %d datasets, want %d", kind, len(sets), DatasetsPerKind)
+		}
+		for i, d := range sets {
+			wantDur := minDuration + durationStep*i
+			if d.Duration != wantDur {
+				t.Errorf("%v[%d]: duration %d, want %d", kind, i, d.Duration, wantDur)
+			}
+			if d.Abnormal.Count() != wantDur {
+				t.Errorf("%v[%d]: abnormal rows %d, want %d", kind, i, d.Abnormal.Count(), wantDur)
+			}
+			if d.Abnormal.Intersects(d.Normal) {
+				t.Errorf("%v[%d]: regions overlap", kind, i)
+			}
+			if d.Data.Rows() != normalLeadSeconds+wantDur+tailSeconds {
+				t.Errorf("%v[%d]: rows %d", kind, i, d.Data.Rows())
+			}
+		}
+	}
+}
+
+func TestBatteryPredicateCache(t *testing.T) {
+	b := testBattery(t)
+	d := b.ByKind[anomaly.CPUSaturation][0]
+	p := mergedParams()
+	first, err := b.Predicates(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := b.Predicates(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("no predicates generated")
+	}
+	if &first[0] != &second[0] {
+		t.Error("cache miss: Predicates regenerated for identical key")
+	}
+}
+
+func TestRunFig7ShapeHolds(t *testing.T) {
+	res, err := RunFig7(testBattery(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Paper Section 8.3: the correct model achieves the highest average
+	// confidence in every test case.
+	if res.CorrectTop1 != 10 {
+		t.Errorf("correct model ranked #1 in %d/10 test cases:\n%s", res.CorrectTop1, res)
+	}
+	if res.AvgMarginPct < 5 {
+		t.Errorf("average margin %.1f%%, want clearly positive", res.AvgMarginPct)
+	}
+	if !strings.Contains(res.String(), "Figure 7") {
+		t.Error("String() misses the figure title")
+	}
+}
+
+func TestRunFig8MergingHelps(t *testing.T) {
+	res, err := RunFig8(testBattery(t), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Section 8.5: top-1 accuracy ~98%, top-2 ~99.7%.
+	if res.AvgTop1Pct < 90 {
+		t.Errorf("merged top-1 = %.1f%%, want >= 90:\n%s", res.AvgTop1Pct, res)
+	}
+	if res.AvgTop2Pct < res.AvgTop1Pct {
+		t.Error("top-2 below top-1")
+	}
+	// Merged margins beat single margins for most classes.
+	better := 0
+	for _, row := range res.Rows {
+		if row.MergedMarginPct > row.SingleMarginPct {
+			better++
+		}
+	}
+	if better < 7 {
+		t.Errorf("merged margin better in only %d/10 classes", better)
+	}
+}
+
+func TestRunFig8cAccuracyGrows(t *testing.T) {
+	res, err := RunFig8c(testBattery(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Top1Pct) != 5 {
+		t.Fatalf("points = %d", len(res.Top1Pct))
+	}
+	// Paper Figure 8c: accuracy grows quickly and saturates; 2+ datasets
+	// should already be strong.
+	if res.Top1Pct[1] <= res.Top1Pct[0]-5 {
+		t.Errorf("2-dataset accuracy %.1f not above 1-dataset %.1f", res.Top1Pct[1], res.Top1Pct[0])
+	}
+	if res.Top1Pct[4] < 90 {
+		t.Errorf("5-dataset top-1 = %.1f%%, want >= 90", res.Top1Pct[4])
+	}
+}
+
+func TestRunFig9DBSherlockWins(t *testing.T) {
+	res, err := RunFig9(testBattery(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Section 8.4: DBSherlock improves on PerfXplain's F1 by 28
+	// points on average (up to 55).
+	if res.AvgDBSF1 <= res.AvgPXF1+10 {
+		t.Errorf("DBSherlock F1 %.1f vs PerfXplain %.1f: want a clear win\n%s",
+			res.AvgDBSF1, res.AvgPXF1, res)
+	}
+	if res.AvgDBSF1 < 60 {
+		t.Errorf("DBSherlock average F1 = %.1f, want >= 60", res.AvgDBSF1)
+	}
+}
+
+func TestRunFig10CompoundCoverage(t *testing.T) {
+	res, err := RunFig10(testBattery(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Paper Section 8.7: on average more than two-thirds of the correct
+	// causes appear in the top-3.
+	var sum float64
+	for _, row := range res.Rows {
+		sum += row.CorrectPct
+	}
+	if avg := sum / 6; avg < 60 {
+		t.Errorf("average correct-cause ratio = %.1f%%, want >= 60:\n%s", avg, res)
+	}
+}
+
+func TestRunTable2DomainKnowledge(t *testing.T) {
+	res, err := RunTable2(testBattery(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both configurations must be strong; domain knowledge must not
+	// collapse accuracy (the paper reports a small positive effect).
+	for name, v := range map[string]float64{
+		"with top-1": res.WithTop1, "without top-1": res.WithoutTop1,
+	} {
+		if v < 70 {
+			t.Errorf("%s = %.1f%%, want >= 70", name, v)
+		}
+	}
+	if res.WithTop2 < res.WithTop1 || res.WithoutTop2 < res.WithoutTop1 {
+		t.Error("top-2 below top-1")
+	}
+}
+
+func TestRunTable3StudyShape(t *testing.T) {
+	res, err := RunTable3(testBattery(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	baseline := res.Rows[0].AvgCorrect
+	if baseline < 1.5 || baseline > 3.5 {
+		t.Errorf("baseline = %.1f, want ~2.5 (random guess of 4 options)", baseline)
+	}
+	for _, row := range res.Rows[1:] {
+		if row.AvgCorrect < baseline+3 {
+			t.Errorf("%s = %.1f, want far above baseline %.1f", row.Group, row.AvgCorrect, baseline)
+		}
+	}
+}
+
+func TestRunTable5Robustness(t *testing.T) {
+	res, err := RunTable5(testBattery(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	original := res.Rows[0]
+	// ±10% region error costs little (paper Appendix C).
+	for _, row := range res.Rows[1:3] {
+		if row.Top1Pct < original.Top1Pct-10 {
+			t.Errorf("%s top-1 = %.1f far below original %.1f", row.Name, row.Top1Pct, original.Top1Pct)
+		}
+	}
+	// Two-second slivers degrade but stay useful (paper: 74.6%).
+	sliver := res.Rows[3]
+	if sliver.Top1Pct < 40 || sliver.Top1Pct >= original.Top1Pct {
+		t.Errorf("two-second top-1 = %.1f, want degraded-but-useful", sliver.Top1Pct)
+	}
+}
+
+func TestRunTable6StepsMatter(t *testing.T) {
+	res, err := RunTable6(testBattery(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	original := res.Rows[0]
+	if original.Top1Pct < 90 {
+		t.Errorf("original top-1 = %.1f, want >= 90", original.Top1Pct)
+	}
+	// Paper Table 6: removing either step collapses accuracy.
+	for _, row := range res.Rows[1:] {
+		if row.Top1Pct > original.Top1Pct-40 {
+			t.Errorf("%s top-1 = %.1f: ablation should collapse accuracy (original %.1f)",
+				row.Name, row.Top1Pct, original.Top1Pct)
+		}
+	}
+}
+
+func TestRunTable8PruningShape(t *testing.T) {
+	res, err := RunTable8(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Appendix F: 91.6% of true secondary symptoms pruned, 0.9%
+	// of independent effects wrongly pruned.
+	if got := res.Matrix.PrunedGivenPositive(); got < 0.6 {
+		t.Errorf("pruned|positive = %.2f, want most true symptoms pruned", got)
+	}
+	if got := res.Matrix.PrunedGivenNegative(); got > 0.1 {
+		t.Errorf("pruned|negative = %.2f, want near zero", got)
+	}
+}
+
+func TestRunFig13SweepCovers(t *testing.T) {
+	res, err := RunFig13(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.KappaT) != 7 {
+		t.Fatalf("points = %d", len(res.KappaT))
+	}
+	var best float64
+	for _, f1 := range res.F1Pct {
+		if f1 > best {
+			best = f1
+		}
+	}
+	if best < 70 {
+		t.Errorf("best F1 over kappa sweep = %.1f, want >= 70", best)
+	}
+}
+
+func TestGenerateDatasetCompound(t *testing.T) {
+	cfg := workload.DefaultConfig()
+	cfg.Seed = 123
+	injs := []anomaly.Injection{
+		{Kind: anomaly.WorkloadSpike, Start: 60, Duration: 30},
+		{Kind: anomaly.CPUSaturation, Start: 60, Duration: 30},
+	}
+	ds, abn, err := GenerateDataset(cfg, 120, injs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rows() != 120 {
+		t.Errorf("rows = %d", ds.Rows())
+	}
+	if abn.Count() != 30 {
+		t.Errorf("abnormal rows = %d, want 30 (overlapping windows union)", abn.Count())
+	}
+}
+
+func TestAllButAndRangeInts(t *testing.T) {
+	got := allBut(4, 2)
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 3 {
+		t.Errorf("allBut = %v", got)
+	}
+	if r := rangeInts(3); len(r) != 3 || r[2] != 2 {
+		t.Errorf("rangeInts = %v", r)
+	}
+}

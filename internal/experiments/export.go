@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVTable is implemented by every experiment result: the header and
+// rows of the data series behind the paper artifact, for regenerating
+// its chart with external plotting tools.
+type CSVTable interface {
+	CSVHeader() []string
+	CSVRows() [][]string
+}
+
+// WriteCSV writes a result's data series.
+func WriteCSV(w io.Writer, t CSVTable) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.CSVHeader()); err != nil {
+		return fmt.Errorf("experiments: write csv: %w", err)
+	}
+	for _, row := range t.CSVRows() {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("experiments: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f1(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+
+// CSVHeader implements CSVTable.
+func (r *Fig7Result) CSVHeader() []string {
+	return []string{"test_case", "margin_of_confidence_pct", "f1_pct"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Fig7Result) CSVRows() [][]string {
+	out := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, []string{row.Kind.String(), f1(row.MarginPct), f1(row.F1Pct)})
+	}
+	return out
+}
+
+// CSVHeader implements CSVTable.
+func (r *Fig8Result) CSVHeader() []string {
+	return []string{"test_case", "single_margin_pct", "merged_margin_pct", "top1_pct", "top2_pct"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Fig8Result) CSVRows() [][]string {
+	out := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, []string{row.Kind.String(),
+			f1(row.SingleMarginPct), f1(row.MergedMarginPct), f1(row.Top1Pct), f1(row.Top2Pct)})
+	}
+	return out
+}
+
+// CSVHeader implements CSVTable.
+func (r *Fig8cResult) CSVHeader() []string {
+	return []string{"datasets_merged", "top1_pct", "top2_pct"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Fig8cResult) CSVRows() [][]string {
+	out := make([][]string, 0, len(r.Top1Pct))
+	for i := range r.Top1Pct {
+		out = append(out, []string{strconv.Itoa(i + 1), f1(r.Top1Pct[i]), f1(r.Top2Pct[i])})
+	}
+	return out
+}
+
+// CSVHeader implements CSVTable.
+func (r *Fig9Result) CSVHeader() []string {
+	return []string{"test_case",
+		"dbsherlock_precision_pct", "dbsherlock_recall_pct", "dbsherlock_f1_pct",
+		"perfxplain_precision_pct", "perfxplain_recall_pct", "perfxplain_f1_pct"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Fig9Result) CSVRows() [][]string {
+	out := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, []string{row.Kind.String(),
+			f1(row.DBSPrecision), f1(row.DBSRecall), f1(row.DBSF1),
+			f1(row.PXPrecision), f1(row.PXRecall), f1(row.PXF1)})
+	}
+	return out
+}
+
+// CSVHeader implements CSVTable.
+func (r *Fig10Result) CSVHeader() []string {
+	return []string{"compound_case", "correct_pct", "avg_f1_pct"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Fig10Result) CSVRows() [][]string {
+	out := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, []string{row.Name, f1(row.CorrectPct), f1(row.AvgF1Pct)})
+	}
+	return out
+}
+
+// CSVHeader implements CSVTable.
+func (r *Table2Result) CSVHeader() []string {
+	return []string{"configuration", "top1_pct", "top2_pct"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Table2Result) CSVRows() [][]string {
+	return [][]string{
+		{"with_domain_knowledge", f1(r.WithTop1), f1(r.WithTop2)},
+		{"without_domain_knowledge", f1(r.WithoutTop1), f1(r.WithoutTop2)},
+	}
+}
+
+// CSVHeader implements CSVTable.
+func (r *Table3Result) CSVHeader() []string {
+	return []string{"background", "participants", "avg_correct_of_10"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Table3Result) CSVRows() [][]string {
+	out := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, []string{row.Group, strconv.Itoa(row.Participants), f1(row.AvgCorrect)})
+	}
+	return out
+}
+
+// CSVHeader implements CSVTable.
+func (r *Table4Result) CSVHeader() []string {
+	return []string{"workload", "top1_pct", "top2_pct"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Table4Result) CSVRows() [][]string {
+	return [][]string{
+		{"tpcc", f1(r.TPCCTop1), f1(r.TPCCTop2)},
+		{"tpce", f1(r.TPCETop1), f1(r.TPCETop2)},
+	}
+}
+
+// CSVHeader implements CSVTable.
+func (r *Fig11Result) CSVHeader() []string {
+	return []string{"test_case", "confidence_pct", "margin_pct", "top1_pct", "top2_pct"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Fig11Result) CSVRows() [][]string {
+	out := make([][]string, 0, len(r.Kind10))
+	for _, kind := range r.Kind10 {
+		out = append(out, []string{kind.String(),
+			f1(r.ConfidencePct[kind]), f1(r.MarginPct[kind]),
+			f1(r.PerKindTop1[kind]), f1(r.PerKindTop2[kind])})
+	}
+	return out
+}
+
+// CSVHeader implements CSVTable.
+func (r *Table5Result) CSVHeader() []string {
+	return []string{"region_width", "top1_pct", "top2_pct"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Table5Result) CSVRows() [][]string {
+	out := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, []string{row.Name, f1(row.Top1Pct), f1(row.Top2Pct)})
+	}
+	return out
+}
+
+// CSVHeader implements CSVTable.
+func (r *Table6Result) CSVHeader() []string {
+	return []string{"algorithm", "avg_margin_pct", "top1_pct"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Table6Result) CSVRows() [][]string {
+	out := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, []string{row.Name, f1(row.AvgMarginPct), f1(row.Top1Pct)})
+	}
+	return out
+}
+
+// CSVHeader implements CSVTable.
+func (r *Fig12aResult) CSVHeader() []string {
+	return []string{"num_partitions", "confidence_pct", "generation_time_ms"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Fig12aResult) CSVRows() [][]string {
+	out := make([][]string, 0, len(r.R))
+	for i := range r.R {
+		out = append(out, []string{strconv.Itoa(r.R[i]), f1(r.ConfidencePct[i]),
+			strconv.FormatInt(r.Elapsed[i].Milliseconds(), 10)})
+	}
+	return out
+}
+
+// CSVHeader implements CSVTable.
+func (r *Fig12bResult) CSVHeader() []string {
+	return []string{"delta", "confidence_pct"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Fig12bResult) CSVRows() [][]string {
+	out := make([][]string, 0, len(r.Delta))
+	for i := range r.Delta {
+		out = append(out, []string{strconv.FormatFloat(r.Delta[i], 'g', -1, 64), f1(r.ConfidencePct[i])})
+	}
+	return out
+}
+
+// CSVHeader implements CSVTable.
+func (r *Fig12cResult) CSVHeader() []string {
+	return []string{"theta", "confidence_pct", "avg_predicates"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Fig12cResult) CSVRows() [][]string {
+	out := make([][]string, 0, len(r.Theta))
+	for i := range r.Theta {
+		out = append(out, []string{strconv.FormatFloat(r.Theta[i], 'g', -1, 64),
+			f1(r.ConfidencePct[i]), f1(r.AvgPredicates[i])})
+	}
+	return out
+}
+
+// CSVHeader implements CSVTable.
+func (r *Fig13Result) CSVHeader() []string {
+	return []string{"kappa_t", "pruning_f1_pct"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Fig13Result) CSVRows() [][]string {
+	out := make([][]string, 0, len(r.KappaT))
+	for i := range r.KappaT {
+		out = append(out, []string{strconv.FormatFloat(r.KappaT[i], 'g', -1, 64), f1(r.F1Pct[i])})
+	}
+	return out
+}
+
+// CSVHeader implements CSVTable.
+func (r *Table7Result) CSVHeader() []string {
+	return []string{"detection", "top1_pct", "top2_pct"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Table7Result) CSVRows() [][]string {
+	out := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, []string{row.Name, f1(row.Top1Pct), f1(row.Top2Pct)})
+	}
+	return out
+}
+
+// CSVHeader implements CSVTable.
+func (r *Table8Result) CSVHeader() []string {
+	return []string{"decision", "actual_positive_pct", "actual_negative_pct"}
+}
+
+// CSVRows implements CSVTable.
+func (r *Table8Result) CSVRows() [][]string {
+	return [][]string{
+		{"pruned", f1(100 * r.Matrix.PrunedGivenPositive()), f1(100 * r.Matrix.PrunedGivenNegative())},
+		{"not_pruned", f1(100 * (1 - r.Matrix.PrunedGivenPositive())), f1(100 * (1 - r.Matrix.PrunedGivenNegative()))},
+	}
+}

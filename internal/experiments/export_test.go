@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dbsherlock/internal/anomaly"
+	"dbsherlock/internal/eval"
+	"time"
+)
+
+// TestCSVTablesWellFormed builds a representative instance of each
+// result type and checks header/row arity and serialization.
+func TestCSVTablesWellFormed(t *testing.T) {
+	kind := anomaly.CPUSaturation
+	tables := map[string]CSVTable{
+		"fig7":  &Fig7Result{Rows: []Fig7Row{{Kind: kind, MarginPct: 1, F1Pct: 2}}},
+		"fig8":  &Fig8Result{Rows: []Fig8Row{{Kind: kind, SingleMarginPct: 1, MergedMarginPct: 2, Top1Pct: 3, Top2Pct: 4}}},
+		"fig8c": &Fig8cResult{Top1Pct: []float64{1, 2}, Top2Pct: []float64{3, 4}},
+		"fig9":  &Fig9Result{Rows: []Fig9Row{{Kind: kind}}},
+		"fig10": &Fig10Result{Rows: []Fig10Row{{Name: "a + b", CorrectPct: 50, AvgF1Pct: 10}}},
+		"tab2":  &Table2Result{WithTop1: 1, WithTop2: 2, WithoutTop1: 3, WithoutTop2: 4},
+		"tab3":  &Table3Result{Rows: []Table3Row{{Group: "g", Participants: 5, AvgCorrect: 7.5}}},
+		"tab4":  &Table4Result{TPCCTop1: 1, TPCCTop2: 2, TPCETop1: 3, TPCETop2: 4},
+		"fig11": &Fig11Result{Kind10: []anomaly.Kind{kind},
+			ConfidencePct: map[anomaly.Kind]float64{kind: 1},
+			MarginPct:     map[anomaly.Kind]float64{kind: 2},
+			PerKindTop1:   map[anomaly.Kind]float64{kind: 3},
+			PerKindTop2:   map[anomaly.Kind]float64{kind: 4}},
+		"tab5":   &Table5Result{Rows: []Table5Row{{Name: "Original", Top1Pct: 1, Top2Pct: 2}}},
+		"tab6":   &Table6Result{Rows: []Table6Row{{Name: "Original", AvgMarginPct: 1, Top1Pct: 2}}},
+		"fig12a": &Fig12aResult{R: []int{125}, ConfidencePct: []float64{1}, Elapsed: []time.Duration{time.Second}},
+		"fig12b": &Fig12bResult{Delta: []float64{0.1}, ConfidencePct: []float64{1}},
+		"fig12c": &Fig12cResult{Theta: []float64{0.1}, ConfidencePct: []float64{1}, AvgPredicates: []float64{2}},
+		"fig13":  &Fig13Result{KappaT: []float64{0.1}, F1Pct: []float64{1}},
+		"tab7":   &Table7Result{Rows: []Table7Row{{Name: "Manual", Top1Pct: 1, Top2Pct: 2}}},
+		"tab8":   &Table8Result{Matrix: eval.PruneConfusion{PrunedPositive: 9, KeptPositive: 1, KeptNegative: 10}},
+	}
+	for id, table := range tables {
+		header := table.CSVHeader()
+		if len(header) == 0 {
+			t.Errorf("%s: empty header", id)
+			continue
+		}
+		rows := table.CSVRows()
+		if len(rows) == 0 {
+			t.Errorf("%s: no rows", id)
+			continue
+		}
+		for _, row := range rows {
+			if len(row) != len(header) {
+				t.Errorf("%s: row arity %d != header %d", id, len(row), len(header))
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, table); err != nil {
+			t.Errorf("%s: WriteCSV: %v", id, err)
+		}
+		if lines := strings.Count(buf.String(), "\n"); lines != len(rows)+1 {
+			t.Errorf("%s: csv has %d lines, want %d", id, lines, len(rows)+1)
+		}
+	}
+	if len(tables) != 17 {
+		t.Errorf("covering %d result types, want 17 (every paper artifact)", len(tables))
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dbsherlock/internal/causal"
+	"dbsherlock/internal/core"
+	"dbsherlock/internal/userstudy"
+)
+
+// Table3Row is one participant group.
+type Table3Row struct {
+	Group        string
+	Participants int
+	// AvgCorrect is the average number of correct answers out of 10.
+	AvgCorrect float64
+}
+
+// Table3Result reproduces Table 3 (Section 8.8) with SIMULATED
+// participants — the original study used 20 human subjects, which is not
+// reproducible here. See internal/userstudy for the participant model.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// RunTable3 builds the questionnaire: ten questions, one per anomaly
+// class, each showing DBSherlock's predicates for a random dataset of
+// that class with one correct and three random incorrect causes.
+func RunTable3(b *Battery) (*Table3Result, error) {
+	rng := rand.New(rand.NewSource(33))
+
+	// The participants' mental models come from merged causal models
+	// over the full battery (a DBA's accumulated knowledge).
+	p := mergedParams()
+	repo := causal.NewRepository()
+	for _, kind := range b.Kinds() {
+		m, err := b.MergedModel(kind, rangeInts(DatasetsPerKind), p)
+		if err != nil {
+			return nil, err
+		}
+		if err := repo.Add(m); err != nil {
+			return nil, err
+		}
+	}
+
+	// Questions use the single-model theta (the predicates a user would
+	// see for one diagnosed anomaly).
+	qp := core.DefaultParams()
+	qp.Theta = SingleModelTheta
+	kinds := b.Kinds()
+	questions := make([]userstudy.Question, 0, len(kinds))
+	for _, kind := range kinds {
+		d := b.ByKind[kind][rng.Intn(DatasetsPerKind)]
+		preds, err := b.Predicates(d, qp)
+		if err != nil {
+			return nil, err
+		}
+		var distractors []string
+		for _, i := range rng.Perm(len(kinds)) {
+			other := kinds[i]
+			if other == kind || len(distractors) == 3 {
+				continue
+			}
+			distractors = append(distractors, other.String())
+		}
+		questions = append(questions, userstudy.Question{
+			Predicates:  preds,
+			Correct:     kind.String(),
+			Distractors: distractors,
+		})
+	}
+
+	groups := []struct {
+		level userstudy.CompetencyLevel
+		n     int
+	}{
+		{userstudy.Baseline, 200}, // large sample: the analytic 2.5/10
+		{userstudy.PreliminaryKnowledge, 20},
+		{userstudy.UsageExperience, 15},
+		{userstudy.ResearchOrDBA, 13},
+	}
+	res := &Table3Result{}
+	for gi, g := range groups {
+		participants := make([]*userstudy.Participant, g.n)
+		for i := range participants {
+			participants[i] = userstudy.NewParticipant(g.level, repo, int64(gi*1000+i))
+		}
+		res.Rows = append(res.Rows, Table3Row{
+			Group:        g.level.String(),
+			Participants: g.n,
+			AvgCorrect:   userstudy.RunStudy(participants, questions),
+		})
+	}
+	return res, nil
+}
+
+// String prints Table 3.
+func (r *Table3Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: simulated user study (correct answers out of 10)\n")
+	fmt.Fprintf(&sb, "%-32s %14s %14s\n", "Background", "Participants", "Avg correct")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-32s %14d %14.1f\n", row.Group, row.Participants, row.AvgCorrect)
+	}
+	return sb.String()
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dbsherlock/internal/anomaly"
+	"dbsherlock/internal/detect"
+	"dbsherlock/internal/metrics"
+	"dbsherlock/internal/perfaugur"
+	"dbsherlock/internal/workload"
+)
+
+// Table7Row is one detection strategy.
+type Table7Row struct {
+	Name             string
+	Top1Pct, Top2Pct float64
+}
+
+// Table7Result reproduces Table 7 (Appendix E): diagnosis accuracy when
+// the abnormal region comes from manual (ground-truth) selection,
+// DBSherlock's automatic detector, or the PerfAugur baseline.
+type Table7Result struct {
+	Rows []Table7Row
+}
+
+// RunTable7 merges causal models over the whole battery, then diagnoses
+// fresh 10-minute datasets (Appendix E uses longer traces so the normal
+// region dominates) whose abnormal region is supplied by each strategy
+// in turn. testsPerKind fresh traces are generated per anomaly class.
+func RunTable7(b *Battery, testsPerKind int) (*Table7Result, error) {
+	p := mergedParams()
+	models, err := b.mergedModelSet(fullTraining(b), p)
+	if err != nil {
+		return nil, err
+	}
+
+	type strategy struct {
+		name     string
+		regionOf func(d *Dataset) *metrics.Region
+	}
+	strategies := []strategy{
+		{"Manual Anomaly Detection", func(d *Dataset) *metrics.Region { return d.Abnormal }},
+		{"Automatic Anomaly Detection", func(d *Dataset) *metrics.Region {
+			return detect.Detect(d.Data, detect.DefaultParams()).Abnormal
+		}},
+		{"PerfAugur", func(d *Dataset) *metrics.Region {
+			res, ok := perfaugur.Detect(d.Data, workload.AttrAvgLatency, perfaugur.DefaultParams())
+			if !ok {
+				return metrics.NewRegion(d.Data.Rows())
+			}
+			return res.Abnormal
+		}},
+	}
+
+	// Fresh long traces: 10 minutes with one anomaly in the middle.
+	var targets []*Dataset
+	const traceSeconds = 600
+	for _, kind := range b.Kinds() {
+		for t := 0; t < testsPerKind; t++ {
+			cfg := b.Config
+			cfg.Seed = b.Config.Seed + 99000 + int64(kind)*37 + int64(t)
+			duration := 40 + 15*t
+			start := 250 + 13*t
+			injs := []anomaly.Injection{{Kind: kind, Start: start, Duration: duration}}
+			data, abn, err := GenerateDataset(cfg, traceSeconds, injs)
+			if err != nil {
+				return nil, err
+			}
+			targets = append(targets, &Dataset{
+				Kind: kind, Duration: duration,
+				Data: data, Abnormal: abn, Normal: abn.Complement(),
+			})
+		}
+	}
+
+	res := &Table7Result{}
+	for _, st := range strategies {
+		var top1, top2, n int
+		for _, target := range targets {
+			abn := st.regionOf(target)
+			if abn.Empty() || abn.Count() == target.Data.Rows() {
+				n++ // detection failure counts as a miss
+				continue
+			}
+			cp := *target
+			cp.Abnormal = abn
+			cp.Normal = abn.Complement()
+			rank, _, _ := diagnose(models, &cp, p)
+			n++
+			if rank == 1 {
+				top1++
+			}
+			if rank <= 2 {
+				top2++
+			}
+		}
+		res.Rows = append(res.Rows, Table7Row{
+			Name:    st.name,
+			Top1Pct: 100 * float64(top1) / float64(n),
+			Top2Pct: 100 * float64(top2) / float64(n),
+		})
+	}
+	return res, nil
+}
+
+// String prints Table 7.
+func (r *Table7Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table 7 (App. E): diagnosis accuracy by anomaly-detection strategy\n")
+	fmt.Fprintf(&sb, "%-30s %10s %10s\n", "Detection", "Top-1 (%)", "Top-2 (%)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-30s %10.1f %10.1f\n", row.Name, row.Top1Pct, row.Top2Pct)
+	}
+	return sb.String()
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dbsherlock/internal/core"
+	"dbsherlock/internal/domain"
+	"dbsherlock/internal/eval"
+	"dbsherlock/internal/synthetic"
+)
+
+// Table8Result reproduces Table 8 (Appendix F): the confusion matrix of
+// secondary-symptom pruning over randomly generated linear causal
+// graphs with ground-truth rules.
+type Table8Result struct {
+	Matrix eval.PruneConfusion
+	Runs   int
+}
+
+// runPruning executes `runs` rounds of the Appendix F experiment at the
+// given kappa threshold, returning the aggregate confusion matrix.
+func runPruning(runs int, kappaThreshold float64, seed int64) (eval.PruneConfusion, error) {
+	rng := rand.New(rand.NewSource(seed))
+	params := core.DefaultParams()
+	params.Theta = 0.05
+	var matrix eval.PruneConfusion
+	for run := 0; run < runs; run++ {
+		g := synthetic.GenerateGraph(rng, synthetic.DefaultK)
+		ds, abn := g.Dataset(rng, 600, 270, 60)
+		normal := abn.Complement()
+		preds, err := core.Generate(ds, abn, normal, params)
+		if err != nil {
+			return matrix, err
+		}
+		have := make(map[string]bool, len(preds))
+		for _, p := range preds {
+			have[p.Attr] = true
+		}
+		truths := g.RandomRules(rng)
+		rules := make([]domain.Rule, len(truths))
+		for i, rt := range truths {
+			rules[i] = rt.Rule
+		}
+		know, err := domain.NewKnowledge(rules)
+		if err != nil {
+			return matrix, err
+		}
+		know.KappaThreshold = kappaThreshold
+		_, pruned := know.Apply(preds, ds)
+		prunedSet := make(map[string]bool, len(pruned))
+		for _, p := range pruned {
+			prunedSet[p.Predicate.Attr] = true
+		}
+		for _, rt := range truths {
+			// A rule is only actionable when predicates exist on both
+			// its attributes.
+			if !have[rt.Rule.Cause] || !have[rt.Rule.Effect] {
+				continue
+			}
+			wasPruned := prunedSet[rt.Rule.Effect]
+			switch {
+			case wasPruned && rt.ShouldPrune:
+				matrix.PrunedPositive++
+			case wasPruned && !rt.ShouldPrune:
+				matrix.PrunedNegative++
+			case !wasPruned && rt.ShouldPrune:
+				matrix.KeptPositive++
+			default:
+				matrix.KeptNegative++
+			}
+		}
+	}
+	return matrix, nil
+}
+
+// RunTable8 runs the paper's 10,000-graph experiment (configurable for
+// benches).
+func RunTable8(runs int) (*Table8Result, error) {
+	matrix, err := runPruning(runs, domain.DefaultKappaThreshold, 88)
+	if err != nil {
+		return nil, err
+	}
+	return &Table8Result{Matrix: matrix, Runs: runs}, nil
+}
+
+// String prints Table 8 in the paper's column-normalized layout.
+func (r *Table8Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 8 (App. F): secondary-symptom pruning over %d random causal graphs\n", r.Runs)
+	sb.WriteString("                      Actual Positive   Actual Negative\n")
+	fmt.Fprintf(&sb, "Pruned     %19.1f%% %17.1f%%\n",
+		100*r.Matrix.PrunedGivenPositive(), 100*r.Matrix.PrunedGivenNegative())
+	fmt.Fprintf(&sb, "Not Pruned %19.1f%% %17.1f%%\n",
+		100*(1-r.Matrix.PrunedGivenPositive()), 100*(1-r.Matrix.PrunedGivenNegative()))
+	fmt.Fprintf(&sb, "(precision %.1f%%, recall %.1f%%)\n",
+		100*r.Matrix.Precision(), 100*r.Matrix.Recall())
+	return sb.String()
+}
+
+// Fig13Result reproduces Figure 13 (Appendix D): sensitivity of the
+// pruning F1 to the independence-test threshold kappa_t.
+type Fig13Result struct {
+	KappaT []float64
+	F1Pct  []float64
+}
+
+// RunFig13 sweeps kappa_t on the synthetic pruning experiment.
+func RunFig13(runsPerPoint int) (*Fig13Result, error) {
+	res := &Fig13Result{}
+	for _, kt := range []float64{0.01, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3} {
+		matrix, err := runPruning(runsPerPoint, kt, 13)
+		if err != nil {
+			return nil, err
+		}
+		p, rec := matrix.Precision(), matrix.Recall()
+		f1 := 0.0
+		if p+rec > 0 {
+			f1 = 2 * p * rec / (p + rec)
+		}
+		res.KappaT = append(res.KappaT, kt)
+		res.F1Pct = append(res.F1Pct, 100*f1)
+	}
+	return res, nil
+}
+
+// String prints Figure 13.
+func (r *Fig13Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 13 (App. D): pruning F1 vs independence-test threshold kappa_t\n")
+	fmt.Fprintf(&sb, "%-8s %10s\n", "kappa_t", "F1 (%)")
+	for i := range r.KappaT {
+		fmt.Fprintf(&sb, "%-8.2f %10.1f\n", r.KappaT[i], r.F1Pct[i])
+	}
+	return sb.String()
+}

@@ -1,0 +1,56 @@
+// Package metrics defines the data model shared by every DBSherlock
+// component: attributes, columnar datasets of timestamp-aligned tuples,
+// and row regions (abnormal / normal selections).
+//
+// The model mirrors Section 2.1 of the paper: after preprocessing, the
+// input to the diagnostic algorithm is a table of tuples
+//
+//	(Timestamp, Attr1, ..., Attrk)
+//
+// where each attribute is either numeric (an OS or DBMS statistic, or a
+// transaction aggregate) or categorical (a configuration value).
+package metrics
+
+import "fmt"
+
+// Type distinguishes numeric statistics from categorical configuration
+// attributes. The predicate-generation algorithm treats the two
+// differently (Section 4 of the paper).
+type Type int
+
+const (
+	// Numeric attributes hold float64 samples (statistics, counters,
+	// aggregates). They are noisy and go through the full five-step
+	// predicate-generation pipeline.
+	Numeric Type = iota
+	// Categorical attributes hold string values (configuration
+	// parameters, state labels). They get one partition per distinct
+	// value and skip the filtering and gap-filling steps.
+	Categorical
+)
+
+// String returns a human-readable name for the attribute type.
+func (t Type) String() string {
+	switch t {
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Attribute describes one column of the aligned statistics table.
+type Attribute struct {
+	// Name identifies the statistic, e.g. "db.innodb_row_lock_waits".
+	Name string
+	// Type is Numeric or Categorical.
+	Type Type
+}
+
+// NumericAttr is shorthand for a numeric attribute descriptor.
+func NumericAttr(name string) Attribute { return Attribute{Name: name, Type: Numeric} }
+
+// CategoricalAttr is shorthand for a categorical attribute descriptor.
+func CategoricalAttr(name string) Attribute { return Attribute{Name: name, Type: Categorical} }

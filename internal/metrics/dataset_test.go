@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func seqTimestamps(n int) []int64 {
+	ts := make([]int64, n)
+	for i := range ts {
+		ts[i] = int64(1000 + i)
+	}
+	return ts
+}
+
+func TestNewDatasetRejectsUnsortedTimestamps(t *testing.T) {
+	cases := [][]int64{
+		{5, 4},
+		{1, 2, 2},
+		{10, 20, 15},
+	}
+	for _, ts := range cases {
+		if _, err := NewDataset(ts); err == nil {
+			t.Errorf("NewDataset(%v): want error, got nil", ts)
+		}
+	}
+}
+
+func TestNewDatasetAcceptsValidTimestamps(t *testing.T) {
+	for _, ts := range [][]int64{nil, {}, {7}, {1, 2, 3}} {
+		if _, err := NewDataset(ts); err != nil {
+			t.Errorf("NewDataset(%v): unexpected error %v", ts, err)
+		}
+	}
+}
+
+func TestAddColumnValidation(t *testing.T) {
+	ds := MustNewDataset(seqTimestamps(3))
+	if err := ds.AddNumeric("a", []float64{1, 2, 3}); err != nil {
+		t.Fatalf("AddNumeric: %v", err)
+	}
+	if err := ds.AddNumeric("a", []float64{1, 2, 3}); err == nil {
+		t.Error("duplicate column name: want error")
+	}
+	if err := ds.AddNumeric("b", []float64{1, 2}); err == nil {
+		t.Error("wrong length: want error")
+	}
+	if err := ds.AddNumeric("", []float64{1, 2, 3}); err == nil {
+		t.Error("empty name: want error")
+	}
+	if err := ds.AddCategorical("c", []string{"x", "y", "x"}); err != nil {
+		t.Fatalf("AddCategorical: %v", err)
+	}
+	if ds.NumAttrs() != 2 {
+		t.Errorf("NumAttrs = %d, want 2", ds.NumAttrs())
+	}
+}
+
+func TestColumnLookup(t *testing.T) {
+	ds := MustNewDataset(seqTimestamps(2))
+	if err := ds.AddNumeric("lat", []float64{1.5, 2.5}); err != nil {
+		t.Fatal(err)
+	}
+	col, ok := ds.Column("lat")
+	if !ok {
+		t.Fatal("Column(lat) not found")
+	}
+	if col.Attr.Type != Numeric || col.Num[1] != 2.5 {
+		t.Errorf("unexpected column %+v", col)
+	}
+	if _, ok := ds.Column("missing"); ok {
+		t.Error("Column(missing): want !ok")
+	}
+	if !ds.HasColumn("lat") || ds.HasColumn("missing") {
+		t.Error("HasColumn mismatch")
+	}
+}
+
+func TestNumericRange(t *testing.T) {
+	ds := MustNewDataset(seqTimestamps(4))
+	if err := ds.AddNumeric("v", []float64{3, math.NaN(), -1, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddCategorical("c", []string{"a", "a", "b", "a"}); err != nil {
+		t.Fatal(err)
+	}
+	min, max, ok := ds.NumericRange("v")
+	if !ok || min != -1 || max != 7 {
+		t.Errorf("NumericRange(v) = %v,%v,%v; want -1,7,true", min, max, ok)
+	}
+	if _, _, ok := ds.NumericRange("c"); ok {
+		t.Error("NumericRange on categorical: want !ok")
+	}
+	ds2 := MustNewDataset(seqTimestamps(2))
+	if err := ds2.AddNumeric("nan", []float64{math.NaN(), math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := ds2.NumericRange("nan"); ok {
+		t.Error("NumericRange all-NaN: want !ok")
+	}
+}
+
+func TestRowsInTimeRange(t *testing.T) {
+	ds := MustNewDataset([]int64{10, 11, 12, 13, 14})
+	tests := []struct {
+		from, to int64
+		lo, hi   int
+	}{
+		{10, 15, 0, 5},
+		{11, 13, 1, 3},
+		{0, 10, 0, 0},
+		{15, 99, 5, 5},
+		{12, 12, 2, 2},
+	}
+	for _, tc := range tests {
+		lo, hi := ds.RowsInTimeRange(tc.from, tc.to)
+		if lo != tc.lo || hi != tc.hi {
+			t.Errorf("RowsInTimeRange(%d,%d) = %d,%d; want %d,%d",
+				tc.from, tc.to, lo, hi, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	ds := MustNewDataset(seqTimestamps(2))
+	if err := ds.AddNumeric("v", []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddCategorical("c", []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	cp := ds.Clone()
+	col, _ := cp.Column("v")
+	col.Num[0] = 99
+	ccol, _ := cp.Column("c")
+	ccol.Cat[0] = "z"
+	orig, _ := ds.Column("v")
+	if orig.Num[0] != 1 {
+		t.Error("Clone shares numeric storage with original")
+	}
+	origC, _ := ds.Column("c")
+	if origC.Cat[0] != "x" {
+		t.Error("Clone shares categorical storage with original")
+	}
+}
+
+func TestUniqueCategories(t *testing.T) {
+	ds := MustNewDataset(seqTimestamps(4))
+	if err := ds.AddCategorical("c", []string{"b", "a", "b", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ds.UniqueCategories("c")
+	if !ok {
+		t.Fatal("UniqueCategories: !ok")
+	}
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("UniqueCategories = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("UniqueCategories = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAttributesOrder(t *testing.T) {
+	ds := MustNewDataset(seqTimestamps(1))
+	names := []string{"z", "a", "m"}
+	for _, n := range names {
+		if err := ds.AddNumeric(n, []float64{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	attrs := ds.Attributes()
+	for i, n := range names {
+		if attrs[i].Name != n {
+			t.Errorf("attrs[%d] = %q, want %q (insertion order)", i, attrs[i].Name, n)
+		}
+	}
+}
+
+// Property: for any pair (from, to), RowsInTimeRange returns a range that
+// contains exactly the rows with from <= ts < to.
+func TestRowsInTimeRangeProperty(t *testing.T) {
+	ds := MustNewDataset(seqTimestamps(50))
+	f := func(a, b int16) bool {
+		from, to := int64(a), int64(b)
+		lo, hi := ds.RowsInTimeRange(from, to)
+		if lo > hi && from <= to {
+			// lo can exceed hi only when from > to (degenerate query).
+			return false
+		}
+		for i, ts := range ds.Timestamps() {
+			in := ts >= from && ts < to
+			got := i >= lo && i < hi
+			if in != got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+package metrics
+
+import "fmt"
+
+// Region is a selection of dataset rows, used to mark the user-specified
+// abnormal and normal regions (paper Section 2.2). A region is tied to a
+// dataset size but not to a particular dataset instance.
+type Region struct {
+	member []bool
+	count  int
+}
+
+// NewRegion returns an empty region over n rows.
+func NewRegion(n int) *Region { return &Region{member: make([]bool, n)} }
+
+// RegionFromRange returns a region over n rows containing [lo, hi).
+// Bounds are clamped to [0, n].
+func RegionFromRange(n, lo, hi int) *Region {
+	r := NewRegion(n)
+	r.AddRange(lo, hi)
+	return r
+}
+
+// RegionFromIndices returns a region over n rows containing exactly the
+// given row indices. Out-of-range indices panic.
+func RegionFromIndices(n int, rows []int) *Region {
+	r := NewRegion(n)
+	for _, i := range rows {
+		r.Add(i)
+	}
+	return r
+}
+
+// Len returns the number of rows the region is defined over.
+func (r *Region) Len() int { return len(r.member) }
+
+// Count returns the number of selected rows.
+func (r *Region) Count() int { return r.count }
+
+// Empty reports whether no rows are selected.
+func (r *Region) Empty() bool { return r.count == 0 }
+
+// Contains reports whether row i is selected. Out-of-range rows are not
+// contained.
+func (r *Region) Contains(i int) bool {
+	return i >= 0 && i < len(r.member) && r.member[i]
+}
+
+// Add selects row i.
+func (r *Region) Add(i int) {
+	if i < 0 || i >= len(r.member) {
+		panic(fmt.Sprintf("metrics: region row %d out of range [0,%d)", i, len(r.member)))
+	}
+	if !r.member[i] {
+		r.member[i] = true
+		r.count++
+	}
+}
+
+// AddRange selects rows in [lo, hi), clamped to the region bounds.
+func (r *Region) AddRange(lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(r.member) {
+		hi = len(r.member)
+	}
+	for i := lo; i < hi; i++ {
+		r.Add(i)
+	}
+}
+
+// Remove deselects row i if selected.
+func (r *Region) Remove(i int) {
+	if i >= 0 && i < len(r.member) && r.member[i] {
+		r.member[i] = false
+		r.count--
+	}
+}
+
+// Indices returns the selected row indices in increasing order.
+func (r *Region) Indices() []int {
+	out := make([]int, 0, r.count)
+	for i, m := range r.member {
+		if m {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (r *Region) Clone() *Region {
+	out := &Region{member: make([]bool, len(r.member)), count: r.count}
+	copy(out.member, r.member)
+	return out
+}
+
+// Complement returns the region selecting every row not in r. This
+// implements the paper's convention that rows outside the user's
+// abnormal selection are implicitly normal.
+func (r *Region) Complement() *Region {
+	out := NewRegion(len(r.member))
+	for i, m := range r.member {
+		if !m {
+			out.Add(i)
+		}
+	}
+	return out
+}
+
+// Intersects reports whether the two regions share any row.
+func (r *Region) Intersects(o *Region) bool {
+	n := len(r.member)
+	if len(o.member) < n {
+		n = len(o.member)
+	}
+	for i := 0; i < n; i++ {
+		if r.member[i] && o.member[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlap returns the number of rows selected in both regions.
+func (r *Region) Overlap(o *Region) int {
+	n := len(r.member)
+	if len(o.member) < n {
+		n = len(o.member)
+	}
+	var c int
+	for i := 0; i < n; i++ {
+		if r.member[i] && o.member[i] {
+			c++
+		}
+	}
+	return c
+}
+
+// Expand grows the selection by pad rows on each side of every selected
+// run, clamped to the region bounds. A negative pad shrinks each run from
+// both sides instead. Expand is used by the robustness experiments
+// (paper Appendix C) to perturb user-specified region boundaries.
+func (r *Region) Expand(pad int) *Region {
+	if pad == 0 {
+		return r.Clone()
+	}
+	out := NewRegion(len(r.member))
+	if pad > 0 {
+		for i, m := range r.member {
+			if !m {
+				continue
+			}
+			lo, hi := i-pad, i+pad+1
+			out.AddRange(lo, hi)
+		}
+		return out
+	}
+	// Shrink: keep rows whose full ±|pad| neighbourhood is selected.
+	k := -pad
+	for i, m := range r.member {
+		if !m {
+			continue
+		}
+		keep := true
+		for j := i - k; j <= i+k; j++ {
+			if j < 0 || j >= len(r.member) || !r.member[j] {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.Add(i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionBasics(t *testing.T) {
+	r := NewRegion(10)
+	if !r.Empty() || r.Count() != 0 || r.Len() != 10 {
+		t.Fatalf("fresh region: Empty=%v Count=%d Len=%d", r.Empty(), r.Count(), r.Len())
+	}
+	r.Add(3)
+	r.Add(3) // idempotent
+	r.AddRange(5, 8)
+	if r.Count() != 4 {
+		t.Errorf("Count = %d, want 4", r.Count())
+	}
+	for _, i := range []int{3, 5, 6, 7} {
+		if !r.Contains(i) {
+			t.Errorf("Contains(%d) = false, want true", i)
+		}
+	}
+	for _, i := range []int{-1, 0, 4, 8, 10, 99} {
+		if r.Contains(i) {
+			t.Errorf("Contains(%d) = true, want false", i)
+		}
+	}
+	r.Remove(3)
+	r.Remove(3)
+	if r.Contains(3) || r.Count() != 3 {
+		t.Errorf("after Remove: Contains(3)=%v Count=%d", r.Contains(3), r.Count())
+	}
+}
+
+func TestRegionAddRangeClamps(t *testing.T) {
+	r := NewRegion(5)
+	r.AddRange(-3, 99)
+	if r.Count() != 5 {
+		t.Errorf("clamped AddRange Count = %d, want 5", r.Count())
+	}
+}
+
+func TestRegionAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add out of range: want panic")
+		}
+	}()
+	NewRegion(3).Add(3)
+}
+
+func TestRegionFromHelpers(t *testing.T) {
+	r := RegionFromRange(10, 2, 5)
+	if got := r.Indices(); len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Errorf("RegionFromRange indices = %v", got)
+	}
+	r2 := RegionFromIndices(10, []int{9, 0, 4})
+	if got := r2.Indices(); len(got) != 3 || got[0] != 0 || got[1] != 4 || got[2] != 9 {
+		t.Errorf("RegionFromIndices indices = %v", got)
+	}
+}
+
+func TestRegionComplement(t *testing.T) {
+	r := RegionFromRange(6, 1, 3)
+	c := r.Complement()
+	if c.Count() != 4 {
+		t.Errorf("complement count = %d, want 4", c.Count())
+	}
+	for i := 0; i < 6; i++ {
+		if r.Contains(i) == c.Contains(i) {
+			t.Errorf("row %d in both or neither of region and complement", i)
+		}
+	}
+}
+
+func TestRegionOverlapAndIntersects(t *testing.T) {
+	a := RegionFromRange(10, 0, 5)
+	b := RegionFromRange(10, 3, 8)
+	if !a.Intersects(b) || a.Overlap(b) != 2 {
+		t.Errorf("Overlap = %d Intersects = %v; want 2 true", a.Overlap(b), a.Intersects(b))
+	}
+	c := RegionFromRange(10, 8, 10)
+	if a.Intersects(c) || a.Overlap(c) != 0 {
+		t.Error("disjoint regions reported as intersecting")
+	}
+}
+
+func TestRegionExpandGrow(t *testing.T) {
+	r := RegionFromRange(20, 8, 12)
+	g := r.Expand(2)
+	if g.Count() != 8 {
+		t.Errorf("Expand(2) count = %d, want 8", g.Count())
+	}
+	if !g.Contains(6) || !g.Contains(13) || g.Contains(5) || g.Contains(14) {
+		t.Errorf("Expand(2) boundary wrong: %v", g.Indices())
+	}
+}
+
+func TestRegionExpandShrink(t *testing.T) {
+	r := RegionFromRange(20, 8, 12)
+	s := r.Expand(-1)
+	if s.Count() != 2 || !s.Contains(9) || !s.Contains(10) {
+		t.Errorf("Expand(-1) = %v, want [9 10]", s.Indices())
+	}
+	if got := r.Expand(-3); got.Count() != 0 {
+		t.Errorf("Expand(-3) of 4-run = %v, want empty", got.Indices())
+	}
+}
+
+func TestRegionExpandAtBounds(t *testing.T) {
+	r := RegionFromRange(5, 0, 2)
+	g := r.Expand(3)
+	if g.Count() != 5 {
+		t.Errorf("Expand clamps at bounds: count = %d, want 5", g.Count())
+	}
+}
+
+func TestRegionCloneIndependent(t *testing.T) {
+	r := RegionFromRange(5, 1, 3)
+	c := r.Clone()
+	c.Add(4)
+	if r.Contains(4) {
+		t.Error("Clone shares storage")
+	}
+	if c.Count() != 3 || r.Count() != 2 {
+		t.Errorf("counts after clone mutation: clone=%d orig=%d", c.Count(), r.Count())
+	}
+}
+
+// Property: complement is an involution and partitions the rows.
+func TestRegionComplementProperty(t *testing.T) {
+	f := func(mask []bool) bool {
+		r := NewRegion(len(mask))
+		for i, m := range mask {
+			if m {
+				r.Add(i)
+			}
+		}
+		c := r.Complement()
+		if r.Count()+c.Count() != len(mask) {
+			return false
+		}
+		cc := c.Complement()
+		for i := range mask {
+			if cc.Contains(i) != r.Contains(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Expand(k) followed by Expand(-k) never selects rows outside
+// the grown region and always contains the original run interior.
+func TestRegionExpandMonotoneProperty(t *testing.T) {
+	f := func(loRaw, hiRaw, kRaw uint8) bool {
+		n := 40
+		k := int(kRaw)%4 + 1
+		// Keep the run away from the dataset bounds: shrinking treats
+		// out-of-bounds rows as unselected, so edge runs do not round-trip.
+		lo := k + int(loRaw)%(n-16)
+		hi := lo + int(hiRaw)%8
+		r := RegionFromRange(n, lo, hi)
+		g := r.Expand(k)
+		// Growth is monotone: every original row is kept.
+		for _, i := range r.Indices() {
+			if !g.Contains(i) {
+				return false
+			}
+		}
+		// Shrinking the grown region recovers at least the original rows
+		// (runs merge only, never split).
+		back := g.Expand(-k)
+		for _, i := range r.Indices() {
+			if !back.Contains(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

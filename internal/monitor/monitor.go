@@ -1,0 +1,280 @@
+// Package monitor runs DBSherlock's anomaly detection continuously over
+// a stream of per-second statistics — the always-on counterpart of the
+// interactive workflow, mirroring how DBSeer watches a production
+// system. Rows are appended as they are collected; a sliding window is
+// kept; every checkEvery appended rows the detector runs and overlapping
+// findings are deduplicated into alerts.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+
+	"dbsherlock/internal/detect"
+	"dbsherlock/internal/metrics"
+)
+
+// Alert reports one detected anomaly.
+type Alert struct {
+	// Window is a snapshot of the sliding window the detection ran on.
+	Window *metrics.Dataset
+	// Region selects the anomalous rows of Window.
+	Region *metrics.Region
+	// FromTime / ToTime are the anomaly's timestamps (unix seconds,
+	// half-open).
+	FromTime, ToTime int64
+	// SelectedAttrs are the attributes the detector keyed on (when the
+	// detector reports them).
+	SelectedAttrs []string
+}
+
+// Config tunes the monitor. Zero values take defaults.
+type Config struct {
+	// WindowSeconds is the sliding-window length (default 600, the
+	// paper's Appendix E trace length).
+	WindowSeconds int
+	// CheckEvery runs detection after this many appended rows
+	// (default 30).
+	CheckEvery int
+	// CooldownSeconds suppresses a new alert whose region overlaps the
+	// previous alert's time span within this horizon (default 120).
+	CooldownSeconds int
+	// Detector is the detection algorithm (default: the Section 7
+	// DBSCAN detector).
+	Detector detect.Detector
+	// MinAnomalyRows ignores findings whose largest contiguous run is
+	// shorter than this (default 10): isolated spike rows and short
+	// bursts are noise, not anomalies (the paper's injected anomalies
+	// run 30-80 seconds).
+	MinAnomalyRows int
+	// WarmupRows suppresses detection until the window holds at least
+	// this many rows (default max(120, 4*CheckEvery)): tiny windows
+	// mistake startup transients for anomalies.
+	WarmupRows int
+}
+
+func (c *Config) fillDefaults() {
+	if c.WindowSeconds <= 0 {
+		c.WindowSeconds = 600
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 30
+	}
+	if c.CooldownSeconds <= 0 {
+		c.CooldownSeconds = 120
+	}
+	if c.Detector == nil {
+		c.Detector = detect.NewDBSCANDetector()
+	}
+	if c.MinAnomalyRows <= 0 {
+		c.MinAnomalyRows = 10
+	}
+	if c.WarmupRows <= 0 {
+		c.WarmupRows = 4 * c.CheckEvery
+		if c.WarmupRows < 120 {
+			c.WarmupRows = 120
+		}
+	}
+}
+
+// Monitor ingests rows and emits alerts through a callback. It is not
+// safe for concurrent use; serialize Append calls.
+type Monitor struct {
+	cfg     Config
+	onAlert func(Alert)
+
+	attrs   []metrics.Attribute
+	time    []int64
+	numCols [][]float64
+	catCols [][]string
+
+	sinceCheck    int
+	lastAlertFrom int64
+	lastAlertTo   int64
+	alerted       bool
+}
+
+// New builds a monitor; onAlert fires synchronously from Append.
+func New(cfg Config, onAlert func(Alert)) (*Monitor, error) {
+	if onAlert == nil {
+		return nil, errors.New("monitor: onAlert must be non-nil")
+	}
+	cfg.fillDefaults()
+	return &Monitor{cfg: cfg, onAlert: onAlert}, nil
+}
+
+// WindowSize returns the number of rows currently buffered.
+func (m *Monitor) WindowSize() int { return len(m.time) }
+
+// Append ingests a chunk of aligned statistics (e.g. one collector
+// flush). The first chunk fixes the schema; later chunks must match it
+// and continue the timeline.
+func (m *Monitor) Append(ds *metrics.Dataset) error {
+	if ds == nil || ds.Rows() == 0 {
+		return nil
+	}
+	if m.attrs == nil {
+		m.initSchema(ds)
+	}
+	if err := m.checkSchema(ds); err != nil {
+		return err
+	}
+	ts := ds.Timestamps()
+	if len(m.time) > 0 && ts[0] <= m.time[len(m.time)-1] {
+		return fmt.Errorf("monitor: chunk starts at %d, window already ends at %d",
+			ts[0], m.time[len(m.time)-1])
+	}
+
+	for i := 0; i < ds.Rows(); i++ {
+		m.time = append(m.time, ts[i])
+		ni, ci := 0, 0
+		for a := 0; a < ds.NumAttrs(); a++ {
+			col := ds.ColumnAt(a)
+			if col.Attr.Type == metrics.Numeric {
+				m.numCols[ni] = append(m.numCols[ni], col.Num[i])
+				ni++
+			} else {
+				m.catCols[ci] = append(m.catCols[ci], col.Cat[i])
+				ci++
+			}
+		}
+		m.sinceCheck++
+	}
+	m.trim()
+
+	if m.sinceCheck >= m.cfg.CheckEvery {
+		m.sinceCheck = 0
+		m.runDetection()
+	}
+	return nil
+}
+
+func (m *Monitor) initSchema(ds *metrics.Dataset) {
+	m.attrs = ds.Attributes()
+	for _, a := range m.attrs {
+		if a.Type == metrics.Numeric {
+			m.numCols = append(m.numCols, nil)
+		} else {
+			m.catCols = append(m.catCols, nil)
+		}
+	}
+}
+
+func (m *Monitor) checkSchema(ds *metrics.Dataset) error {
+	attrs := ds.Attributes()
+	if len(attrs) != len(m.attrs) {
+		return fmt.Errorf("monitor: chunk has %d attributes, window schema has %d", len(attrs), len(m.attrs))
+	}
+	for i, a := range attrs {
+		if a != m.attrs[i] {
+			return fmt.Errorf("monitor: attribute %d is %v, window schema has %v", i, a, m.attrs[i])
+		}
+	}
+	return nil
+}
+
+// trim drops rows older than the window.
+func (m *Monitor) trim() {
+	excess := len(m.time) - m.cfg.WindowSeconds
+	if excess <= 0 {
+		return
+	}
+	m.time = m.time[excess:]
+	for i := range m.numCols {
+		m.numCols[i] = m.numCols[i][excess:]
+	}
+	for i := range m.catCols {
+		m.catCols[i] = m.catCols[i][excess:]
+	}
+}
+
+// snapshot materializes the window as a Dataset.
+func (m *Monitor) snapshot() (*metrics.Dataset, error) {
+	ds, err := metrics.NewDataset(append([]int64(nil), m.time...))
+	if err != nil {
+		return nil, err
+	}
+	ni, ci := 0, 0
+	for _, a := range m.attrs {
+		if a.Type == metrics.Numeric {
+			if err := ds.AddNumeric(a.Name, append([]float64(nil), m.numCols[ni]...)); err != nil {
+				return nil, err
+			}
+			ni++
+		} else {
+			if err := ds.AddCategorical(a.Name, append([]string(nil), m.catCols[ci]...)); err != nil {
+				return nil, err
+			}
+			ci++
+		}
+	}
+	return ds, nil
+}
+
+func (m *Monitor) runDetection() {
+	if len(m.time) < m.cfg.WarmupRows {
+		return
+	}
+	window, err := m.snapshot()
+	if err != nil {
+		return // a malformed window cannot alert; next append rebuilds it
+	}
+	var region *metrics.Region
+	var ok bool
+	var selected []string
+	if dd, isDBSCAN := m.cfg.Detector.(detect.DBSCANDetector); isDBSCAN {
+		// Run the full Section 7 pipeline once so the alert can carry
+		// the selected attributes without a second detection pass.
+		res := detect.Detect(window, dd.Params)
+		region, ok, selected = res.Abnormal, !res.Abnormal.Empty(), res.SelectedAttrs
+	} else {
+		region, ok = m.cfg.Detector.FindRegion(window)
+	}
+	if !ok {
+		return
+	}
+	runLo, runHi := largestRun(region.Indices())
+	if runHi-runLo < m.cfg.MinAnomalyRows {
+		return
+	}
+	from := m.time[runLo]
+	to := m.time[runHi-1] + 1
+
+	// Deduplicate: skip alerts overlapping the previous alert's span
+	// within the cooldown horizon.
+	if m.alerted && from <= m.lastAlertTo+int64(m.cfg.CooldownSeconds) {
+		// Extend the remembered span so a long anomaly keeps being
+		// suppressed rather than re-alerting every check.
+		if to > m.lastAlertTo {
+			m.lastAlertTo = to
+		}
+		return
+	}
+	m.alerted = true
+	m.lastAlertFrom, m.lastAlertTo = from, to
+
+	m.onAlert(Alert{
+		Window: window, Region: region,
+		FromTime: from, ToTime: to,
+		SelectedAttrs: selected,
+	})
+}
+
+// largestRun returns the half-open index bounds of the longest
+// consecutive run in sorted indices.
+func largestRun(idx []int) (lo, hi int) {
+	if len(idx) == 0 {
+		return 0, 0
+	}
+	bestLo, bestHi := idx[0], idx[0]+1
+	curLo := idx[0]
+	for i := 1; i < len(idx); i++ {
+		if idx[i] != idx[i-1]+1 {
+			curLo = idx[i]
+		}
+		if idx[i]+1-curLo > bestHi-bestLo {
+			bestLo, bestHi = curLo, idx[i]+1
+		}
+	}
+	return bestLo, bestHi
+}

@@ -1,0 +1,175 @@
+package monitor
+
+import (
+	"testing"
+
+	"dbsherlock/internal/anomaly"
+	"dbsherlock/internal/collector"
+	"dbsherlock/internal/detect"
+	"dbsherlock/internal/metrics"
+	"dbsherlock/internal/workload"
+)
+
+// chunked slices a dataset into consecutive chunks of the given size.
+func chunked(t *testing.T, ds *metrics.Dataset, size int) []*metrics.Dataset {
+	t.Helper()
+	var out []*metrics.Dataset
+	ts := ds.Timestamps()
+	for lo := 0; lo < ds.Rows(); lo += size {
+		hi := lo + size
+		if hi > ds.Rows() {
+			hi = ds.Rows()
+		}
+		chunk := metrics.MustNewDataset(ts[lo:hi])
+		for a := 0; a < ds.NumAttrs(); a++ {
+			col := ds.ColumnAt(a)
+			var err error
+			if col.Attr.Type == metrics.Numeric {
+				err = chunk.AddNumeric(col.Attr.Name, col.Num[lo:hi])
+			} else {
+				err = chunk.AddCategorical(col.Attr.Name, col.Cat[lo:hi])
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		out = append(out, chunk)
+	}
+	return out
+}
+
+func simTrace(t *testing.T, seconds int, injs []anomaly.Injection, seed int64) *metrics.Dataset {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Seed = seed
+	logs := workload.NewSimulator(cfg).Run(1000, seconds, anomaly.Perturb(injs))
+	ds, err := collector.Align(logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestMonitorAlertsOnInjectedAnomaly(t *testing.T) {
+	trace := simTrace(t, 600, []anomaly.Injection{
+		{Kind: anomaly.IOSaturation, Start: 400, Duration: 60},
+	}, 1)
+
+	var alerts []Alert
+	m, err := New(Config{WindowSeconds: 300, CheckEvery: 30}, func(a Alert) {
+		alerts = append(alerts, a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range chunked(t, trace, 30) {
+		if err := m.Append(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(alerts) == 0 {
+		t.Fatal("no alert for a 60-second I/O saturation")
+	}
+	first := alerts[0]
+	// The anomaly runs over unix seconds [1400, 1460).
+	if first.ToTime <= 1400 || first.FromTime >= 1460 {
+		t.Errorf("alert span [%d, %d) misses the anomaly [1400, 1460)", first.FromTime, first.ToTime)
+	}
+	if len(first.SelectedAttrs) == 0 {
+		t.Error("DBSCAN alert should carry the selected attributes")
+	}
+	// Cooldown: one anomaly should not fire an alert storm.
+	if len(alerts) > 3 {
+		t.Errorf("%d alerts for a single anomaly", len(alerts))
+	}
+}
+
+func TestMonitorQuietOnHealthyTrace(t *testing.T) {
+	trace := simTrace(t, 400, nil, 2)
+	fired := 0
+	m, err := New(Config{WindowSeconds: 300, CheckEvery: 25}, func(Alert) { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range chunked(t, trace, 25) {
+		if err := m.Append(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired > 1 {
+		t.Errorf("healthy trace fired %d alerts", fired)
+	}
+}
+
+func TestMonitorWindowTrimming(t *testing.T) {
+	trace := simTrace(t, 120, nil, 3)
+	m, err := New(Config{WindowSeconds: 50, CheckEvery: 1000}, func(Alert) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range chunked(t, trace, 20) {
+		if err := m.Append(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.WindowSize() != 50 {
+		t.Errorf("window size = %d, want 50", m.WindowSize())
+	}
+}
+
+func TestMonitorSchemaValidation(t *testing.T) {
+	trace := simTrace(t, 40, nil, 4)
+	m, err := New(Config{}, func(Alert) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := chunked(t, trace, 20)
+	if err := m.Append(chunks[0]); err != nil {
+		t.Fatal(err)
+	}
+	// A chunk with a different schema is rejected.
+	other := metrics.MustNewDataset([]int64{5000})
+	if err := other.AddNumeric("different", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(other); err == nil {
+		t.Error("schema mismatch: want error")
+	}
+	// A chunk that rewinds time is rejected.
+	if err := m.Append(chunks[0]); err == nil {
+		t.Error("time rewind: want error")
+	}
+	// Empty appends are no-ops.
+	if err := m.Append(nil); err != nil {
+		t.Errorf("nil append: %v", err)
+	}
+}
+
+func TestMonitorCustomDetector(t *testing.T) {
+	trace := simTrace(t, 500, []anomaly.Injection{
+		{Kind: anomaly.NetworkCongestion, Start: 350, Duration: 50},
+	}, 5)
+	fired := 0
+	m, err := New(Config{
+		WindowSeconds: 300,
+		CheckEvery:    25,
+		Detector:      detect.ThresholdDetector{Indicator: workload.AttrAvgLatency},
+	}, func(Alert) { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range chunked(t, trace, 25) {
+		if err := m.Append(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired == 0 {
+		t.Error("threshold detector never fired on a latency explosion")
+	}
+}
+
+func TestMonitorRequiresCallback(t *testing.T) {
+	if _, err := New(Config{}, nil); err == nil {
+		t.Error("nil callback: want error")
+	}
+}

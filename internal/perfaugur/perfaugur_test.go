@@ -1,0 +1,133 @@
+package perfaugur
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbsherlock/internal/metrics"
+)
+
+// trace builds a dataset whose "latency" sits at base with noise and
+// jumps to spike over [s1, s2).
+func trace(t *testing.T, n, s1, s2 int, base, spike float64, seed int64) *metrics.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]int64, n)
+	vals := make([]float64, n)
+	for i := range ts {
+		ts[i] = int64(i)
+		v := base
+		if i >= s1 && i < s2 {
+			v = spike
+		}
+		vals[i] = v + 2*rng.NormFloat64()
+	}
+	ds := metrics.MustNewDataset(ts)
+	if err := ds.AddNumeric("latency", vals); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestDetectFindsSpikeInterval(t *testing.T) {
+	ds := trace(t, 600, 300, 360, 20, 200, 1)
+	res, ok := Detect(ds, "latency", DefaultParams())
+	if !ok {
+		t.Fatal("Detect failed")
+	}
+	truth := metrics.RegionFromRange(600, 300, 360)
+	if ov := res.Abnormal.Overlap(truth); ov < 50 {
+		t.Errorf("overlap = %d/60 (interval %d..%d)", ov, res.Start, res.End)
+	}
+	if res.Abnormal.Count() > 90 {
+		t.Errorf("interval too wide: %d rows", res.Abnormal.Count())
+	}
+	if res.Score <= 0 {
+		t.Errorf("score = %v, want positive", res.Score)
+	}
+}
+
+func TestDetectMissingIndicator(t *testing.T) {
+	ds := trace(t, 100, 40, 60, 10, 100, 2)
+	if _, ok := Detect(ds, "ghost", DefaultParams()); ok {
+		t.Error("want !ok for missing indicator")
+	}
+}
+
+func TestDetectTooShort(t *testing.T) {
+	ds := trace(t, 8, 2, 4, 10, 100, 3)
+	if _, ok := Detect(ds, "latency", DefaultParams()); ok {
+		t.Error("want !ok for a trace shorter than MinLen+2")
+	}
+}
+
+func TestDetectPrefersSustainedOverSpike(t *testing.T) {
+	// One extreme single-row spike vs a sustained moderate shift: the
+	// sqrt(len) scaling must prefer the sustained window.
+	rng := rand.New(rand.NewSource(4))
+	n := 400
+	ts := make([]int64, n)
+	vals := make([]float64, n)
+	for i := range ts {
+		ts[i] = int64(i)
+		vals[i] = 20 + rng.NormFloat64()
+		if i >= 200 && i < 260 {
+			vals[i] = 60 + rng.NormFloat64()
+		}
+	}
+	vals[50] = 10000 // lone spike
+	ds := metrics.MustNewDataset(ts)
+	if err := ds.AddNumeric("latency", vals); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := Detect(ds, "latency", DefaultParams())
+	if !ok {
+		t.Fatal("Detect failed")
+	}
+	if res.Start < 150 || res.Start > 260 {
+		t.Errorf("detected %d..%d, want the sustained window near 200..260", res.Start, res.End)
+	}
+}
+
+func TestTopKDisjoint(t *testing.T) {
+	// Two separated anomalies.
+	rng := rand.New(rand.NewSource(5))
+	n := 500
+	ts := make([]int64, n)
+	vals := make([]float64, n)
+	for i := range ts {
+		ts[i] = int64(i)
+		vals[i] = 20 + rng.NormFloat64()
+		if (i >= 100 && i < 140) || (i >= 350 && i < 400) {
+			vals[i] = 120 + rng.NormFloat64()
+		}
+	}
+	ds := metrics.MustNewDataset(ts)
+	if err := ds.AddNumeric("latency", vals); err != nil {
+		t.Fatal(err)
+	}
+	results := TopK(ds, "latency", DefaultParams(), 2)
+	if len(results) != 2 {
+		t.Fatalf("TopK returned %d intervals", len(results))
+	}
+	if results[0].Abnormal.Intersects(results[1].Abnormal) {
+		t.Error("TopK intervals overlap")
+	}
+	SortByStart(results)
+	if results[0].Start > 150 || results[1].Start < 300 {
+		t.Errorf("intervals at %d and %d, want near 100 and 350", results[0].Start, results[1].Start)
+	}
+}
+
+func TestDetectTightInterval(t *testing.T) {
+	// The window-mean score peaks at the exact anomaly extent rather
+	// than rewarding dilution with normal rows.
+	ds := trace(t, 400, 150, 200, 20, 200, 7)
+	res, ok := Detect(ds, "latency", DefaultParams())
+	if !ok {
+		t.Fatal("Detect failed")
+	}
+	if res.Start < 145 || res.Start > 155 || res.End < 195 || res.End > 205 {
+		t.Errorf("interval %d..%d, want ~150..200", res.Start, res.End)
+	}
+}

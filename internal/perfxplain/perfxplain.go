@@ -1,0 +1,494 @@
+// Package perfxplain reimplements the PerfXplain explanation baseline
+// [34] adapted to OLTP statistics tuples, following the paper's own
+// adaptation (Section 8.4): PerfXplain originally explains why pairs of
+// MapReduce jobs performed differently; here it operates on pairs of
+// per-second statistics tuples, answering the query
+//
+//	EXPECTED avg_latency_difference = insignificant
+//	OBSERVED avg_latency_difference = significant
+//
+// where two latencies differ significantly if their difference is at
+// least 50% of the smaller value. Like the original tool, which shows
+// the user a ranked list of candidate explanations, the model is a small
+// set of explanation clauses; each clause is a conjunction of pair-level
+// predicates ("attr is similar / higher / lower across the pair")
+// selected greedily by a weighted precision/recall score over a sample
+// of tuple pairs (2,000 samples, weight 0.8, and 2 predicates per
+// clause, as in Section 8.4). Clauses are learned by sequential
+// covering: each subsequent clause explains the anomalous pairs the
+// previous clauses missed.
+package perfxplain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"dbsherlock/internal/metrics"
+	"dbsherlock/internal/stats"
+)
+
+// Relation is the value of one pair-feature.
+type Relation int
+
+const (
+	// Similar: the two numeric values differ by less than the
+	// similarity fraction of the attribute's range (or the two
+	// categorical values are equal).
+	Similar Relation = iota
+	// Higher: the first (higher-latency) tuple's value is higher.
+	Higher
+	// Lower: the first tuple's value is lower.
+	Lower
+	// Different: categorical values differ.
+	Different
+)
+
+// String returns the relation name.
+func (r Relation) String() string {
+	switch r {
+	case Similar:
+		return "similar"
+	case Higher:
+		return "higher"
+	case Lower:
+		return "lower"
+	case Different:
+		return "different"
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// PairPredicate tests one attribute's relation across a tuple pair.
+type PairPredicate struct {
+	Attr     string
+	Relation Relation
+}
+
+// String renders the predicate as "attr_diff=relation".
+func (p PairPredicate) String() string {
+	return fmt.Sprintf("%s_diff=%s", p.Attr, p.Relation)
+}
+
+// Params configure training. The defaults follow Section 8.4.
+type Params struct {
+	// NumPairs is the number of sampled tuple pairs.
+	NumPairs int
+	// Weight balances precision against recall in the greedy score.
+	Weight float64
+	// NumPredicates is the clause size (the paper tried 1-10 and found
+	// 2 best).
+	NumPredicates int
+	// NumExplanations is how many ranked explanation clauses are
+	// learned (PerfXplain presents a ranked list to the user).
+	NumExplanations int
+	// SimilarFraction: numeric values within this fraction of the
+	// attribute's observed range count as similar.
+	SimilarFraction float64
+	// SignificantFraction: latencies differ significantly if the
+	// difference is at least this fraction of the smaller value.
+	SignificantFraction float64
+	// RefSamples is how many low-latency reference tuples each test
+	// tuple is paired with during classification.
+	RefSamples int
+	// Seed drives pair sampling.
+	Seed int64
+}
+
+// DefaultParams returns the configuration of Section 8.4.
+func DefaultParams() Params {
+	return Params{
+		NumPairs:            2000,
+		Weight:              0.8,
+		NumPredicates:       2,
+		NumExplanations:     3,
+		SimilarFraction:     0.1,
+		SignificantFraction: 0.5,
+		RefSamples:          50,
+		Seed:                1,
+	}
+}
+
+// tuple addresses one row of one training dataset.
+type tuple struct {
+	ds  int
+	row int
+}
+
+// Explanation is a trained PerfXplain model: a ranked list of clauses,
+// each a conjunction of pair predicates.
+type Explanation struct {
+	Clauses [][]PairPredicate
+	params  Params
+	// latencyAttr names the performance indicator.
+	latencyAttr string
+	// ranges holds each numeric attribute's observed range over the
+	// training data, for the similarity test.
+	ranges map[string]float64
+	// refs are reference tuples (values per attribute) with low latency,
+	// used to classify new tuples.
+	refs []map[string]float64
+	refC []map[string]string
+}
+
+// String renders the ranked explanation clauses.
+func (e *Explanation) String() string {
+	clauses := make([]string, len(e.Clauses))
+	for ci, clause := range e.Clauses {
+		parts := make([]string, len(clause))
+		for i, p := range clause {
+			parts[i] = p.String()
+		}
+		clauses[ci] = strings.Join(parts, " ∧ ")
+	}
+	return strings.Join(clauses, " | ")
+}
+
+// Train learns an explanation from the training datasets. All datasets
+// must share the latency attribute; attributes are considered by name.
+func Train(datasets []*metrics.Dataset, latencyAttr string, p Params) (*Explanation, error) {
+	if len(datasets) == 0 {
+		return nil, errors.New("perfxplain: no training datasets")
+	}
+	if p.NumPairs <= 0 || p.NumPredicates <= 0 {
+		return nil, errors.New("perfxplain: NumPairs and NumPredicates must be positive")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Index all training tuples and attribute ranges.
+	var tuples []tuple
+	for d, ds := range datasets {
+		if !ds.HasColumn(latencyAttr) {
+			return nil, fmt.Errorf("perfxplain: dataset %d lacks latency attribute %q", d, latencyAttr)
+		}
+		for r := 0; r < ds.Rows(); r++ {
+			tuples = append(tuples, tuple{ds: d, row: r})
+		}
+	}
+	if len(tuples) < 2 {
+		return nil, errors.New("perfxplain: not enough training tuples")
+	}
+	ranges := attributeRanges(datasets)
+
+	// Sample pairs, oriented so the first tuple has the higher latency;
+	// label each pair by latency-difference significance.
+	type pair struct {
+		hi, lo    tuple
+		anomalous bool
+	}
+	pairs := make([]pair, 0, p.NumPairs)
+	for len(pairs) < p.NumPairs {
+		a := tuples[rng.Intn(len(tuples))]
+		b := tuples[rng.Intn(len(tuples))]
+		if a == b {
+			continue
+		}
+		la := numValue(datasets[a.ds], latencyAttr, a.row)
+		lb := numValue(datasets[b.ds], latencyAttr, b.row)
+		if math.IsNaN(la) || math.IsNaN(lb) {
+			continue
+		}
+		if lb > la {
+			a, b = b, a
+			la, lb = lb, la
+		}
+		smaller := math.Max(lb, 1e-9)
+		pairs = append(pairs, pair{hi: a, lo: b, anomalous: (la - lb) >= p.SignificantFraction*smaller})
+	}
+
+	// Candidate predicates: every (attribute, relation) combination
+	// except the latency attribute itself.
+	var candidates []PairPredicate
+	for _, attr := range datasets[0].Attributes() {
+		if attr.Name == latencyAttr {
+			continue
+		}
+		if attr.Type == metrics.Numeric {
+			for _, rel := range []Relation{Similar, Higher, Lower} {
+				candidates = append(candidates, PairPredicate{Attr: attr.Name, Relation: rel})
+			}
+		} else {
+			for _, rel := range []Relation{Similar, Different} {
+				candidates = append(candidates, PairPredicate{Attr: attr.Name, Relation: rel})
+			}
+		}
+	}
+
+	e := &Explanation{params: p, latencyAttr: latencyAttr, ranges: ranges}
+	matches := func(pred PairPredicate, pr pair) bool {
+		return e.pairMatches(pred,
+			datasets[pr.hi.ds], pr.hi.row,
+			datasets[pr.lo.ds], pr.lo.row)
+	}
+
+	// Sequential covering: learn up to NumExplanations clauses, each a
+	// greedy conjunction maximizing weight*precision + (1-weight)*recall
+	// over the anomalous pairs not yet covered by earlier clauses.
+	numExpl := p.NumExplanations
+	if numExpl < 1 {
+		numExpl = 1
+	}
+	covered := make([]bool, len(pairs))
+	for len(e.Clauses) < numExpl {
+		selected := make([]PairPredicate, 0, p.NumPredicates)
+		matched := make([]bool, len(pairs))
+		for i := range matched {
+			matched[i] = true
+		}
+		for len(selected) < p.NumPredicates {
+			bestScore := math.Inf(-1)
+			bestIdx := -1
+			var bestMatched []bool
+			for ci, cand := range candidates {
+				dup := false
+				for _, s := range selected {
+					if s.Attr == cand.Attr {
+						dup = true // one relation per attribute
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				var tp, fp, fn int
+				cm := make([]bool, len(pairs))
+				for pi, pr := range pairs {
+					m := matched[pi] && matches(cand, pr)
+					cm[pi] = m
+					switch {
+					case m && pr.anomalous && !covered[pi]:
+						tp++
+					case m && !pr.anomalous:
+						fp++
+					case !m && pr.anomalous && !covered[pi]:
+						fn++
+					}
+				}
+				if tp == 0 {
+					continue
+				}
+				precision := float64(tp) / float64(tp+fp)
+				recall := float64(tp) / float64(tp+fn)
+				score := p.Weight*precision + (1-p.Weight)*recall
+				if score > bestScore {
+					bestScore, bestIdx, bestMatched = score, ci, cm
+				}
+			}
+			if bestIdx < 0 {
+				break
+			}
+			selected = append(selected, candidates[bestIdx])
+			matched = bestMatched
+		}
+		if len(selected) == 0 {
+			break
+		}
+		// Accept the clause only if it is reasonably precise on the
+		// pairs it matches; PerfXplain ranks candidate explanations, so
+		// a low-scoring residual clause would never be shown.
+		var tp, fp, newlyCovered int
+		for pi, m := range matched {
+			if !m {
+				continue
+			}
+			if pairs[pi].anomalous {
+				if !covered[pi] {
+					tp++
+				}
+			} else {
+				fp++
+			}
+		}
+		if tp == 0 || float64(tp)/float64(tp+fp) < 0.5 {
+			break
+		}
+		for pi, m := range matched {
+			if m && !covered[pi] {
+				covered[pi] = true
+				if pairs[pi].anomalous {
+					newlyCovered++
+				}
+			}
+		}
+		if newlyCovered == 0 {
+			break
+		}
+		e.Clauses = append(e.Clauses, selected)
+	}
+	if len(e.Clauses) == 0 {
+		return nil, errors.New("perfxplain: no predicate matched any anomalous pair")
+	}
+
+	// Collect low-latency reference tuples for classification: tuples
+	// whose latency is at or below the training median.
+	var allLat []float64
+	for _, tp := range tuples {
+		allLat = append(allLat, numValue(datasets[tp.ds], latencyAttr, tp.row))
+	}
+	medLat := stats.Median(allLat)
+	var lowLat []tuple
+	for i, tp := range tuples {
+		if allLat[i] <= medLat {
+			lowLat = append(lowLat, tp)
+		}
+	}
+	nRefs := p.RefSamples
+	if nRefs > len(lowLat) {
+		nRefs = len(lowLat)
+	}
+	rng.Shuffle(len(lowLat), func(i, j int) { lowLat[i], lowLat[j] = lowLat[j], lowLat[i] })
+	for _, tp := range lowLat[:nRefs] {
+		num := make(map[string]float64)
+		cat := make(map[string]string)
+		ds := datasets[tp.ds]
+		for _, attr := range ds.Attributes() {
+			col, _ := ds.Column(attr.Name)
+			if attr.Type == metrics.Numeric {
+				num[attr.Name] = col.Num[tp.row]
+			} else {
+				cat[attr.Name] = col.Cat[tp.row]
+			}
+		}
+		e.refs = append(e.refs, num)
+		e.refC = append(e.refC, cat)
+	}
+	return e, nil
+}
+
+// Classify flags the rows of a dataset the explanation deems abnormal: a
+// row is abnormal if, for at least one clause, at least half of the
+// row's pairings with the reference tuples satisfy every pair-predicate
+// of that clause.
+func (e *Explanation) Classify(ds *metrics.Dataset) *metrics.Region {
+	out := metrics.NewRegion(ds.Rows())
+	if len(e.refs) == 0 {
+		return out
+	}
+	for row := 0; row < ds.Rows(); row++ {
+		for _, clause := range e.Clauses {
+			hits := 0
+			for ref := range e.refs {
+				all := true
+				for _, pred := range clause {
+					if !e.matchAgainstRef(pred, ds, row, ref) {
+						all = false
+						break
+					}
+				}
+				if all {
+					hits++
+				}
+			}
+			if hits*2 >= len(e.refs) {
+				out.Add(row)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// pairMatches evaluates a pair predicate with the higher-latency tuple
+// first.
+func (e *Explanation) pairMatches(pred PairPredicate, dsHi *metrics.Dataset, rowHi int, dsLo *metrics.Dataset, rowLo int) bool {
+	colHi, ok := dsHi.Column(pred.Attr)
+	if !ok {
+		return false
+	}
+	if colHi.Attr.Type == metrics.Numeric {
+		vHi := numValue(dsHi, pred.Attr, rowHi)
+		vLo := numValue(dsLo, pred.Attr, rowLo)
+		if math.IsNaN(vHi) || math.IsNaN(vLo) {
+			return false
+		}
+		return e.numericRelation(pred.Attr, vHi, vLo) == pred.Relation
+	}
+	cHi := catValue(dsHi, pred.Attr, rowHi)
+	cLo := catValue(dsLo, pred.Attr, rowLo)
+	if cHi == cLo {
+		return pred.Relation == Similar
+	}
+	return pred.Relation == Different
+}
+
+// matchAgainstRef pairs a test row (treated as the higher-latency side)
+// with one stored reference tuple.
+func (e *Explanation) matchAgainstRef(pred PairPredicate, ds *metrics.Dataset, row, ref int) bool {
+	col, ok := ds.Column(pred.Attr)
+	if !ok {
+		return false
+	}
+	if col.Attr.Type == metrics.Numeric {
+		v := col.Num[row]
+		rv, ok := e.refs[ref][pred.Attr]
+		if !ok || math.IsNaN(v) || math.IsNaN(rv) {
+			return false
+		}
+		return e.numericRelation(pred.Attr, v, rv) == pred.Relation
+	}
+	rv, ok := e.refC[ref][pred.Attr]
+	if !ok {
+		return false
+	}
+	if col.Cat[row] == rv {
+		return pred.Relation == Similar
+	}
+	return pred.Relation == Different
+}
+
+func (e *Explanation) numericRelation(attr string, first, second float64) Relation {
+	span := e.ranges[attr]
+	if math.Abs(first-second) <= e.params.SimilarFraction*span {
+		return Similar
+	}
+	if first > second {
+		return Higher
+	}
+	return Lower
+}
+
+func attributeRanges(datasets []*metrics.Dataset) map[string]float64 {
+	out := make(map[string]float64)
+	mins := make(map[string]float64)
+	maxs := make(map[string]float64)
+	for _, ds := range datasets {
+		for _, attr := range ds.Attributes() {
+			if attr.Type != metrics.Numeric {
+				continue
+			}
+			lo, hi, ok := ds.NumericRange(attr.Name)
+			if !ok {
+				continue
+			}
+			if cur, seen := mins[attr.Name]; !seen || lo < cur {
+				mins[attr.Name] = lo
+			}
+			if cur, seen := maxs[attr.Name]; !seen || hi > cur {
+				maxs[attr.Name] = hi
+			}
+		}
+	}
+	for name := range mins {
+		out[name] = maxs[name] - mins[name]
+	}
+	return out
+}
+
+func numValue(ds *metrics.Dataset, attr string, row int) float64 {
+	col, ok := ds.Column(attr)
+	if !ok || col.Attr.Type != metrics.Numeric {
+		return math.NaN()
+	}
+	return col.Num[row]
+}
+
+func catValue(ds *metrics.Dataset, attr string, row int) string {
+	col, ok := ds.Column(attr)
+	if !ok || col.Attr.Type != metrics.Categorical {
+		return ""
+	}
+	return col.Cat[row]
+}

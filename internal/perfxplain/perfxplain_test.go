@@ -1,0 +1,140 @@
+package perfxplain
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbsherlock/internal/metrics"
+)
+
+// anomalyDataset builds a dataset where latency and "culprit" jump
+// together during [aStart, aEnd) and "bystander" stays flat.
+func anomalyDataset(t *testing.T, rows, aStart, aEnd int, seed int64) *metrics.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]int64, rows)
+	lat := make([]float64, rows)
+	culprit := make([]float64, rows)
+	bystander := make([]float64, rows)
+	state := make([]string, rows)
+	for i := range ts {
+		ts[i] = int64(i)
+		if i >= aStart && i < aEnd {
+			lat[i] = 200 + 10*rng.NormFloat64()
+			culprit[i] = 900 + 30*rng.NormFloat64()
+			state[i] = "degraded"
+		} else {
+			lat[i] = 10 + 1*rng.NormFloat64()
+			culprit[i] = 100 + 30*rng.NormFloat64()
+			state[i] = "ok"
+		}
+		bystander[i] = 50 + 5*rng.NormFloat64()
+	}
+	ds := metrics.MustNewDataset(ts)
+	for name, col := range map[string][]float64{"latency": lat, "culprit": culprit, "bystander": bystander} {
+		if err := ds.AddNumeric(name, col); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.AddCategorical("state", state); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTrainPicksCulprit(t *testing.T) {
+	var train []*metrics.Dataset
+	for s := int64(1); s <= 3; s++ {
+		train = append(train, anomalyDataset(t, 200, 120, 160, s))
+	}
+	e, err := Train(train, "latency", DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Clauses) == 0 {
+		t.Fatalf("no clauses: %v", e)
+	}
+	// The top clause should involve the culprit or the categorical
+	// state, not the bystander.
+	for _, p := range e.Clauses[0] {
+		if len(e.Clauses[0]) > 2 {
+			t.Fatalf("clause too large: %v", e.Clauses[0])
+		}
+		if p.Attr == "bystander" {
+			t.Errorf("bystander selected first: %v", e.Clauses[0])
+		}
+	}
+}
+
+func TestClassifyRecoversAbnormalRegion(t *testing.T) {
+	var train []*metrics.Dataset
+	for s := int64(1); s <= 3; s++ {
+		train = append(train, anomalyDataset(t, 200, 120, 160, s))
+	}
+	e, err := Train(train, "latency", DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := anomalyDataset(t, 200, 100, 140, 99)
+	got := e.Classify(test)
+	truth := metrics.RegionFromRange(200, 100, 140)
+	tp := got.Overlap(truth)
+	fp := got.Count() - tp
+	if tp < 30 {
+		t.Errorf("true positives = %d/40", tp)
+	}
+	if fp > 20 {
+		t.Errorf("false positives = %d", fp)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, "latency", DefaultParams()); err == nil {
+		t.Error("no datasets: want error")
+	}
+	ds := anomalyDataset(t, 50, 10, 20, 1)
+	if _, err := Train([]*metrics.Dataset{ds}, "ghost", DefaultParams()); err == nil {
+		t.Error("missing latency attribute: want error")
+	}
+	bad := DefaultParams()
+	bad.NumPairs = 0
+	if _, err := Train([]*metrics.Dataset{ds}, "latency", bad); err == nil {
+		t.Error("zero pairs: want error")
+	}
+}
+
+func TestTrainDeterministicForSeed(t *testing.T) {
+	train := []*metrics.Dataset{anomalyDataset(t, 200, 120, 160, 1)}
+	a, err := Train(train, "latency", DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(train, "latency", DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("explanations differ: %q vs %q", a, b)
+	}
+}
+
+func TestExplanationString(t *testing.T) {
+	e := &Explanation{Clauses: [][]PairPredicate{
+		{{Attr: "cpu", Relation: Higher}, {Attr: "state", Relation: Different}},
+		{{Attr: "io", Relation: Lower}},
+	}}
+	want := "cpu_diff=higher ∧ state_diff=different | io_diff=lower"
+	if got := e.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	for rel, want := range map[Relation]string{
+		Similar: "similar", Higher: "higher", Lower: "lower", Different: "different",
+	} {
+		if rel.String() != want {
+			t.Errorf("Relation(%d).String() = %q, want %q", rel, rel.String(), want)
+		}
+	}
+}

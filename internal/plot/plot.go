@@ -1,0 +1,125 @@
+// Package plot renders time series as ASCII scatter charts — the
+// terminal stand-in for DBSherlock's GUI (paper Figure 3), including the
+// highlighted abnormal region the user would select with the mouse.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dbsherlock/internal/metrics"
+)
+
+// Options configure a chart. Zero values take defaults.
+type Options struct {
+	// Width and Height of the plotting area in characters
+	// (default 100x16).
+	Width, Height int
+	// Mark highlights these rows on the x-axis with '=' (e.g. the
+	// abnormal region).
+	Mark *metrics.Region
+	// Title is printed above the chart.
+	Title string
+}
+
+func (o *Options) fillDefaults() {
+	if o.Width < 2 {
+		o.Width = 100
+	}
+	if o.Height < 2 {
+		o.Height = 16
+	}
+}
+
+// Render draws the series. NaNs are skipped; a constant series plots on
+// its baseline.
+func Render(values []float64, opts Options) string {
+	opts.fillDefaults()
+	var sb strings.Builder
+	if opts.Title != "" {
+		sb.WriteString(opts.Title)
+		sb.WriteString("\n")
+	}
+	if len(values) == 0 {
+		sb.WriteString("(empty)\n")
+		return sb.String()
+	}
+
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	if math.IsInf(min, 1) {
+		sb.WriteString("(all NaN)\n")
+		return sb.String()
+	}
+	if !(max > min) {
+		max = min + 1
+	}
+
+	w, h := opts.Width, opts.Height
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	colOf := func(i int) int {
+		if len(values) == 1 {
+			return 0
+		}
+		return i * (w - 1) / (len(values) - 1)
+	}
+	for i, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		r := int(float64(h-1) * (v - min) / (max - min))
+		grid[h-1-r][colOf(i)] = '*'
+	}
+
+	const labelWidth = 10
+	for r, row := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*.4g ", labelWidth-1, max)
+		case h - 1:
+			label = fmt.Sprintf("%*.4g ", labelWidth-1, min)
+		}
+		sb.WriteString(label)
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteString("\n")
+	}
+
+	// X axis, with the marked region drawn as '=' under its columns.
+	axis := []byte(strings.Repeat("-", w))
+	if opts.Mark != nil {
+		for _, i := range opts.Mark.Indices() {
+			if i >= 0 && i < len(values) {
+				axis[colOf(i)] = '='
+			}
+		}
+	}
+	sb.WriteString(strings.Repeat(" ", labelWidth) + "+" + string(axis) + "\n")
+	if opts.Mark != nil && !opts.Mark.Empty() {
+		sb.WriteString(strings.Repeat(" ", labelWidth) + " ('=' marks the abnormal region)\n")
+	}
+	return sb.String()
+}
+
+// RenderColumn plots one numeric attribute of a dataset.
+func RenderColumn(ds *metrics.Dataset, attr string, opts Options) (string, error) {
+	col, ok := ds.Column(attr)
+	if !ok || col.Num == nil {
+		return "", fmt.Errorf("plot: no numeric attribute %q", attr)
+	}
+	if opts.Title == "" {
+		opts.Title = fmt.Sprintf("%s over %d seconds", attr, ds.Rows())
+	}
+	return Render(col.Num, opts), nil
+}

@@ -1,0 +1,85 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dbsherlock/internal/metrics"
+)
+
+func TestRenderShape(t *testing.T) {
+	out := Render([]float64{1, 2, 3, 4, 100}, Options{Width: 20, Height: 5, Title: "demo"})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 5 rows + axis = 7 lines (no mark legend).
+	if len(lines) != 7 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Errorf("title = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "100") {
+		t.Errorf("max label missing: %q", lines[1])
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no points plotted")
+	}
+}
+
+func TestRenderEdgeCases(t *testing.T) {
+	if out := Render(nil, Options{}); !strings.Contains(out, "(empty)") {
+		t.Errorf("empty = %q", out)
+	}
+	if out := Render([]float64{math.NaN(), math.NaN()}, Options{}); !strings.Contains(out, "(all NaN)") {
+		t.Errorf("all-NaN = %q", out)
+	}
+	if out := Render([]float64{5, 5, 5}, Options{Width: 10, Height: 4}); !strings.Contains(out, "*") {
+		t.Error("constant series not plotted")
+	}
+	if out := Render([]float64{1}, Options{Width: 10, Height: 4}); !strings.Contains(out, "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestRenderMarksRegion(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i % 7)
+	}
+	mark := metrics.RegionFromRange(100, 40, 60)
+	out := Render(vals, Options{Width: 50, Height: 4, Mark: mark})
+	if !strings.Contains(out, "=") {
+		t.Error("marked region not drawn on the axis")
+	}
+	if !strings.Contains(out, "abnormal region") {
+		t.Error("mark legend missing")
+	}
+	// Unmarked render has no '='.
+	plain := Render(vals, Options{Width: 50, Height: 4})
+	if strings.Contains(plain, "=") {
+		t.Error("unmarked render contains '='")
+	}
+}
+
+func TestRenderColumn(t *testing.T) {
+	ds := metrics.MustNewDataset([]int64{1, 2, 3})
+	if err := ds.AddNumeric("lat", []float64{1, 5, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddCategorical("cfg", []string{"a", "a", "a"}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderColumn(ds, "lat", Options{Width: 12, Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "lat over 3 seconds") {
+		t.Errorf("default title missing: %q", out)
+	}
+	if _, err := RenderColumn(ds, "cfg", Options{}); err == nil {
+		t.Error("categorical column: want error")
+	}
+	if _, err := RenderColumn(ds, "ghost", Options{}); err == nil {
+		t.Error("missing column: want error")
+	}
+}

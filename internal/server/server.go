@@ -1,0 +1,382 @@
+// Package server exposes DBSherlock over HTTP: upload statistics
+// datasets, explain anomalies, teach causes, and manage the causal-model
+// store — the service-shaped counterpart of the paper's GUI workflow
+// (Figure 2). Handlers are stdlib net/http only.
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET  /healthz                    liveness
+//	POST /v1/datasets                upload a CSV dataset -> {"id": ...}
+//	GET  /v1/datasets                list uploaded datasets
+//	POST /v1/detect                  {"dataset","detector"} -> abnormal rows
+//	POST /v1/explain                 {"dataset","from","to"|"auto",...} -> predicates + causes
+//	POST /v1/learn                   {"dataset","from","to","cause","remedy"} -> model summary
+//	GET  /v1/causes                  list learned causes
+//	GET  /v1/models                  export the model store (SaveModels JSON)
+//	PUT  /v1/models                  replace the model store (LoadModels JSON)
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"dbsherlock"
+)
+
+// Server is the HTTP façade around one Analyzer. It is safe for
+// concurrent use; all analyzer and dataset access is serialized.
+type Server struct {
+	mu       sync.Mutex
+	analyzer *dbsherlock.Analyzer
+	datasets map[string]*dbsherlock.Dataset
+	nextID   int
+	mux      *http.ServeMux
+}
+
+// New builds a server around the analyzer.
+func New(analyzer *dbsherlock.Analyzer) *Server {
+	s := &Server{
+		analyzer: analyzer,
+		datasets: make(map[string]*dbsherlock.Dataset),
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleUpload)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /v1/detect", s.handleDetect)
+	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("POST /v1/learn", s.handleLearn)
+	s.mux.HandleFunc("GET /v1/causes", s.handleCauses)
+	s.mux.HandleFunc("GET /v1/models", s.handleExportModels)
+	s.mux.HandleFunc("PUT /v1/models", s.handleImportModels)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	ds, err := dbsherlock.ReadCSV(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("ds-%d", s.nextID)
+	s.datasets[id] = ds
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id": id, "rows": ds.Rows(), "attributes": ds.NumAttrs(),
+	})
+}
+
+type datasetInfo struct {
+	ID         string `json:"id"`
+	Rows       int    `json:"rows"`
+	Attributes int    `json:"attributes"`
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]datasetInfo, 0, len(s.datasets))
+	for id, ds := range s.datasets {
+		out = append(out, datasetInfo{ID: id, Rows: ds.Rows(), Attributes: ds.NumAttrs()})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// dataset resolves an id under the lock.
+func (s *Server) dataset(id string) (*dbsherlock.Dataset, error) {
+	ds, ok := s.datasets[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", id)
+	}
+	return ds, nil
+}
+
+type detectRequest struct {
+	Dataset  string `json:"dataset"`
+	Detector string `json:"detector"` // dbscan (default), threshold, perfaugur
+}
+
+type rowRange struct {
+	From int `json:"from"` // inclusive
+	To   int `json:"to"`   // exclusive
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	var req detectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ds, err := s.dataset(req.Dataset)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	det, err := detectorByName(req.Detector)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	region, ok, err := s.analyzer.DetectUsing(ds, det)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := map[string]any{"found": ok, "detector": det.Name()}
+	if ok {
+		resp["rows"] = regionRanges(region)
+		resp["count"] = region.Count()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func detectorByName(name string) (dbsherlock.Detector, error) {
+	switch name {
+	case "", "dbscan":
+		return dbsherlock.NewDBSCANDetector(), nil
+	case "threshold":
+		return dbsherlock.NewThresholdDetector(dbsherlock.AvgLatencyAttr, 3), nil
+	case "perfaugur":
+		return dbsherlock.NewPerfAugurDetector(dbsherlock.AvgLatencyAttr), nil
+	default:
+		return nil, fmt.Errorf("unknown detector %q", name)
+	}
+}
+
+// regionRanges compacts a region into [from, to) ranges.
+func regionRanges(region *dbsherlock.Region) []rowRange {
+	idx := region.Indices()
+	var out []rowRange
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && idx[j+1] == idx[j]+1 {
+			j++
+		}
+		out = append(out, rowRange{From: idx[i], To: idx[j] + 1})
+		i = j + 1
+	}
+	return out
+}
+
+type explainRequest struct {
+	Dataset string `json:"dataset"`
+	From    *int   `json:"from,omitempty"`
+	To      *int   `json:"to,omitempty"`
+	Auto    bool   `json:"auto,omitempty"`
+	Rules   bool   `json:"rules,omitempty"` // apply MySQL/Linux domain knowledge
+}
+
+type explainResponse struct {
+	Predicates []string      `json:"predicates"`
+	Pruned     []prunedJSON  `json:"pruned,omitempty"`
+	Causes     []rankedCause `json:"causes,omitempty"`
+	Region     []rowRange    `json:"region"`
+}
+
+type prunedJSON struct {
+	Predicate string  `json:"predicate"`
+	Rule      string  `json:"rule"`
+	Kappa     float64 `json:"kappa"`
+}
+
+type rankedCause struct {
+	Cause      string  `json:"cause"`
+	Confidence float64 `json:"confidence"`
+}
+
+// resolveRegion extracts the abnormal region from a request, running
+// detection if auto is set.
+func (s *Server) resolveRegion(ds *dbsherlock.Dataset, from, to *int, auto bool) (*dbsherlock.Region, error) {
+	if auto {
+		res, err := s.analyzer.Detect(ds)
+		if err != nil {
+			return nil, err
+		}
+		if res.Abnormal.Empty() {
+			return nil, fmt.Errorf("automatic detection found no anomaly")
+		}
+		return res.Abnormal, nil
+	}
+	if from == nil || to == nil || *to <= *from {
+		return nil, fmt.Errorf("specify from/to (half-open row range) or auto")
+	}
+	return dbsherlock.RegionFromRange(ds.Rows(), *from, *to), nil
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ds, err := s.dataset(req.Dataset)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	region, err := s.resolveRegion(ds, req.From, req.To, req.Auto)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	analyzer := s.analyzer
+	if req.Rules {
+		// A per-request analyzer with rules installed, sharing no state.
+		withRules, err := dbsherlock.New(dbsherlock.WithDomainKnowledge(dbsherlock.MySQLLinuxRules()))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		analyzer = withRules
+	}
+	expl, err := analyzer.Explain(ds, region, nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Rules {
+		// Causes still come from the shared model store.
+		ranked, err := s.analyzer.RankAll(ds, region, nil)
+		if err == nil {
+			expl.Causes = nil
+			for _, c := range ranked {
+				if c.Confidence > 0.2 {
+					expl.Causes = append(expl.Causes, c)
+				}
+			}
+		}
+	}
+
+	resp := explainResponse{Region: regionRanges(region)}
+	for _, p := range expl.Predicates {
+		resp.Predicates = append(resp.Predicates, p.String())
+	}
+	for _, pr := range expl.Pruned {
+		resp.Pruned = append(resp.Pruned, prunedJSON{
+			Predicate: pr.Predicate.String(), Rule: pr.Rule.String(), Kappa: pr.Kappa,
+		})
+	}
+	for _, c := range expl.Causes {
+		resp.Causes = append(resp.Causes, rankedCause{Cause: c.Cause, Confidence: c.Confidence})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type learnRequest struct {
+	Dataset string `json:"dataset"`
+	From    *int   `json:"from"`
+	To      *int   `json:"to"`
+	Cause   string `json:"cause"`
+	Remedy  string `json:"remedy,omitempty"`
+}
+
+func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
+	var req learnRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Cause == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cause is required"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ds, err := s.dataset(req.Dataset)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	region, err := s.resolveRegion(ds, req.From, req.To, false)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	model, err := s.analyzer.LearnCause(req.Cause, ds, region, nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Remedy != "" {
+		if err := s.analyzer.RecordRemediation(req.Cause, req.Remedy); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cause": model.Cause, "merged": model.Merged, "predicates": len(model.Predicates),
+	})
+}
+
+type causeInfo struct {
+	Cause        string   `json:"cause"`
+	Merged       int      `json:"merged"`
+	Predicates   []string `json:"predicates"`
+	Remediations []string `json:"remediations,omitempty"`
+}
+
+func (s *Server) handleCauses(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]causeInfo, 0)
+	for _, cause := range s.analyzer.Causes() {
+		m := s.analyzer.Model(cause)
+		info := causeInfo{Cause: cause, Merged: m.Merged, Remediations: m.Remediations}
+		for _, p := range m.Predicates {
+			info.Predicates = append(info.Predicates, p.String())
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleExportModels(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.analyzer.SaveModels(w); err != nil {
+		// Headers are already out; nothing better to do than log-level
+		// truncation. Keep the handler simple.
+		return
+	}
+}
+
+func (s *Server) handleImportModels(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.analyzer.LoadModels(r.Body); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"causes": len(s.analyzer.Causes())})
+}

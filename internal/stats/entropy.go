@@ -1,0 +1,177 @@
+package stats
+
+import "math"
+
+// Entropy returns the Shannon entropy (in nats) of a discrete
+// distribution given by non-negative counts. Zero counts contribute
+// nothing; an all-zero input has zero entropy.
+func Entropy(counts []int) float64 {
+	var total int
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// JointHistogram is a two-dimensional histogram over a pair of
+// discretized attributes, estimating their joint distribution (paper
+// Section 5).
+type JointHistogram struct {
+	counts [][]int // [binX][binY]
+	total  int
+}
+
+// NewJointHistogram creates an empty binsX-by-binsY joint histogram.
+func NewJointHistogram(binsX, binsY int) *JointHistogram {
+	counts := make([][]int, binsX)
+	for i := range counts {
+		counts[i] = make([]int, binsY)
+	}
+	return &JointHistogram{counts: counts}
+}
+
+// Add records one observation in cell (i, j).
+func (h *JointHistogram) Add(i, j int) {
+	h.counts[i][j]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *JointHistogram) Total() int { return h.total }
+
+// MarginalX returns the per-bin counts of the first attribute.
+func (h *JointHistogram) MarginalX() []int {
+	out := make([]int, len(h.counts))
+	for i, row := range h.counts {
+		for _, c := range row {
+			out[i] += c
+		}
+	}
+	return out
+}
+
+// MarginalY returns the per-bin counts of the second attribute.
+func (h *JointHistogram) MarginalY() []int {
+	if len(h.counts) == 0 {
+		return nil
+	}
+	out := make([]int, len(h.counts[0]))
+	for _, row := range h.counts {
+		for j, c := range row {
+			out[j] += c
+		}
+	}
+	return out
+}
+
+// JointEntropy returns the Shannon entropy (nats) of the joint
+// distribution.
+func (h *JointHistogram) JointEntropy() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var e float64
+	for _, row := range h.counts {
+		for _, c := range row {
+			if c == 0 {
+				continue
+			}
+			p := float64(c) / float64(h.total)
+			e -= p * math.Log(p)
+		}
+	}
+	return e
+}
+
+// MutualInformation returns MI(X, Y) = H(X) + H(Y) - H(X, Y) in nats.
+// The result is clamped at zero to absorb floating-point jitter.
+func (h *JointHistogram) MutualInformation() float64 {
+	mi := Entropy(h.MarginalX()) + Entropy(h.MarginalY()) - h.JointEntropy()
+	if mi < 0 {
+		return 0
+	}
+	return mi
+}
+
+// Discretize maps each value of xs to one of `bins` equi-width bins over
+// the observed range, as the paper's independence test does with gamma
+// equi-width bins per attribute. Constant or empty inputs map to bin 0.
+// NaNs map to bin 0 as well (they are rare and the test is robust to it).
+func Discretize(xs []float64, bins int) []int {
+	if bins < 1 {
+		bins = 1
+	}
+	out := make([]int, len(xs))
+	min, max, ok := MinMax(xs)
+	if !ok || max == min {
+		return out
+	}
+	span := max - min
+	for i, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		b := int(float64(bins) * (x - min) / span)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// DiscretizeCategories maps each string value to a dense integer id in
+// order of first appearance, returning the ids and the number of distinct
+// values.
+func DiscretizeCategories(xs []string) (ids []int, n int) {
+	ids = make([]int, len(xs))
+	index := make(map[string]int)
+	for i, x := range xs {
+		id, ok := index[x]
+		if !ok {
+			id = len(index)
+			index[x] = id
+		}
+		ids[i] = id
+	}
+	return ids, len(index)
+}
+
+// IndependenceFactor computes the paper's kappa statistic for two
+// discretized attributes:
+//
+//	kappa = MI(X, Y)^2 / (H(X) * H(Y))
+//
+// kappa is 0 when the attributes are independent and approaches 1 with
+// higher dependence. If either marginal entropy is zero (a constant
+// attribute) the attributes cannot exhibit dependence and kappa is 0.
+func IndependenceFactor(xIDs, yIDs []int, binsX, binsY int) float64 {
+	if len(xIDs) != len(yIDs) {
+		panic("stats: IndependenceFactor length mismatch")
+	}
+	h := NewJointHistogram(binsX, binsY)
+	for i := range xIDs {
+		h.Add(xIDs[i], yIDs[i])
+	}
+	hx := Entropy(h.MarginalX())
+	hy := Entropy(h.MarginalY())
+	if hx == 0 || hy == 0 {
+		return 0
+	}
+	mi := h.MutualInformation()
+	return mi * mi / (hx * hy)
+}

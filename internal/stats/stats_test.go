@@ -1,0 +1,317 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= eps
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, math.NaN()},
+		{[]float64{math.NaN()}, math.NaN()},
+		{[]float64{2}, 2},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{1, math.NaN(), 3}, 2},
+		{[]float64{-5, 5}, 0},
+	}
+	for _, tc := range tests {
+		if got := Mean(tc.in); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if !math.IsNaN(Variance(nil)) {
+		t.Error("Variance(nil) should be NaN")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	tests := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, math.NaN()},
+		{[]float64{3}, 3},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{1, math.NaN(), 3}, 2},
+	}
+	for _, tc := range tests {
+		if got := Median(tc.in); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Median(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("Median mutated input: %v", in)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {0.125, 15},
+		{-0.5, 10}, {1.5, 50},
+	}
+	for _, tc := range tests {
+		if got := Quantile(xs, tc.q); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestMAD(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 4, 6, 9}
+	if got := MAD(xs); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+	if !math.IsNaN(MAD(nil)) {
+		t.Error("MAD(nil) should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, ok := MinMax([]float64{3, math.NaN(), -1, 7})
+	if !ok || min != -1 || max != 7 {
+		t.Errorf("MinMax = %v,%v,%v", min, max, ok)
+	}
+	if _, _, ok := MinMax([]float64{math.NaN()}); ok {
+		t.Error("MinMax(all NaN) should be !ok")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{10, 20, 30})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("Normalize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Constant input maps to zeros.
+	for _, v := range Normalize([]float64{5, 5, 5}) {
+		if v != 0 {
+			t.Errorf("Normalize constant: got %v, want 0", v)
+		}
+	}
+	// NaN preserved.
+	got = Normalize([]float64{0, math.NaN(), 1})
+	if !math.IsNaN(got[1]) {
+		t.Error("Normalize should preserve NaN")
+	}
+}
+
+func TestNormalizeRangeProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Replace infinities from quick with finite values.
+		for i, x := range xs {
+			if math.IsInf(x, 0) {
+				xs[i] = 1
+			}
+		}
+		for _, v := range Normalize(xs) {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < 0 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlidingWindowMedians(t *testing.T) {
+	got := SlidingWindowMedians([]float64{1, 2, 3, 4, 5}, 3)
+	want := []float64{2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("window %d median = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := SlidingWindowMedians([]float64{1, 2}, 10); len(got) != 1 || got[0] != 1.5 {
+		t.Errorf("oversized window: got %v", got)
+	}
+	if got := SlidingWindowMedians(nil, 3); got != nil {
+		t.Errorf("empty input: got %v", got)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy([]int{10, 10}); !almostEqual(got, math.Log(2), 1e-12) {
+		t.Errorf("Entropy uniform-2 = %v, want ln2", got)
+	}
+	if got := Entropy([]int{42}); got != 0 {
+		t.Errorf("Entropy single bin = %v, want 0", got)
+	}
+	if got := Entropy(nil); got != 0 {
+		t.Errorf("Entropy(nil) = %v, want 0", got)
+	}
+	// Uniform over k bins has entropy ln k, the maximum.
+	if got := Entropy([]int{5, 5, 5, 5}); !almostEqual(got, math.Log(4), 1e-12) {
+		t.Errorf("Entropy uniform-4 = %v, want ln4", got)
+	}
+}
+
+func TestJointHistogramMarginals(t *testing.T) {
+	h := NewJointHistogram(2, 3)
+	h.Add(0, 0)
+	h.Add(0, 2)
+	h.Add(1, 1)
+	h.Add(1, 1)
+	mx := h.MarginalX()
+	if mx[0] != 2 || mx[1] != 2 {
+		t.Errorf("MarginalX = %v", mx)
+	}
+	my := h.MarginalY()
+	if my[0] != 1 || my[1] != 2 || my[2] != 1 {
+		t.Errorf("MarginalY = %v", my)
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestMutualInformationIndependent(t *testing.T) {
+	// X and Y independent uniform: MI should be ~0.
+	h := NewJointHistogram(2, 2)
+	for i := 0; i < 100; i++ {
+		h.Add(i%2, (i/2)%2)
+	}
+	if mi := h.MutualInformation(); mi > 1e-9 {
+		t.Errorf("MI independent = %v, want ~0", mi)
+	}
+}
+
+func TestMutualInformationDependent(t *testing.T) {
+	// Y == X: MI equals H(X) = ln 2.
+	h := NewJointHistogram(2, 2)
+	for i := 0; i < 100; i++ {
+		h.Add(i%2, i%2)
+	}
+	if mi := h.MutualInformation(); !almostEqual(mi, math.Log(2), 1e-9) {
+		t.Errorf("MI identical = %v, want ln2", mi)
+	}
+}
+
+func TestDiscretize(t *testing.T) {
+	ids := Discretize([]float64{0, 25, 50, 75, 100}, 4)
+	want := []int{0, 1, 2, 3, 3}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("Discretize[%d] = %d, want %d", i, ids[i], want[i])
+		}
+	}
+	for _, id := range Discretize([]float64{7, 7, 7}, 5) {
+		if id != 0 {
+			t.Error("constant input should map to bin 0")
+		}
+	}
+	if ids := Discretize([]float64{1, 2}, 0); ids[0] != 0 || ids[1] != 0 {
+		t.Errorf("bins<1 clamps to 1: %v", ids)
+	}
+}
+
+func TestDiscretizeBoundsProperty(t *testing.T) {
+	f := func(xs []float64, binsRaw uint8) bool {
+		bins := int(binsRaw)%20 + 1
+		for i, x := range xs {
+			if math.IsInf(x, 0) {
+				xs[i] = 0
+			}
+		}
+		for _, id := range Discretize(xs, bins) {
+			if id < 0 || id >= bins {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiscretizeCategories(t *testing.T) {
+	ids, n := DiscretizeCategories([]string{"b", "a", "b", "c", "a"})
+	if n != 3 {
+		t.Fatalf("n = %d, want 3", n)
+	}
+	want := []int{0, 1, 0, 2, 1}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("ids = %v, want %v", ids, want)
+			break
+		}
+	}
+}
+
+func TestIndependenceFactorExtremes(t *testing.T) {
+	n := 1000
+	rng := rand.New(rand.NewSource(1))
+	x := make([]int, n)
+	yIndep := make([]int, n)
+	yDep := make([]int, n)
+	for i := range x {
+		x[i] = rng.Intn(4)
+		yIndep[i] = rng.Intn(4)
+		yDep[i] = x[i]
+	}
+	kIndep := IndependenceFactor(x, yIndep, 4, 4)
+	kDep := IndependenceFactor(x, yDep, 4, 4)
+	if kIndep > 0.05 {
+		t.Errorf("kappa independent = %v, want near 0", kIndep)
+	}
+	if kDep < 0.9 {
+		t.Errorf("kappa dependent = %v, want near 1", kDep)
+	}
+	// Constant attribute: zero entropy, kappa defined as 0.
+	zeros := make([]int, n)
+	if k := IndependenceFactor(zeros, x, 1, 4); k != 0 {
+		t.Errorf("kappa constant = %v, want 0", k)
+	}
+}
+
+func TestIndependenceFactorPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on length mismatch")
+		}
+	}()
+	IndependenceFactor([]int{0}, []int{0, 1}, 2, 2)
+}

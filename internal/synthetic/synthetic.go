@@ -1,0 +1,241 @@
+// Package synthetic generates the linear structural-equation-model
+// datasets of paper Appendix F, used to evaluate secondary-symptom
+// pruning with a known ground-truth causal graph: a random linear causal
+// DAG whose root-cause variables jump from N(10,10) to N(100,10) during
+// an aligned abnormal window, every other variable being a linear
+// combination of its parents plus N(0,1) noise.
+package synthetic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dbsherlock/internal/domain"
+	"dbsherlock/internal/metrics"
+)
+
+// Graph is a linear causal DAG over K variables V0..V(K-1). Variable
+// K-1 is the effect variable (no outgoing edges, at least one incoming).
+// Edges only go from lower to higher index, which makes the index order
+// topological.
+type Graph struct {
+	K int
+	// Edge[i][j] is true if Vi -> Vj (i < j).
+	Edge [][]bool
+	// Coef[i][j] is the structural coefficient of Vi in Vj's equation
+	// (nonzero integer in [-10, 10] where Edge[i][j]).
+	Coef [][]float64
+	// Roots lists the root-cause variables: ancestors of the effect
+	// variable with no incoming edges.
+	Roots []int
+}
+
+// DefaultK is the paper's variable count (k = 7).
+const DefaultK = 7
+
+// EdgeProb is the probability of each forward edge in a generated graph
+// (the paper does not specify its value; exported so experiments can
+// study its effect).
+var EdgeProb = 0.2
+
+// AttrName returns the dataset attribute name of variable i.
+func AttrName(i int) string { return fmt.Sprintf("V%d", i) }
+
+// GenerateGraph draws a random linear causal graph with K variables. It
+// retries internally until the effect variable has at least one incoming
+// edge and at least one root-cause variable exists (always terminates:
+// the retry probability of failure is bounded away from one).
+func GenerateGraph(rng *rand.Rand, k int) *Graph {
+	if k < 3 {
+		panic("synthetic: need at least 3 variables")
+	}
+	for {
+		g := &Graph{K: k}
+		g.Edge = make([][]bool, k)
+		g.Coef = make([][]float64, k)
+		for i := range g.Edge {
+			g.Edge[i] = make([]bool, k)
+			g.Coef[i] = make([]float64, k)
+		}
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if rng.Float64() < EdgeProb {
+					g.Edge[i][j] = true
+					g.Coef[i][j] = nonzeroCoef(rng)
+				}
+			}
+		}
+		// The effect variable is Vk-1 by construction (no outgoing
+		// edges possible). Require an incoming edge.
+		hasIncoming := false
+		for i := 0; i < k-1; i++ {
+			if g.Edge[i][k-1] {
+				hasIncoming = true
+				break
+			}
+		}
+		if !hasIncoming {
+			continue
+		}
+		g.Roots = g.rootCauses()
+		if len(g.Roots) == 0 {
+			continue
+		}
+		return g
+	}
+}
+
+func nonzeroCoef(rng *rand.Rand) float64 {
+	for {
+		c := rng.Intn(21) - 10 // [-10, 10]
+		if c != 0 {
+			return float64(c)
+		}
+	}
+}
+
+// hasIncoming reports whether variable j has any parent.
+func (g *Graph) hasIncoming(j int) bool {
+	for i := 0; i < g.K; i++ {
+		if g.Edge[i][j] {
+			return true
+		}
+	}
+	return false
+}
+
+// HasPath reports whether a directed path from -> to exists.
+func (g *Graph) HasPath(from, to int) bool {
+	if from == to {
+		return true
+	}
+	seen := make([]bool, g.K)
+	stack := []int{from}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == to {
+			return true
+		}
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		for j := v + 1; j < g.K; j++ {
+			if g.Edge[v][j] {
+				stack = append(stack, j)
+			}
+		}
+	}
+	return false
+}
+
+// rootCauses returns the root ancestors of the effect variable: nodes
+// with no incoming edges and a path to V(K-1).
+func (g *Graph) rootCauses() []int {
+	var out []int
+	for i := 0; i < g.K-1; i++ {
+		if !g.hasIncoming(i) && g.HasPath(i, g.K-1) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Dataset materializes the SEM: `rows` tuples with an aligned abnormal
+// window of length abLen starting at abStart, during which every
+// root-cause variable draws from N(100,10) instead of N(10,10).
+// Non-root variables follow Vi = sum_j Coef[j][i]*Vj + N(0,1).
+// The paper's setting is 600 rows with a 60-row abnormal window.
+func (g *Graph) Dataset(rng *rand.Rand, rows, abStart, abLen int) (*metrics.Dataset, *metrics.Region) {
+	isRoot := make([]bool, g.K)
+	for _, r := range g.Roots {
+		isRoot[r] = true
+	}
+	cols := make([][]float64, g.K)
+	for i := range cols {
+		cols[i] = make([]float64, rows)
+	}
+	for t := 0; t < rows; t++ {
+		abnormal := t >= abStart && t < abStart+abLen
+		for i := 0; i < g.K; i++ {
+			if isRoot[i] {
+				mean := 10.0
+				if abnormal {
+					mean = 100.0
+				}
+				cols[i][t] = mean + 10*rng.NormFloat64()
+				continue
+			}
+			// Non-root (including non-ancestors of the effect): linear
+			// structural equation over parents. A parentless non-root
+			// is pure noise.
+			v := rng.NormFloat64()
+			for j := 0; j < i; j++ {
+				if g.Edge[j][i] {
+					v += g.Coef[j][i] * cols[j][t]
+				}
+			}
+			cols[i][t] = v
+		}
+	}
+	ts := make([]int64, rows)
+	for t := range ts {
+		ts[t] = int64(t)
+	}
+	ds := metrics.MustNewDataset(ts)
+	for i, col := range cols {
+		if err := ds.AddNumeric(AttrName(i), col); err != nil {
+			panic(err) // names are unique by construction
+		}
+	}
+	return ds, metrics.RegionFromRange(rows, abStart, abStart+abLen)
+}
+
+// RuleTruth pairs a generated rule with its ground truth: ShouldPrune is
+// true iff a causal path exists from the rule's cause variable to its
+// effect variable in the graph (the effect predicate is then a true
+// secondary symptom).
+type RuleTruth struct {
+	Rule        domain.Rule
+	CauseVar    int
+	EffectVar   int
+	ShouldPrune bool
+}
+
+// RandomRules draws the experiment's domain knowledge: for each
+// root-cause variable, one or two rules with that variable as the cause
+// and a random distinct variable as the effect, obeying the paper's two
+// rule conditions (no self rules, no reversed duplicates).
+func (g *Graph) RandomRules(rng *rand.Rand) []RuleTruth {
+	var out []RuleTruth
+	used := make(map[[2]int]bool)
+	// Each attribute is the effect of at most one rule, so the pruning
+	// ground truth ("a path exists from ITS cause variable") is
+	// well-defined per predicate.
+	usedEffect := make(map[int]bool)
+	for _, root := range g.Roots {
+		n := 1 + rng.Intn(2)
+		for tries := 0; n > 0 && tries < 20; tries++ {
+			effect := rng.Intn(g.K)
+			if effect == root || usedEffect[effect] {
+				continue
+			}
+			key := [2]int{root, effect}
+			rev := [2]int{effect, root}
+			if used[key] || used[rev] {
+				continue
+			}
+			used[key] = true
+			usedEffect[effect] = true
+			out = append(out, RuleTruth{
+				Rule:        domain.Rule{Cause: AttrName(root), Effect: AttrName(effect)},
+				CauseVar:    root,
+				EffectVar:   effect,
+				ShouldPrune: g.HasPath(root, effect),
+			})
+			n--
+		}
+	}
+	return out
+}

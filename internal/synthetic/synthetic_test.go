@@ -1,0 +1,198 @@
+package synthetic
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbsherlock/internal/core"
+	"dbsherlock/internal/domain"
+)
+
+func TestGenerateGraphInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		g := GenerateGraph(rng, DefaultK)
+		if g.K != DefaultK {
+			t.Fatalf("K = %d", g.K)
+		}
+		// DAG: edges only from lower to higher index.
+		for i := 0; i < g.K; i++ {
+			for j := 0; j <= i; j++ {
+				if g.Edge[i][j] {
+					t.Fatalf("edge %d->%d violates topological order", i, j)
+				}
+			}
+		}
+		// Effect variable has at least one parent.
+		if !g.hasIncoming(g.K - 1) {
+			t.Fatal("effect variable has no incoming edge")
+		}
+		// Every root cause is a parentless ancestor of the effect.
+		if len(g.Roots) == 0 {
+			t.Fatal("no root causes")
+		}
+		for _, r := range g.Roots {
+			if g.hasIncoming(r) {
+				t.Fatalf("root %d has parents", r)
+			}
+			if !g.HasPath(r, g.K-1) {
+				t.Fatalf("root %d has no path to effect", r)
+			}
+		}
+		// Edge coefficients are nonzero integers in [-10, 10].
+		for i := range g.Edge {
+			for j := range g.Edge[i] {
+				if g.Edge[i][j] {
+					c := g.Coef[i][j]
+					if c == 0 || c != float64(int(c)) || c < -10 || c > 10 {
+						t.Fatalf("coef %d->%d = %v", i, j, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHasPath(t *testing.T) {
+	g := &Graph{K: 4}
+	g.Edge = make([][]bool, 4)
+	for i := range g.Edge {
+		g.Edge[i] = make([]bool, 4)
+	}
+	g.Edge[0][1] = true
+	g.Edge[1][3] = true
+	if !g.HasPath(0, 3) || !g.HasPath(0, 0) || g.HasPath(2, 3) || g.HasPath(1, 0) {
+		t.Error("HasPath wrong")
+	}
+}
+
+func TestDatasetShapeAndShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := GenerateGraph(rng, DefaultK)
+	ds, abn := g.Dataset(rng, 600, 270, 60)
+	if ds.Rows() != 600 || ds.NumAttrs() != DefaultK {
+		t.Fatalf("shape %dx%d", ds.Rows(), ds.NumAttrs())
+	}
+	if abn.Count() != 60 || !abn.Contains(270) || abn.Contains(330) {
+		t.Fatalf("abnormal region wrong: %d rows", abn.Count())
+	}
+	// Root variables must shift ~10 -> ~100 inside the window.
+	root := g.Roots[0]
+	col, _ := ds.Column(AttrName(root))
+	var normalSum, abSum float64
+	for i, v := range col.Num {
+		if abn.Contains(i) {
+			abSum += v
+		} else {
+			normalSum += v
+		}
+	}
+	normalMean := normalSum / 540
+	abMean := abSum / 60
+	if normalMean > 20 || abMean < 80 {
+		t.Errorf("root means: normal=%v abnormal=%v", normalMean, abMean)
+	}
+}
+
+func TestRandomRulesObeyConditions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		g := GenerateGraph(rng, DefaultK)
+		rules := g.RandomRules(rng)
+		if len(rules) == 0 {
+			t.Fatal("no rules generated")
+		}
+		seen := make(map[domain.Rule]bool)
+		isRoot := make(map[int]bool)
+		for _, r := range g.Roots {
+			isRoot[r] = true
+		}
+		var plain []domain.Rule
+		for _, rt := range rules {
+			if rt.Rule.Cause == rt.Rule.Effect {
+				t.Fatal("self rule")
+			}
+			if seen[domain.Rule{Cause: rt.Rule.Effect, Effect: rt.Rule.Cause}] {
+				t.Fatal("reversed duplicate rule")
+			}
+			seen[rt.Rule] = true
+			if !isRoot[rt.CauseVar] {
+				t.Fatalf("rule cause %d is not a root", rt.CauseVar)
+			}
+			if rt.ShouldPrune != g.HasPath(rt.CauseVar, rt.EffectVar) {
+				t.Fatal("ShouldPrune inconsistent with graph")
+			}
+			plain = append(plain, rt.Rule)
+		}
+		// The rule set must be accepted by the domain package.
+		if _, err := domain.NewKnowledge(plain); err != nil {
+			t.Fatalf("generated rules invalid: %v", err)
+		}
+	}
+}
+
+// TestEndToEndPruning is a small-scale version of the Appendix F
+// experiment: dependent effect predicates get pruned far more often than
+// independent ones.
+func TestEndToEndPruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var prunedPos, totalPos, prunedNeg, totalNeg int
+	params := core.DefaultParams()
+	params.Theta = 0.05
+	for trial := 0; trial < 60; trial++ {
+		g := GenerateGraph(rng, DefaultK)
+		ds, abn := g.Dataset(rng, 600, 270, 60)
+		normal := abn.Complement()
+		preds, err := core.Generate(ds, abn, normal, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		have := make(map[string]bool)
+		for _, p := range preds {
+			have[p.Attr] = true
+		}
+		truths := g.RandomRules(rng)
+		var rules []domain.Rule
+		for _, rt := range truths {
+			rules = append(rules, rt.Rule)
+		}
+		k, err := domain.NewKnowledge(rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, pruned := k.Apply(preds, ds)
+		prunedSet := make(map[string]bool)
+		for _, p := range pruned {
+			prunedSet[p.Predicate.Attr] = true
+		}
+		for _, rt := range truths {
+			// Only rules whose cause and effect both produced
+			// predicates can be acted on.
+			if !have[rt.Rule.Cause] || !have[rt.Rule.Effect] {
+				continue
+			}
+			if rt.ShouldPrune {
+				totalPos++
+				if prunedSet[rt.Rule.Effect] {
+					prunedPos++
+				}
+			} else {
+				totalNeg++
+				if prunedSet[rt.Rule.Effect] {
+					prunedNeg++
+				}
+			}
+		}
+	}
+	if totalPos == 0 || totalNeg == 0 {
+		t.Fatalf("degenerate sample: pos=%d neg=%d", totalPos, totalNeg)
+	}
+	posRate := float64(prunedPos) / float64(totalPos)
+	negRate := float64(prunedNeg) / float64(totalNeg)
+	if posRate < 0.7 {
+		t.Errorf("pruned %.0f%% of true secondary symptoms, want most", 100*posRate)
+	}
+	if negRate > 0.25 {
+		t.Errorf("wrongly pruned %.0f%% of independent effects, want few", 100*negRate)
+	}
+}

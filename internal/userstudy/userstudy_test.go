@@ -1,0 +1,114 @@
+package userstudy
+
+import (
+	"testing"
+
+	"dbsherlock/internal/causal"
+	"dbsherlock/internal/core"
+	"dbsherlock/internal/metrics"
+)
+
+// studyFixture builds a repository with two causes whose symptom sets
+// are disjoint, plus questions whose predicates exactly match one cause.
+func studyFixture(t *testing.T) (*causal.Repository, []Question) {
+	t.Helper()
+	repo := causal.NewRepository()
+	pred := func(attr string) core.Predicate {
+		return core.Predicate{Attr: attr, Type: metrics.Numeric, HasLower: true, Lower: 1}
+	}
+	if err := repo.Add(causal.New("Lock Contention",
+		[]core.Predicate{pred("lock_waits"), pred("lock_time"), pred("threads")})); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Add(causal.New("Network Congestion",
+		[]core.Predicate{pred("client_wait"), pred("net_send"), pred("net_recv")})); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Add(causal.New("CPU Saturation",
+		[]core.Predicate{pred("cpu"), pred("load"), pred("ctx")})); err != nil {
+		t.Fatal(err)
+	}
+	questions := []Question{
+		{
+			Predicates:  []core.Predicate{pred("lock_waits"), pred("lock_time"), pred("threads")},
+			Correct:     "Lock Contention",
+			Distractors: []string{"Network Congestion", "CPU Saturation"},
+		},
+		{
+			Predicates:  []core.Predicate{pred("client_wait"), pred("net_send"), pred("net_recv")},
+			Correct:     "Network Congestion",
+			Distractors: []string{"Lock Contention", "CPU Saturation"},
+		},
+	}
+	return repo, questions
+}
+
+func TestBaselineGuessesNearChance(t *testing.T) {
+	repo, questions := studyFixture(t)
+	var participants []*Participant
+	for i := 0; i < 500; i++ {
+		participants = append(participants, NewParticipant(Baseline, repo, int64(i)))
+	}
+	avg := RunStudy(participants, questions)
+	// Three candidates per question here: chance = 2/3 correct of 2
+	// questions = 0.667. Allow sampling slack.
+	if avg < 0.4 || avg > 0.95 {
+		t.Errorf("baseline avg = %v, want near chance (~0.67)", avg)
+	}
+}
+
+func TestInformedParticipantsBeatBaseline(t *testing.T) {
+	repo, questions := studyFixture(t)
+	var informed, baseline []*Participant
+	for i := 0; i < 200; i++ {
+		informed = append(informed, NewParticipant(ResearchOrDBA, repo, int64(i)))
+		baseline = append(baseline, NewParticipant(Baseline, repo, int64(1000+i)))
+	}
+	ia := RunStudy(informed, questions)
+	ba := RunStudy(baseline, questions)
+	if ia <= ba+0.3 {
+		t.Errorf("informed avg %v should clearly beat baseline %v", ia, ba)
+	}
+	// With disjoint symptom sets the informed participants should be
+	// close to perfect.
+	if ia < 1.6 {
+		t.Errorf("informed avg = %v/2, want near 2", ia)
+	}
+}
+
+func TestRunStudyEmpty(t *testing.T) {
+	if got := RunStudy(nil, nil); got != 0 {
+		t.Errorf("RunStudy(nil,nil) = %v", got)
+	}
+}
+
+func TestCompetencyLevelStrings(t *testing.T) {
+	for level, want := range map[CompetencyLevel]string{
+		Baseline:             "Baseline (No Predicates)",
+		PreliminaryKnowledge: "Preliminary DB Knowledge",
+		UsageExperience:      "DB Usage Experience",
+		ResearchOrDBA:        "DB Research or DBA Experience",
+		CompetencyLevel(99):  "Unknown",
+	} {
+		if got := level.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", level, got, want)
+		}
+	}
+}
+
+func TestAnswerIsAmongCandidates(t *testing.T) {
+	repo, questions := studyFixture(t)
+	pt := NewParticipant(PreliminaryKnowledge, repo, 7)
+	for _, q := range questions {
+		got := pt.Answer(q)
+		valid := got == q.Correct
+		for _, d := range q.Distractors {
+			if got == d {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Errorf("Answer = %q not among candidates", got)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package workload
+
+// Attribute names emitted by the simulated testbed. They mirror the
+// statistics DBSeer collects from Linux /proc and MySQL global status
+// (paper Section 2.1). Names used by other packages (domain-knowledge
+// rules, experiment assertions, examples) are exported constants.
+const (
+	// Transaction aggregates (computed by the collector from the
+	// transaction log, paper Section 2.1).
+	AttrTxCount     = "tx.count"
+	AttrAvgLatency  = "tx.avg_latency_ms"
+	AttrP50Latency  = "tx.p50_latency_ms"
+	AttrP95Latency  = "tx.p95_latency_ms"
+	AttrP99Latency  = "tx.p99_latency_ms"
+	AttrMaxLatency  = "tx.max_latency_ms"
+	AttrAvgLockWait = "tx.avg_lock_wait_ms"
+	AttrTxAborts    = "tx.aborts"
+	AttrClientWait  = "tx.client_wait_time_ms"
+
+	// OS statistics (Linux /proc).
+	AttrOSCPUUsage   = "os.cpu_usage"
+	AttrOSCPUUser    = "os.cpu_user"
+	AttrOSCPUSys     = "os.cpu_sys"
+	AttrOSCPUIdle    = "os.cpu_idle"
+	AttrOSCPUIOWait  = "os.cpu_iowait"
+	AttrOSLoadAvg    = "os.load_avg_1m"
+	AttrOSProcsRun   = "os.procs_running"
+	AttrOSProcsBlk   = "os.procs_blocked"
+	AttrOSCtxSwitch  = "os.context_switches"
+	AttrOSDiskReads  = "os.disk_reads"
+	AttrOSDiskWrites = "os.disk_writes"
+	AttrOSDiskReadKB = "os.disk_read_kb"
+	AttrOSDiskWrKB   = "os.disk_write_kb"
+	AttrOSDiskQueue  = "os.disk_queue_depth"
+	AttrOSDiskUtil   = "os.disk_util"
+	AttrNetSendKB    = "os.net_send_kb"
+	AttrNetRecvKB    = "os.net_recv_kb"
+	AttrNetSendPkts  = "os.net_send_packets"
+	AttrNetRecvPkts  = "os.net_recv_packets"
+	AttrOSAllocPages = "os.allocated_pages"
+	AttrOSFreePages  = "os.free_pages"
+	AttrOSUsedSwap   = "os.used_swap_mb"
+	AttrOSFreeSwap   = "os.free_swap_mb"
+
+	// DBMS statistics (MySQL global status).
+	AttrDBCPUUsage     = "db.cpu_usage"
+	AttrDBQuestions    = "db.questions"
+	AttrDBThreadsRun   = "db.threads_running"
+	AttrDBThreadsConn  = "db.threads_connected"
+	AttrDBRndNext      = "db.handler_read_rnd_next"
+	AttrDBRowLockWaits = "db.innodb_row_lock_waits"
+	AttrDBRowLockTime  = "db.innodb_row_lock_time_ms"
+	AttrDBRowLockCurr  = "db.innodb_row_lock_current_waits"
+	AttrDBPagesDirty   = "db.innodb_bp_pages_dirty"
+	AttrDBPagesFlushed = "db.innodb_bp_pages_flushed"
+	AttrDBBPReads      = "db.innodb_bp_reads"
+	AttrDBBPReadReqs   = "db.innodb_bp_read_requests"
+	AttrDBDataWrites   = "db.innodb_data_writes"
+	AttrDBDataReads    = "db.innodb_data_reads"
+	AttrDBRowsInserted = "db.innodb_rows_inserted"
+	AttrDBSelectScan   = "db.select_scan"
+	AttrDBSelectFullJn = "db.select_full_join"
+	AttrDBBytesSent    = "db.bytes_sent_kb"
+	AttrDBBytesRecv    = "db.bytes_received_kb"
+
+	// Categorical attributes (configuration / server state).
+	AttrCfgAdaptiveFlush = "cfg.adaptive_flushing"
+	AttrCfgFlushMethod   = "cfg.flush_method"
+	AttrCfgIOSched       = "os.io_scheduler"
+	AttrDBActiveLog      = "db.active_redo_log"
+	AttrDBCheckpoint     = "db.checkpoint_state"
+)
+
+// OSAttrs lists every numeric OS attribute in emission order.
+func OSAttrs() []string {
+	return []string{
+		AttrOSCPUUsage, AttrOSCPUUser, AttrOSCPUSys, AttrOSCPUIdle, AttrOSCPUIOWait,
+		"os.cpu_core0_usage", "os.cpu_core1_usage", "os.cpu_core2_usage", "os.cpu_core3_usage",
+		AttrOSLoadAvg, AttrOSProcsRun, AttrOSProcsBlk, AttrOSCtxSwitch, "os.interrupts", "os.forks",
+		AttrOSDiskReads, AttrOSDiskWrites, AttrOSDiskReadKB, AttrOSDiskWrKB,
+		AttrOSDiskQueue, AttrOSDiskUtil, "os.disk_read_latency_ms", "os.disk_write_latency_ms",
+		AttrNetSendKB, AttrNetRecvKB, AttrNetSendPkts, AttrNetRecvPkts,
+		"os.net_retransmits", "os.net_active_connections",
+		"os.mem_used_mb", "os.mem_free_mb", "os.mem_cached_mb", "os.mem_buffers_mb",
+		AttrOSAllocPages, AttrOSFreePages, AttrOSUsedSwap, AttrOSFreeSwap,
+		"os.page_faults_minor", "os.page_faults_major", "os.dirty_kb", "os.writeback_kb",
+	}
+}
+
+// DBAttrs lists every numeric DBMS attribute in emission order.
+func DBAttrs() []string {
+	return []string{
+		AttrDBCPUUsage, AttrDBQuestions,
+		"db.com_select", "db.com_insert", "db.com_update", "db.com_delete",
+		"db.com_commit", "db.com_rollback",
+		AttrDBThreadsRun, AttrDBThreadsConn, "db.threads_created", "db.threads_cached",
+		AttrDBRndNext, "db.handler_read_key", "db.handler_read_next",
+		"db.handler_write", "db.handler_update", "db.handler_delete",
+		"db.innodb_rows_read", AttrDBRowsInserted, "db.innodb_rows_updated", "db.innodb_rows_deleted",
+		AttrDBBPReadReqs, AttrDBBPReads, "db.innodb_bp_hit_rate",
+		AttrDBPagesDirty, "db.innodb_bp_pages_free", "db.innodb_bp_pages_data", AttrDBPagesFlushed,
+		"db.innodb_bp_wait_free",
+		AttrDBDataReads, AttrDBDataWrites, "db.innodb_data_read_kb", "db.innodb_data_write_kb",
+		"db.innodb_data_fsyncs", "db.innodb_os_log_fsyncs",
+		"db.innodb_log_writes", "db.innodb_log_write_requests", "db.innodb_log_waits",
+		AttrDBRowLockWaits, AttrDBRowLockTime, AttrDBRowLockCurr,
+		"db.innodb_row_lock_time_avg_ms", "db.table_locks_waited", "db.deadlocks",
+		"db.created_tmp_tables", "db.created_tmp_disk_tables",
+		"db.sort_rows", "db.sort_scan", AttrDBSelectScan, AttrDBSelectFullJn,
+		AttrDBBytesSent, AttrDBBytesRecv, "db.aborted_clients",
+		"db.open_tables", "db.opened_tables",
+	}
+}
+
+// TxAttrs lists the transaction-aggregate attributes in emission order,
+// followed by one per-class count attribute per mix type
+// ("tx.<type>_count").
+func TxAttrs(mix Mix) []string {
+	out := []string{
+		AttrTxCount, AttrAvgLatency, AttrP50Latency, AttrP95Latency, AttrP99Latency,
+		AttrMaxLatency, AttrAvgLockWait, AttrTxAborts, AttrClientWait,
+	}
+	for _, t := range mix.Types {
+		out = append(out, "tx."+t.Name+"_count")
+	}
+	return out
+}
+
+// CategoricalAttrs lists the categorical attributes in emission order.
+func CategoricalAttrs() []string {
+	return []string{
+		AttrCfgAdaptiveFlush, AttrCfgFlushMethod, AttrCfgIOSched,
+		AttrDBActiveLog, AttrDBCheckpoint,
+	}
+}

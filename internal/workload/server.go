@@ -1,0 +1,343 @@
+package workload
+
+import "math"
+
+// tickResult captures the solved state of one simulated second. The
+// metric emitter derives every logged statistic from these quantities.
+type tickResult struct {
+	// Throughput and latency.
+	X float64 // committed transactions per second
+	L float64 // average end-to-end transaction latency (ms)
+
+	// Per-transaction latency components (ms).
+	cpuComp, ioComp, lockComp, logComp, netComp float64
+
+	// Resource utilizations in [0, ~1].
+	rhoCPU, rhoDisk, rhoNet float64
+
+	// CPU accounting (ms of CPU consumed per second).
+	dbCPUMS, extCPUMS float64
+
+	// Buffer pool and disk.
+	missRatio    float64
+	logicalReads float64 // page read requests /s
+	physReads    float64 // page reads from disk /s
+	diskReadOps  float64 // total device read ops /s (incl. external)
+	diskWriteOps float64
+	diskReadMB   float64
+	diskWriteMB  float64
+	newDirty     float64 // pages dirtied /s
+	flushed      float64 // pages flushed /s
+	dirtyPages   float64 // resident dirty pages after this tick
+
+	// Redo log.
+	logKB     float64
+	logFsyncs float64
+	logWaits  float64
+
+	// Network (server NIC, KB/s).
+	netSendKB, netRecvKB float64
+
+	// Locks.
+	lockWaitsPerSec  float64
+	lockWaitMS       float64 // total row-lock wait time accumulated /s (ms)
+	lockCurrentWaits float64
+	deadlocks        float64
+
+	// Workload composition.
+	perType      []float64 // committed tx /s per mix type
+	scanRows     float64   // rows scanned by injected bad queries /s
+	scanQueries  float64
+	restoreRows  float64
+	rowsRead     float64
+	rowsIns      float64
+	rowsWriteAmp float64 // handler-level writes incl. index maintenance
+	rowsUpd      float64
+	rowsDel      float64
+	aborts       float64
+
+	flushStorm bool
+	activeLog  int
+}
+
+// simState is the cross-tick server state.
+type simState struct {
+	dirtyPages float64
+	activeLog  int // index of the active redo log file (toggles on flush)
+	prevL      float64
+}
+
+const (
+	pageKB          = 16     // InnoDB page size
+	rowsPerPage     = 100    // rough rows per data page
+	baseIOLatMS     = 3.5    // uncontended per-op disk latency
+	fsyncLatMS      = 0.6    // uncontended group-commit fsync latency
+	scanCPUPerRowMS = 3e-4   // CPU cost of scanning one row without an index
+	restoreCPUPerMS = 2e-3   // CPU cost per bulk-inserted row (ms)
+	backupCPUPerMB  = 2.0    // CPU ms per MB dumped
+	districts       = 5000   // scale 500: 500 warehouses x 10 districts
+	holdFraction    = 0.75   // share of non-lock latency spent holding the hot lock
+	scanDiskFrac    = 0.05   // fraction of scanned pages that miss the buffer pool
+	dirtyTarget     = 24000  // pages; background flushing drains above this
+	maxDirty        = 200000 // buffer-pool capacity in pages (~3.1 GB of 16 KB pages)
+)
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// infl is the queueing inflation factor 1/(1-rho), capped for stability.
+func infl(rho float64) float64 {
+	if rho > 0.98 {
+		rho = 0.98
+	}
+	if rho < 0 {
+		rho = 0
+	}
+	return 1 / (1 - rho)
+}
+
+// mixAverages aggregates per-transaction demands over the mix, applying
+// the poor-physical-design penalty (extra index maintenance on writes).
+type mixDemand struct {
+	cpuMS, pages, rowsRead, rowsWritten, logKB float64
+	netIn, netOut, stmts, hot, writeFrac       float64
+	// writtenAmp is rowsWritten amplified by unnecessary-index
+	// maintenance (poor physical design): it drives page dirtying and
+	// handler writes, while rowsWritten stays the SQL-level row count.
+	writtenAmp float64
+}
+
+func mixAverages(mix Mix, extraIndexes int) mixDemand {
+	var d mixDemand
+	idx := float64(extraIndexes)
+	for _, t := range mix.Types {
+		w := t.Weight
+		cpu := t.CPUMS
+		amplified := t.RowsWritten
+		logKB := t.LogKB
+		if t.IsWrite && idx > 0 {
+			// Each unnecessary index adds a page write and CPU per
+			// inserted/updated row and extra redo volume.
+			cpu += 0.03 * idx * t.RowsWritten
+			amplified += 0.6 * idx * t.RowsWritten
+			logKB *= 1 + 0.25*idx
+		}
+		d.cpuMS += w * cpu
+		d.pages += w * t.PageReads
+		d.rowsRead += w * t.RowsRead
+		d.rowsWritten += w * t.RowsWritten
+		d.writtenAmp += w * amplified
+		d.logKB += w * logKB
+		d.netIn += w * t.NetKBIn
+		d.netOut += w * t.NetKBOut
+		d.stmts += w * t.Statements
+		d.hot += w * t.HotLocks
+		if t.IsWrite {
+			d.writeFrac += w
+		}
+	}
+	return d
+}
+
+// throughputAt returns the closed-loop offered throughput (tx/s) of both
+// client classes at latency L (ms).
+func throughputAt(cfg *Config, env *Env, latencyMS float64) float64 {
+	x := float64(cfg.Terminals) / ((cfg.ThinkTimeMS + latencyMS) / 1000)
+	if env.ExtraTerminals > 0 {
+		think := env.ExtraThinkTimeMS
+		if think <= 0 {
+			think = 10
+		}
+		x += float64(env.ExtraTerminals) / ((think + latencyMS) / 1000)
+	}
+	return x
+}
+
+// latencyForThroughput inverts throughputAt by bisection: the latency at
+// which the closed-loop clients produce exactly target tx/s. Used when a
+// saturated resource (the hot lock) caps throughput.
+func latencyForThroughput(cfg *Config, env *Env, target float64) float64 {
+	lo, hi := 0.1, 600000.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if throughputAt(cfg, env, mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// solveTick computes the equilibrium of one simulated second under the
+// given environment via damped fixed-point iteration.
+func solveTick(cfg *Config, env *Env, st *simState) tickResult {
+	d := mixAverages(cfg.Mix, env.ExtraIndexes)
+	rttMS := cfg.BaseRTTMS + env.NetworkDelayMS
+
+	// Buffer-pool miss ratio: a small base plus capacity pressure, plus
+	// pollution while a backup streams the whole database through the pool.
+	miss := 0.012 + 0.06*math.Max(0, 1-3*cfg.BufferPoolMB/cfg.DataMB)
+	if env.BackupReadMBps > 0 {
+		miss += 0.04
+	}
+	miss = clamp01(miss)
+
+	scanRows := env.ScanQueriesPerSec * env.ScanRowsPerQuery
+	scanCPUMS := scanRows * scanCPUPerRowMS
+	restoreCPUMS := env.RestoreRowsPerSec * restoreCPUPerMS
+	backupCPUMS := env.BackupReadMBps * backupCPUPerMB
+
+	L := st.prevL
+	if L <= 0 {
+		L = 10
+	}
+	var r tickResult
+	for iter := 0; iter < 60; iter++ {
+		X := throughputAt(cfg, env, L)
+
+		// --- CPU ---
+		dbCPU := X*d.cpuMS + scanCPUMS + restoreCPUMS + backupCPUMS
+		extCPU := env.ExternalCPUCores * 1000
+		rhoCPU := (dbCPU + extCPU) / (float64(cfg.Cores) * 1000)
+		cpuComp := d.cpuMS * infl(rhoCPU)
+
+		// --- Disk ---
+		logicalReads := X * d.pages
+		physReads := logicalReads * miss
+		scanPages := scanRows / rowsPerPage
+		scanDiskReads := scanPages * scanDiskFrac // most scan pages hit the pool after the first pass
+		backupReadOps := env.BackupReadMBps * 1024 / pageKB * 0.25
+
+		newDirty := (X*d.writtenAmp + env.RestoreRowsPerSec) / 8
+		// Background flushing lags write bursts, so dirty pages pile up
+		// under restore/insert-heavy load and drain back toward target.
+		flushed := math.Max(0, 0.9*newDirty+0.08*(st.dirtyPages-dirtyTarget))
+		if env.FlushStorm {
+			flushed = st.dirtyPages + newDirty
+		}
+		logKB := X*d.logKB + env.RestoreRowsPerSec*0.05
+		logFsyncs := math.Min(X*d.writeFrac+env.RestoreRowsPerSec/500, 400)
+		if env.FlushStorm {
+			logFsyncs += 150
+		}
+
+		readOps := physReads + scanDiskReads + backupReadOps + env.ExternalIOPS*0.4
+		writeOps := flushed + logFsyncs + env.ExternalIOPS*0.6
+		readMB := physReads*pageKB/1024 + scanDiskReads*pageKB/1024 + env.BackupReadMBps + env.ExternalIOMBps*0.3
+		writeMB := flushed*pageKB/1024 + logKB/1024 + env.ExternalIOMBps*0.7
+		rhoDisk := math.Max((readOps+writeOps)/cfg.DiskIOPS, (readMB+writeMB)/cfg.DiskMBps)
+		ioLat := baseIOLatMS * infl(rhoDisk)
+		ioComp := d.pages * miss * ioLat
+
+		// --- Redo log / commit ---
+		logComp := d.writeFrac * fsyncLatMS * infl(rhoDisk)
+		if env.FlushStorm {
+			logComp += 15 * infl(rhoDisk)
+		}
+
+		// --- Network ---
+		netSendKB := X*d.netOut + env.BackupReadMBps*1024*0.95
+		netRecvKB := X*d.netIn + env.RestoreRowsPerSec*0.06
+		rhoNet := (netSendKB + netRecvKB) / (cfg.NetMBps * 1024)
+		netComp := d.stmts * rttMS * infl(rhoNet)
+
+		// --- Row locks (TPC-C district hotspot) ---
+		lOther := cpuComp + ioComp + logComp + netComp
+		dEff := math.Max(1, districts*(1-env.LockHotspot))
+		holdMS := holdFraction * lOther
+		hotRate := X * d.hot
+		var lockComp float64
+		capX := math.Inf(1)
+		if d.hot > 0 && holdMS > 0 {
+			capX = 0.98 * dEff / (holdMS / 1000) / d.hot
+		}
+		if hotRate > 0 && X > capX {
+			// The hot lock is the bottleneck: throughput is pinned at the
+			// lock service rate and the closed loop absorbs the rest as
+			// queueing latency.
+			X = capX
+			lTarget := latencyForThroughput(cfg, env, capX)
+			lockComp = math.Max(0, lTarget-lOther)
+		} else if d.hot > 0 {
+			rho := hotRate / dEff * holdMS / 1000
+			if rho > 0.95 {
+				rho = 0.95
+			}
+			lockComp = d.hot * holdMS * rho / (1 - rho)
+		}
+
+		lNew := lOther + lockComp
+		// Damped update for stability.
+		L = 0.6*L + 0.4*lNew
+
+		if iter < 59 {
+			continue
+		}
+
+		// Final iteration: record the solved state.
+		waitPerAcq := 0.0
+		if d.hot > 0 {
+			waitPerAcq = lockComp / d.hot
+		}
+		lockWaits := 0.0
+		if waitPerAcq > 0.05 {
+			// Only meaningfully-contended acquisitions register as waits
+			// (InnoDB counts waits, not every acquisition).
+			frac := clamp01(waitPerAcq / (waitPerAcq + holdMS))
+			lockWaits = hotRate * frac
+		}
+		deadlocks := 0.0
+		if env.LockHotspot > 0.5 {
+			deadlocks = hotRate * 0.004
+		}
+		aborts := X*0.002 + deadlocks
+
+		r = tickResult{
+			X: X, L: L,
+			cpuComp: cpuComp, ioComp: ioComp, lockComp: lockComp, logComp: logComp, netComp: netComp,
+			rhoCPU: rhoCPU, rhoDisk: rhoDisk, rhoNet: rhoNet,
+			dbCPUMS: dbCPU, extCPUMS: extCPU,
+			missRatio: miss, logicalReads: logicalReads, physReads: physReads,
+			diskReadOps: readOps, diskWriteOps: writeOps,
+			diskReadMB: readMB, diskWriteMB: writeMB,
+			newDirty: newDirty, flushed: flushed,
+			logKB: logKB, logFsyncs: logFsyncs,
+			logWaits:  math.Max(0, logFsyncs-350) * 0.5,
+			netSendKB: netSendKB, netRecvKB: netRecvKB,
+			lockWaitsPerSec: lockWaits, lockWaitMS: lockComp * X,
+			lockCurrentWaits: math.Min(float64(cfg.Terminals+env.ExtraTerminals), lockComp/1000*X),
+			deadlocks:        deadlocks,
+			scanRows:         scanRows, scanQueries: env.ScanQueriesPerSec,
+			restoreRows:  env.RestoreRowsPerSec,
+			rowsRead:     X*d.rowsRead + scanRows,
+			rowsIns:      X*d.rowsWritten*0.55 + env.RestoreRowsPerSec,
+			rowsWriteAmp: X * d.writtenAmp,
+			rowsUpd:      X * d.rowsWritten * 0.40,
+			rowsDel:      X * d.rowsWritten * 0.05,
+			aborts:       aborts,
+			flushStorm:   env.FlushStorm,
+		}
+		r.perType = make([]float64, len(cfg.Mix.Types))
+		for i, t := range cfg.Mix.Types {
+			r.perType[i] = X * t.Weight
+		}
+	}
+
+	// Advance cross-tick state.
+	st.dirtyPages = math.Max(0, math.Min(maxDirty, st.dirtyPages+r.newDirty-r.flushed))
+	r.dirtyPages = st.dirtyPages
+	if env.FlushStorm {
+		st.activeLog = 1 - st.activeLog
+	}
+	r.activeLog = st.activeLog
+	st.prevL = r.L
+	return r
+}

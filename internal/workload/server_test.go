@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClamp01(t *testing.T) {
+	for in, want := range map[float64]float64{-1: 0, 0: 0, 0.5: 0.5, 1: 1, 7: 1} {
+		if got := clamp01(in); got != want {
+			t.Errorf("clamp01(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestInflCapped(t *testing.T) {
+	if got := infl(0); got != 1 {
+		t.Errorf("infl(0) = %v", got)
+	}
+	if got := infl(0.5); got != 2 {
+		t.Errorf("infl(0.5) = %v", got)
+	}
+	if got := infl(0.999); got != infl(5) {
+		t.Error("inflation not capped above 0.98")
+	}
+	if got := infl(-1); got != 1 {
+		t.Errorf("infl(-1) = %v", got)
+	}
+}
+
+func TestMixAveragesIndexAmplification(t *testing.T) {
+	mix := TPCCMix()
+	base := mixAverages(mix, 0)
+	amped := mixAverages(mix, 3)
+	// SQL-level row writes are untouched by extra indexes...
+	if amped.rowsWritten != base.rowsWritten {
+		t.Errorf("rowsWritten changed: %v vs %v", amped.rowsWritten, base.rowsWritten)
+	}
+	// ...but page-write amplification, CPU, and redo volume grow.
+	if amped.writtenAmp <= base.writtenAmp {
+		t.Error("writtenAmp did not grow with extra indexes")
+	}
+	if amped.cpuMS <= base.cpuMS {
+		t.Error("cpuMS did not grow with extra indexes")
+	}
+	if amped.logKB <= base.logKB {
+		t.Error("logKB did not grow with extra indexes")
+	}
+	// Read-only demands are untouched.
+	if amped.pages != base.pages || amped.rowsRead != base.rowsRead {
+		t.Error("read demands changed with extra indexes")
+	}
+}
+
+func TestThroughputLatencyInversion(t *testing.T) {
+	cfg := DefaultConfig()
+	var env Env
+	f := func(rawX uint16) bool {
+		// Targets within the achievable range (0, terminals/think).
+		target := 1 + float64(rawX%400)
+		lat := latencyForThroughput(&cfg, &env, target)
+		got := throughputAt(&cfg, &env, lat)
+		return math.Abs(got-target) < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThroughputAtMonotoneInLatency(t *testing.T) {
+	cfg := DefaultConfig()
+	env := Env{ExtraTerminals: 64}
+	prev := math.Inf(1)
+	for lat := 1.0; lat < 10000; lat *= 2 {
+		x := throughputAt(&cfg, &env, lat)
+		if x > prev {
+			t.Fatalf("throughput not monotone at latency %v", lat)
+		}
+		prev = x
+	}
+}
+
+func solved(t *testing.T, env Env) tickResult {
+	t.Helper()
+	cfg := DefaultConfig()
+	st := simState{dirtyPages: 24000}
+	var r tickResult
+	// A few ticks to let the damped fixed point settle.
+	for i := 0; i < 5; i++ {
+		r = solveTick(&cfg, &env, &st)
+	}
+	return r
+}
+
+func TestSolveTickHealthyEquilibrium(t *testing.T) {
+	r := solved(t, Env{})
+	if r.X < 200 || r.X > 600 {
+		t.Errorf("healthy throughput = %v", r.X)
+	}
+	if r.L < 2 || r.L > 50 {
+		t.Errorf("healthy latency = %v", r.L)
+	}
+	if r.rhoCPU > 0.6 || r.rhoDisk > 0.6 {
+		t.Errorf("healthy utilization: cpu=%v disk=%v", r.rhoCPU, r.rhoDisk)
+	}
+	// Closed loop: throughput never exceeds what zero latency allows.
+	maxX := float64(DefaultConfig().Terminals) / (DefaultConfig().ThinkTimeMS / 1000)
+	if r.X > maxX {
+		t.Errorf("throughput %v exceeds closed-loop bound %v", r.X, maxX)
+	}
+}
+
+func TestSolveTickExternalCPURaisesLatency(t *testing.T) {
+	healthy := solved(t, Env{})
+	stressed := solved(t, Env{ExternalCPUCores: 3.9})
+	if stressed.L < healthy.L*1.5 {
+		t.Errorf("CPU stress latency %v vs healthy %v", stressed.L, healthy.L)
+	}
+	if stressed.rhoCPU < 0.9 {
+		t.Errorf("rhoCPU under stress = %v", stressed.rhoCPU)
+	}
+	// The DBMS itself consumes no more CPU than before.
+	if stressed.dbCPUMS > healthy.dbCPUMS*1.1 {
+		t.Errorf("db CPU grew under external load: %v vs %v", stressed.dbCPUMS, healthy.dbCPUMS)
+	}
+}
+
+func TestSolveTickNetworkDelayCollapsesThroughput(t *testing.T) {
+	healthy := solved(t, Env{})
+	congested := solved(t, Env{NetworkDelayMS: 300})
+	if congested.X > healthy.X/3 {
+		t.Errorf("congested throughput %v vs healthy %v", congested.X, healthy.X)
+	}
+	if congested.netComp < 1000 {
+		t.Errorf("network latency component = %v ms, want >= 1000 (several RTTs)", congested.netComp)
+	}
+	// The server is idler, not busier.
+	if congested.rhoCPU > healthy.rhoCPU {
+		t.Error("congestion should reduce CPU utilization")
+	}
+}
+
+func TestSolveTickLockHotspotSerializes(t *testing.T) {
+	healthy := solved(t, Env{})
+	contended := solved(t, Env{LockHotspot: 1})
+	if contended.lockComp < 20 {
+		t.Errorf("lock wait component = %v ms, want substantial", contended.lockComp)
+	}
+	if contended.X > healthy.X*0.9 {
+		t.Errorf("contended throughput %v vs healthy %v", contended.X, healthy.X)
+	}
+	if contended.lockWaitsPerSec <= healthy.lockWaitsPerSec {
+		t.Error("lock waits did not increase")
+	}
+}
+
+func TestSolveTickFlushStormDrainsDirtyPages(t *testing.T) {
+	cfg := DefaultConfig()
+	st := simState{dirtyPages: 24000}
+	var env Env
+	for i := 0; i < 3; i++ {
+		solveTick(&cfg, &env, &st)
+	}
+	before := st.dirtyPages
+	log0 := st.activeLog
+	env.FlushStorm = true
+	r := solveTick(&cfg, &env, &st)
+	if st.dirtyPages > before/10 {
+		t.Errorf("dirty pages after storm = %v (before %v)", st.dirtyPages, before)
+	}
+	if r.flushed < before {
+		t.Errorf("flushed = %v, want at least the backlog %v", r.flushed, before)
+	}
+	if st.activeLog == log0 {
+		t.Error("redo log did not rotate on flush")
+	}
+}
+
+func TestSolveTickRestoreAccumulatesDirtyPages(t *testing.T) {
+	cfg := DefaultConfig()
+	st := simState{dirtyPages: 24000}
+	var env Env
+	for i := 0; i < 3; i++ {
+		solveTick(&cfg, &env, &st)
+	}
+	before := st.dirtyPages
+	env.RestoreRowsPerSec = 60000
+	for i := 0; i < 10; i++ {
+		solveTick(&cfg, &env, &st)
+	}
+	if st.dirtyPages < before+2000 {
+		t.Errorf("dirty pages after 10s of bulk restore = %v (before %v), want growth", st.dirtyPages, before)
+	}
+	if st.dirtyPages > maxDirty {
+		t.Errorf("dirty pages exceed the buffer pool: %v", st.dirtyPages)
+	}
+}
+
+func TestSolveTickSpikeRaisesThroughputUntilSaturation(t *testing.T) {
+	healthy := solved(t, Env{})
+	spiked := solved(t, Env{ExtraTerminals: 128, ExtraThinkTimeMS: 5})
+	if spiked.X < healthy.X*1.5 {
+		t.Errorf("spiked throughput %v vs healthy %v", spiked.X, healthy.X)
+	}
+	if spiked.L < healthy.L {
+		t.Error("spike should not reduce latency")
+	}
+}
+
+func TestSolveTickResultFieldsFinite(t *testing.T) {
+	envs := []Env{
+		{},
+		{ExternalCPUCores: 3.9},
+		{ExternalIOPS: 2600, ExternalIOMBps: 110},
+		{NetworkDelayMS: 300},
+		{LockHotspot: 1},
+		{FlushStorm: true},
+		{RestoreRowsPerSec: 60000},
+		{BackupReadMBps: 70},
+		{ScanQueriesPerSec: 5, ScanRowsPerQuery: 2e6},
+		{ExtraIndexes: 3},
+		{ExtraTerminals: 128, ExtraThinkTimeMS: 5, NetworkDelayMS: 300, LockHotspot: 1},
+	}
+	for i, env := range envs {
+		r := solved(t, env)
+		for name, v := range map[string]float64{
+			"X": r.X, "L": r.L, "rhoCPU": r.rhoCPU, "rhoDisk": r.rhoDisk,
+			"lockComp": r.lockComp, "netComp": r.netComp, "flushed": r.flushed,
+			"diskReadOps": r.diskReadOps, "diskWriteOps": r.diskWriteOps,
+			"netSendKB": r.netSendKB, "lockWaitMS": r.lockWaitMS,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Errorf("env %d: %s = %v", i, name, v)
+			}
+		}
+		if r.X <= 0 || r.L <= 0 {
+			t.Errorf("env %d: degenerate equilibrium X=%v L=%v", i, r.X, r.L)
+		}
+	}
+}

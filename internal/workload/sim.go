@@ -1,0 +1,305 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sample is one raw log record from one source (OS, DBMS, or the
+// transaction log), before alignment by the collector. Timestamps are in
+// milliseconds; each source samples at its own offset within the second,
+// as real collectors do.
+type Sample struct {
+	TimeMS int64
+	Num    map[string]float64
+	Cat    map[string]string
+}
+
+// RawLogs holds the three log streams of one run (paper Figure 2, inputs
+// to the Preprocessing step).
+type RawLogs struct {
+	OS []Sample
+	DB []Sample
+	Tx []Sample
+	// Mix records the workload mix the run used, so the collector can
+	// order per-class attributes deterministically.
+	Mix Mix
+}
+
+// Simulator drives the synthetic testbed.
+type Simulator struct {
+	cfg Config
+	rng *rand.Rand
+	st  simState
+}
+
+// NewSimulator returns a simulator for the given configuration. Runs are
+// deterministic for a fixed Config (including Seed).
+func NewSimulator(cfg Config) *Simulator {
+	return &Simulator{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		st:  simState{dirtyPages: 24000},
+	}
+}
+
+// Run simulates `seconds` one-second ticks starting at startTime (unix
+// seconds), applying perturb (may be nil) each tick, and returns the raw
+// log streams.
+func (s *Simulator) Run(startTime int64, seconds int, perturb Perturb) *RawLogs {
+	logs := &RawLogs{Mix: s.cfg.Mix}
+	for sec := 0; sec < seconds; sec++ {
+		var env Env
+		if perturb != nil {
+			perturb(sec, &env)
+		}
+		r := solveTick(&s.cfg, &env, &s.st)
+		baseMS := (startTime + int64(sec)) * 1000
+		logs.OS = append(logs.OS, s.emitOS(baseMS, &env, &r))
+		logs.DB = append(logs.DB, s.emitDB(baseMS, &env, &r))
+		logs.Tx = append(logs.Tx, s.emitTx(baseMS, &env, &r))
+	}
+	return logs
+}
+
+// noisy applies multiplicative Gaussian noise with relative sigma rel
+// plus a small absolute jitter and, rarely, a heavy-tailed spike (a
+// counter glitch or burst, as real monitoring data exhibits), clamping
+// at zero. The Gaussian noise is what makes the paper's partition
+// filtering and gap-filling steps necessary; the spikes stretch each
+// attribute's observed range the way production traces do, so only
+// attributes with genuinely large shifts clear the normalized
+// difference threshold theta.
+func (s *Simulator) noisy(v, rel, abs float64) float64 {
+	out := v*(1+rel*s.rng.NormFloat64()) + abs*s.rng.NormFloat64()
+	if s.rng.Float64() < 0.008 {
+		out *= 2 + 4*s.rng.Float64()
+	}
+	if out < 0 {
+		return 0
+	}
+	return out
+}
+
+// jitterMS returns base + mean±sd milliseconds of collection jitter,
+// kept within the second.
+func (s *Simulator) jitterMS(base int64, mean, sd float64) int64 {
+	j := int64(mean + sd*s.rng.NormFloat64())
+	if j < 0 {
+		j = 0
+	}
+	if j > 980 {
+		j = 980
+	}
+	return base + j
+}
+
+func (s *Simulator) emitOS(baseMS int64, env *Env, r *tickResult) Sample {
+	cfg := &s.cfg
+	d := mixAverages(cfg.Mix, env.ExtraIndexes)
+	n := make(map[string]float64, 48)
+
+	cpuTotal := math.Min(100, 100*r.rhoCPU)
+	idleRaw := math.Max(0, 100-cpuTotal)
+	iowait := math.Min(idleRaw*0.8, 100*r.rhoDisk*0.25)
+	idle := math.Max(0, idleRaw-iowait)
+	n[AttrOSCPUUsage] = s.noisy(cpuTotal, 0.03, 1.0)
+	n[AttrOSCPUUser] = s.noisy(cpuTotal*0.74, 0.04, 0.8)
+	n[AttrOSCPUSys] = s.noisy(cpuTotal*0.26, 0.05, 0.5)
+	// Idle is kept (noisily) complementary to usage: domain-knowledge
+	// rule 4 of the paper depends on this dependence being detectable.
+	n[AttrOSCPUIdle] = math.Max(0, 100-n[AttrOSCPUUsage]-iowait+0.5*s.rng.NormFloat64())
+	_ = idle
+	n[AttrOSCPUIOWait] = s.noisy(iowait, 0.08, 0.4)
+	for c := 0; c < 4; c++ {
+		n[fmt.Sprintf("os.cpu_core%d_usage", c)] = s.noisy(cpuTotal, 0.06, 2.0)
+	}
+
+	extProcs := env.ExternalCPUCores
+	if env.ExternalIOPS > 0 {
+		extProcs += 6
+	}
+	stmts := r.X * d.stmts
+	n[AttrOSLoadAvg] = s.noisy(r.rhoCPU*float64(cfg.Cores)+r.rhoDisk*2, 0.06, 0.1)
+	n[AttrOSProcsRun] = s.noisy(2+math.Min(float64(cfg.Cores)*2, r.dbCPUMS/1000)+extProcs, 0.1, 0.4)
+	n[AttrOSProcsBlk] = s.noisy(r.rhoDisk*6, 0.15, 0.3)
+	n[AttrOSCtxSwitch] = s.noisy(2000+stmts*2+env.ExternalCPUCores*8000+env.ExternalIOPS*3, 0.05, 20)
+	n["os.interrupts"] = s.noisy(1200+stmts*1.2+env.ExternalIOPS*2, 0.05, 15)
+	n["os.forks"] = s.noisy(2+boolTo(env.ExternalIOPS > 0, 40, 0), 0.2, 0.5)
+
+	n[AttrOSDiskReads] = s.noisy(r.diskReadOps, 0.07, 2)
+	n[AttrOSDiskWrites] = s.noisy(r.diskWriteOps, 0.07, 2)
+	n[AttrOSDiskReadKB] = s.noisy(r.diskReadMB*1024, 0.08, 10)
+	n[AttrOSDiskWrKB] = s.noisy(r.diskWriteMB*1024, 0.08, 10)
+	n[AttrOSDiskQueue] = s.noisy(r.rhoDisk*r.rhoDisk*12, 0.12, 0.1)
+	n[AttrOSDiskUtil] = s.noisy(math.Min(100, 100*r.rhoDisk), 0.05, 0.5)
+	ioLat := baseIOLatMS * infl(r.rhoDisk)
+	n["os.disk_read_latency_ms"] = s.noisy(ioLat, 0.08, 0.1)
+	n["os.disk_write_latency_ms"] = s.noisy(ioLat*0.8, 0.08, 0.1)
+
+	n[AttrNetSendKB] = s.noisy(r.netSendKB+5, 0.06, 2)
+	n[AttrNetRecvKB] = s.noisy(r.netRecvKB+5, 0.06, 2)
+	n[AttrNetSendPkts] = s.noisy(r.netSendKB*0.7+stmts, 0.06, 3)
+	n[AttrNetRecvPkts] = s.noisy(r.netRecvKB*0.7+stmts, 0.06, 3)
+	n["os.net_retransmits"] = s.noisy(0.4, 0.5, 0.2)
+	clients := float64(cfg.Terminals + env.ExtraTerminals)
+	n["os.net_active_connections"] = s.noisy(clients+4, 0.01, 0.5)
+
+	memUsed := 5400 + r.dirtyPages*pageKB/1024*0.2 + extProcs*40
+	if memUsed > cfg.RAMMB*0.97 {
+		memUsed = cfg.RAMMB * 0.97
+	}
+	memFree := cfg.RAMMB - memUsed - 900
+	n["os.mem_used_mb"] = s.noisy(memUsed, 0.01, 5)
+	n["os.mem_free_mb"] = s.noisy(math.Max(50, memFree), 0.02, 5)
+	n["os.mem_cached_mb"] = s.noisy(800, 0.02, 4)
+	n["os.mem_buffers_mb"] = s.noisy(120, 0.02, 1)
+	// Allocated/free pages are complementary (4 KB pages): rule 2.
+	alloc := memUsed * 256
+	n[AttrOSAllocPages] = s.noisy(alloc, 0.01, 200)
+	n[AttrOSFreePages] = s.noisy((cfg.RAMMB-memUsed)*256, 0.01, 200)
+	// Swap mostly idle; complementary pair for rule 3.
+	usedSwap := 64 + 8*math.Max(0, memUsed/cfg.RAMMB-0.9)*100
+	n[AttrOSUsedSwap] = s.noisy(usedSwap, 0.03, 1)
+	n[AttrOSFreeSwap] = s.noisy(2048-usedSwap, 0.002, 1)
+
+	n["os.page_faults_minor"] = s.noisy(r.logicalReads*0.1+stmts, 0.06, 10)
+	n["os.page_faults_major"] = s.noisy(r.physReads*0.02, 0.15, 0.3)
+	n["os.dirty_kb"] = s.noisy(r.dirtyPages*pageKB*0.3, 0.06, 50)
+	n["os.writeback_kb"] = s.noisy(r.flushed*pageKB*0.5, 0.1, 20)
+
+	return Sample{
+		TimeMS: s.jitterMS(baseMS, 110, 25),
+		Num:    n,
+		Cat:    map[string]string{AttrCfgIOSched: "deadline"},
+	}
+}
+
+func (s *Simulator) emitDB(baseMS int64, env *Env, r *tickResult) Sample {
+	cfg := &s.cfg
+	d := mixAverages(cfg.Mix, env.ExtraIndexes)
+	n := make(map[string]float64, 64)
+	stmts := r.X * d.stmts
+
+	n[AttrDBCPUUsage] = s.noisy(math.Min(100, 100*r.dbCPUMS/(float64(cfg.Cores)*1000)), 0.04, 0.8)
+	n[AttrDBQuestions] = s.noisy(stmts+r.scanQueries, 0.04, 3)
+	n["db.com_select"] = s.noisy(stmts*0.55+r.scanQueries+boolTo(env.BackupReadMBps > 0, 3, 0), 0.05, 2)
+	n["db.com_insert"] = s.noisy(r.X*1.1+r.restoreRows/100, 0.05, 1)
+	n["db.com_update"] = s.noisy(r.X*1.2, 0.05, 1)
+	n["db.com_delete"] = s.noisy(r.X*0.05, 0.1, 0.3)
+	n["db.com_commit"] = s.noisy(r.X, 0.04, 1)
+	n["db.com_rollback"] = s.noisy(r.aborts, 0.2, 0.1)
+
+	serverLat := r.L - r.netComp*0.8
+	n[AttrDBThreadsRun] = s.noisy(2+r.X*serverLat/1000, 0.07, 0.5)
+	clients := float64(cfg.Terminals + env.ExtraTerminals)
+	n[AttrDBThreadsConn] = s.noisy(clients+3, 0.01, 0.4)
+	n["db.threads_created"] = s.noisy(0.1+float64(env.ExtraTerminals)*0.01, 0.3, 0.05)
+	n["db.threads_cached"] = s.noisy(8, 0.05, 0.3)
+
+	n[AttrDBRndNext] = s.noisy(r.scanRows+r.rowsRead*0.1, 0.05, 20)
+	n["db.handler_read_key"] = s.noisy(r.rowsRead*0.9, 0.05, 10)
+	n["db.handler_read_next"] = s.noisy(r.rowsRead*0.5, 0.05, 10)
+	n["db.handler_write"] = s.noisy(r.rowsWriteAmp*0.55+r.restoreRows, 0.05, 3)
+	n["db.handler_update"] = s.noisy(r.rowsWriteAmp*0.40, 0.05, 3)
+	n["db.handler_delete"] = s.noisy(r.rowsDel, 0.1, 0.5)
+
+	n["db.innodb_rows_read"] = s.noisy(r.rowsRead, 0.05, 10)
+	n[AttrDBRowsInserted] = s.noisy(r.rowsIns, 0.05, 3)
+	n["db.innodb_rows_updated"] = s.noisy(r.rowsUpd, 0.05, 3)
+	n["db.innodb_rows_deleted"] = s.noisy(r.rowsDel, 0.1, 0.5)
+
+	scanPages := r.scanRows / rowsPerPage
+	backupReadOps := env.BackupReadMBps * 1024 / pageKB * 0.25
+	bpReadReqs := r.logicalReads + scanPages + backupReadOps*4
+	bpReads := r.physReads + scanPages*0.3 + backupReadOps
+	n[AttrDBBPReadReqs] = s.noisy(bpReadReqs, 0.05, 20)
+	n[AttrDBBPReads] = s.noisy(bpReads, 0.07, 2)
+	n["db.innodb_bp_hit_rate"] = s.noisy(100*(1-bpReads/math.Max(1, bpReadReqs)), 0.005, 0.1)
+
+	bpTotalPages := cfg.BufferPoolMB * 1024 / pageKB
+	freeFrac := 0.06
+	if env.BackupReadMBps > 0 {
+		freeFrac = 0.005 // backup streams the table through the pool
+	}
+	n[AttrDBPagesDirty] = s.noisy(r.dirtyPages, 0.02, 50)
+	n["db.innodb_bp_pages_free"] = s.noisy(bpTotalPages*freeFrac, 0.05, 30)
+	n["db.innodb_bp_pages_data"] = s.noisy(bpTotalPages*(1-freeFrac)*0.98, 0.005, 50)
+	n[AttrDBPagesFlushed] = s.noisy(r.flushed, 0.08, 4)
+	n["db.innodb_bp_wait_free"] = s.noisy(math.Max(0, r.dirtyPages-0.9*maxDirty)*0.1, 0.2, 0.1)
+
+	dbReadOps := bpReads
+	dbWriteOps := r.flushed + r.logFsyncs
+	n[AttrDBDataReads] = s.noisy(dbReadOps, 0.06, 2)
+	n[AttrDBDataWrites] = s.noisy(dbWriteOps, 0.06, 2)
+	n["db.innodb_data_read_kb"] = s.noisy(dbReadOps*pageKB, 0.07, 20)
+	n["db.innodb_data_write_kb"] = s.noisy(r.flushed*pageKB+r.logKB, 0.07, 20)
+	n["db.innodb_data_fsyncs"] = s.noisy(r.flushed/50+r.logFsyncs*0.2, 0.1, 0.5)
+	n["db.innodb_os_log_fsyncs"] = s.noisy(r.logFsyncs, 0.06, 1)
+
+	n["db.innodb_log_writes"] = s.noisy(r.logKB/4, 0.06, 2)
+	n["db.innodb_log_write_requests"] = s.noisy(r.logKB/2, 0.06, 2)
+	n["db.innodb_log_waits"] = s.noisy(r.logWaits, 0.2, 0.2)
+
+	n[AttrDBRowLockWaits] = s.noisy(r.lockWaitsPerSec, 0.08, 0.4)
+	n[AttrDBRowLockTime] = s.noisy(r.lockWaitMS, 0.08, 2)
+	n[AttrDBRowLockCurr] = s.noisy(r.lockCurrentWaits, 0.1, 0.3)
+	n["db.innodb_row_lock_time_avg_ms"] = s.noisy(r.lockWaitMS/math.Max(1, r.lockWaitsPerSec), 0.1, 0.3)
+	n["db.table_locks_waited"] = s.noisy(0.05+boolTo(r.flushStorm, 25, 0), 0.2, 0.05)
+	n["db.deadlocks"] = s.noisy(r.deadlocks, 0.3, 0.02)
+
+	n["db.created_tmp_tables"] = s.noisy(r.X*0.3+r.scanQueries*2, 0.08, 0.5)
+	n["db.created_tmp_disk_tables"] = s.noisy(r.X*0.01+r.scanQueries*1.5, 0.15, 0.1)
+	n["db.sort_rows"] = s.noisy(r.rowsRead*0.05+r.scanRows*0.1, 0.08, 5)
+	n["db.sort_scan"] = s.noisy(r.X*0.02+r.scanQueries, 0.1, 0.2)
+	n[AttrDBSelectScan] = s.noisy(r.X*0.04+r.scanQueries+boolTo(env.BackupReadMBps > 0, 3, 0), 0.1, 0.2)
+	n[AttrDBSelectFullJn] = s.noisy(r.scanQueries, 0.1, 0.05)
+
+	n[AttrDBBytesSent] = s.noisy(r.netSendKB, 0.06, 3)
+	n[AttrDBBytesRecv] = s.noisy(r.netRecvKB, 0.06, 3)
+	n["db.aborted_clients"] = s.noisy(0.02, 0.5, 0.02)
+	n["db.open_tables"] = s.noisy(400, 0.004, 1)
+	n["db.opened_tables"] = s.noisy(0.1+boolTo(r.flushStorm, 400, 0), 0.1, 0.1)
+
+	cat := map[string]string{
+		AttrCfgAdaptiveFlush: "off",
+		AttrCfgFlushMethod:   "O_DIRECT",
+		AttrDBActiveLog:      fmt.Sprintf("ib_logfile%d", r.activeLog),
+		AttrDBCheckpoint:     "normal",
+	}
+	if r.flushStorm {
+		cat[AttrDBCheckpoint] = "sync_flush"
+	}
+	return Sample{TimeMS: s.jitterMS(baseMS, 340, 40), Num: n, Cat: cat}
+}
+
+func (s *Simulator) emitTx(baseMS int64, env *Env, r *tickResult) Sample {
+	cfg := &s.cfg
+	n := make(map[string]float64, 16)
+	// One-second transaction aggregates are inherently jumpy: a handful
+	// of slow transactions dominates the second's average, so real
+	// per-second latency series fluctuate by tens of percent even in
+	// steady state (paper Figure 1 and Figure 3 show exactly this).
+	n[AttrTxCount] = s.noisy(r.X, 0.08, 1)
+	n[AttrAvgLatency] = s.noisy(r.L, 0.20, 0.5)
+	n[AttrP50Latency] = s.noisy(r.L*0.75, 0.18, 0.4)
+	n[AttrP95Latency] = s.noisy(r.L*1.7, 0.24, 0.8)
+	n[AttrP99Latency] = s.noisy(r.L*2.6, 0.28, 1.2)
+	n[AttrMaxLatency] = s.noisy(r.L*4.5, 0.40, 3)
+	n[AttrAvgLockWait] = s.noisy(r.lockComp, 0.15, 0.15)
+	n[AttrTxAborts] = s.noisy(r.aborts, 0.25, 0.1)
+	rtt := cfg.BaseRTTMS + env.NetworkDelayMS
+	n[AttrClientWait] = s.noisy(r.L+rtt, 0.20, 0.5)
+	for i, t := range cfg.Mix.Types {
+		n["tx."+t.Name+"_count"] = s.noisy(r.perType[i], 0.06, 0.5)
+	}
+	return Sample{TimeMS: s.jitterMS(baseMS, 600, 40), Num: n}
+}
+
+func boolTo(b bool, yes, no float64) float64 {
+	if b {
+		return yes
+	}
+	return no
+}

@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMixWeightsSumToOne(t *testing.T) {
+	for _, mix := range []Mix{TPCCMix(), TPCEMix()} {
+		var sum float64
+		for _, tt := range mix.Types {
+			sum += tt.Weight
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: weights sum to %v, want 1", mix.Name, sum)
+		}
+	}
+}
+
+func TestTPCEIsMoreReadIntensive(t *testing.T) {
+	if wc, we := TPCCMix().WriteFraction(), TPCEMix().WriteFraction(); we >= wc {
+		t.Errorf("TPC-E write fraction %v should be below TPC-C %v", we, wc)
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	a := NewSimulator(cfg).Run(1000, 30, nil)
+	b := NewSimulator(cfg).Run(1000, 30, nil)
+	if len(a.Tx) != len(b.Tx) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a.Tx), len(b.Tx))
+	}
+	for i := range a.Tx {
+		if a.Tx[i].TimeMS != b.Tx[i].TimeMS {
+			t.Fatalf("timestamps differ at %d", i)
+		}
+		for k, v := range a.Tx[i].Num {
+			if b.Tx[i].Num[k] != v {
+				t.Fatalf("sample %d attr %q: %v vs %v", i, k, v, b.Tx[i].Num[k])
+			}
+		}
+	}
+}
+
+func TestRunSeedsDiffer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	a := NewSimulator(cfg).Run(1000, 5, nil)
+	cfg.Seed = 2
+	b := NewSimulator(cfg).Run(1000, 5, nil)
+	same := true
+	for i := range a.Tx {
+		if a.Tx[i].Num[AttrAvgLatency] != b.Tx[i].Num[AttrAvgLatency] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical latency samples")
+	}
+}
+
+func TestRunEmitsAllSources(t *testing.T) {
+	logs := NewSimulator(DefaultConfig()).Run(1000, 10, nil)
+	if len(logs.OS) != 10 || len(logs.DB) != 10 || len(logs.Tx) != 10 {
+		t.Fatalf("source lengths: os=%d db=%d tx=%d, want 10 each", len(logs.OS), len(logs.DB), len(logs.Tx))
+	}
+	for _, name := range OSAttrs() {
+		if _, ok := logs.OS[0].Num[name]; !ok {
+			t.Errorf("OS sample missing %q", name)
+		}
+	}
+	for _, name := range DBAttrs() {
+		if _, ok := logs.DB[0].Num[name]; !ok {
+			t.Errorf("DB sample missing %q", name)
+		}
+	}
+	for _, name := range TxAttrs(logs.Mix) {
+		if _, ok := logs.Tx[0].Num[name]; !ok {
+			t.Errorf("Tx sample missing %q", name)
+		}
+	}
+	if logs.DB[0].Cat[AttrDBActiveLog] == "" || logs.DB[0].Cat[AttrDBCheckpoint] == "" {
+		t.Error("DB sample missing categorical attributes")
+	}
+	if logs.OS[0].Cat[AttrCfgIOSched] != "deadline" {
+		t.Errorf("io scheduler = %q", logs.OS[0].Cat[AttrCfgIOSched])
+	}
+}
+
+func TestSampleValuesNonNegativeAndFinite(t *testing.T) {
+	logs := NewSimulator(DefaultConfig()).Run(1000, 60, func(sec int, env *Env) {
+		if sec > 30 {
+			env.NetworkDelayMS = 300 // stress an extreme regime too
+		}
+	})
+	check := func(samples []Sample, src string) {
+		for i, s := range samples {
+			for k, v := range s.Num {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s sample %d attr %q = %v", src, i, k, v)
+				}
+			}
+		}
+	}
+	check(logs.OS, "os")
+	check(logs.DB, "db")
+	check(logs.Tx, "tx")
+}
+
+func TestSteadyStateIsHealthy(t *testing.T) {
+	logs := NewSimulator(DefaultConfig()).Run(1000, 60, nil)
+	var lat, tps float64
+	for _, s := range logs.Tx {
+		lat += s.Num[AttrAvgLatency]
+		tps += s.Num[AttrTxCount]
+	}
+	lat /= float64(len(logs.Tx))
+	tps /= float64(len(logs.Tx))
+	if lat < 2 || lat > 60 {
+		t.Errorf("steady-state latency %v ms out of healthy range", lat)
+	}
+	if tps < 200 || tps > 800 {
+		t.Errorf("steady-state throughput %v tx/s out of healthy range", tps)
+	}
+}
+
+func TestPerturbationsShiftTheirSignatureMetrics(t *testing.T) {
+	// Each perturbation must visibly move its signature attribute
+	// relative to the steady state; without this the diagnostic
+	// algorithm has nothing to find (paper limitation (i), Section 2.4).
+	cases := []struct {
+		name    string
+		perturb func(env *Env)
+		attr    string
+		src     func(l *RawLogs) []Sample
+		factor  float64 // abnormal mean must exceed normal mean by this
+	}{
+		{"scan query", func(e *Env) { e.ScanQueriesPerSec = 5; e.ScanRowsPerQuery = 2e6 },
+			AttrDBRndNext, func(l *RawLogs) []Sample { return l.DB }, 50},
+		{"lock hotspot", func(e *Env) { e.LockHotspot = 1 },
+			AttrDBRowLockTime, func(l *RawLogs) []Sample { return l.DB }, 50},
+		{"restore", func(e *Env) { e.RestoreRowsPerSec = 60000 },
+			AttrDBRowsInserted, func(l *RawLogs) []Sample { return l.DB }, 10},
+		{"backup", func(e *Env) { e.BackupReadMBps = 70 },
+			AttrNetSendKB, func(l *RawLogs) []Sample { return l.OS }, 20},
+		{"spike", func(e *Env) { e.ExtraTerminals = 128; e.ExtraThinkTimeMS = 5 },
+			AttrDBThreadsRun, func(l *RawLogs) []Sample { return l.DB }, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Seed = 11
+			logs := NewSimulator(cfg).Run(1000, 120, func(sec int, env *Env) {
+				if sec >= 60 {
+					tc.perturb(env)
+				}
+			})
+			samples := tc.src(logs)
+			var normal, abnormal float64
+			for i, s := range samples {
+				if i < 60 {
+					normal += s.Num[tc.attr]
+				} else {
+					abnormal += s.Num[tc.attr]
+				}
+			}
+			normal /= 60
+			abnormal /= 60
+			if abnormal < tc.factor*math.Max(normal, 1e-9) {
+				t.Errorf("%s: %s normal=%v abnormal=%v, want >= %vx shift",
+					tc.name, tc.attr, normal, abnormal, tc.factor)
+			}
+		})
+	}
+}
+
+func TestNetworkCongestionLowersServerActivity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	logs := NewSimulator(cfg).Run(1000, 120, func(sec int, env *Env) {
+		if sec >= 60 {
+			env.NetworkDelayMS = 300
+		}
+	})
+	mean := func(samples []Sample, attr string, from, to int) float64 {
+		var sum float64
+		for i := from; i < to; i++ {
+			sum += samples[i].Num[attr]
+		}
+		return sum / float64(to-from)
+	}
+	if n, a := mean(logs.OS, AttrNetSendPkts, 0, 60), mean(logs.OS, AttrNetSendPkts, 60, 120); a > n/2 {
+		t.Errorf("congestion should halve send packets: normal=%v abnormal=%v", n, a)
+	}
+	if n, a := mean(logs.OS, AttrOSCPUUsage, 0, 60), mean(logs.OS, AttrOSCPUUsage, 60, 120); a > n/2 {
+		t.Errorf("congestion should idle the CPU: normal=%v abnormal=%v", n, a)
+	}
+	if n, a := mean(logs.Tx, AttrClientWait, 0, 60), mean(logs.Tx, AttrClientWait, 60, 120); a < 10*n {
+		t.Errorf("congestion should blow up client wait: normal=%v abnormal=%v", n, a)
+	}
+}
+
+func TestFlushStormSignature(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 5
+	logs := NewSimulator(cfg).Run(1000, 90, func(sec int, env *Env) {
+		if sec >= 60 {
+			env.FlushStorm = true
+		}
+	})
+	if got := logs.DB[75].Cat[AttrDBCheckpoint]; got != "sync_flush" {
+		t.Errorf("checkpoint state during storm = %q, want sync_flush", got)
+	}
+	if got := logs.DB[30].Cat[AttrDBCheckpoint]; got != "normal" {
+		t.Errorf("checkpoint state before storm = %q, want normal", got)
+	}
+	// Redo log rotates during the storm.
+	if logs.DB[59].Cat[AttrDBActiveLog] == logs.DB[60].Cat[AttrDBActiveLog] {
+		t.Error("active redo log should rotate on flush")
+	}
+	// Dirty pages collapse.
+	if before, during := logs.DB[55].Num[AttrDBPagesDirty], logs.DB[70].Num[AttrDBPagesDirty]; during > before/10 {
+		t.Errorf("dirty pages should collapse during storm: before=%v during=%v", before, during)
+	}
+}
+
+func TestCPUSaturationStarvesDBButNotDBCPU(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 9
+	logs := NewSimulator(cfg).Run(1000, 120, func(sec int, env *Env) {
+		if sec >= 60 {
+			env.ExternalCPUCores = 3.9
+		}
+	})
+	var osN, osA, dbN, dbA float64
+	for i := 0; i < 60; i++ {
+		osN += logs.OS[i].Num[AttrOSCPUUsage]
+		dbN += logs.DB[i].Num[AttrDBCPUUsage]
+		osA += logs.OS[i+60].Num[AttrOSCPUUsage]
+		dbA += logs.DB[i+60].Num[AttrDBCPUUsage]
+	}
+	if osA < 2*osN {
+		t.Errorf("OS CPU should saturate: normal=%v abnormal=%v", osN/60, osA/60)
+	}
+	if dbA > 1.5*dbN {
+		t.Errorf("DB CPU should not rise under external load: normal=%v abnormal=%v", dbN/60, dbA/60)
+	}
+}

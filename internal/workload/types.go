@@ -1,0 +1,212 @@
+// Package workload implements the synthetic OLTP testbed that stands in
+// for the paper's MySQL 5.6 / Linux / Azure A3 environment.
+//
+// The simulator is a closed-loop queueing model of a transactional
+// database server: a fixed set of client terminals issue transactions
+// from a TPC-C-like (or TPC-E-like) mix; per-second throughput and
+// latency emerge from a fixed-point solution over CPU, disk, redo-log,
+// row-lock, and network resources. Each simulated second emits raw
+// OS / DBMS / transaction-aggregate log samples (the same three sources
+// DBSeer collects, paper Section 2.1), which internal/collector aligns
+// into the timestamped tuple table consumed by the diagnostic algorithm.
+//
+// Anomalies are injected by perturbing the Env of a tick — external CPU
+// or I/O load, added network delay, extra terminals, lock hotspots, and
+// so on — mirroring how the paper's experiments used stress-ng, tc,
+// mysqldump and workload changes (Table 1).
+package workload
+
+// TxnType describes one transaction class of a workload mix and its
+// per-execution resource demands.
+type TxnType struct {
+	Name string
+	// Weight is the fraction of the mix this type accounts for.
+	Weight float64
+	// CPUMS is CPU service demand in milliseconds.
+	CPUMS float64
+	// PageReads is logical buffer-pool page read requests.
+	PageReads float64
+	// RowsRead / RowsWritten are row-level handler operations.
+	RowsRead    float64
+	RowsWritten float64
+	// LogKB is redo-log volume generated (KB).
+	LogKB float64
+	// NetKBIn / NetKBOut are client<->server traffic (KB).
+	NetKBIn  float64
+	NetKBOut float64
+	// Statements is the number of client round trips (each one pays the
+	// network RTT; transaction latency includes these stalls, which is
+	// why a network delay inflates observed latency, paper Section 1).
+	Statements float64
+	// HotLocks is the per-execution number of acquisitions of the
+	// contention-prone lock (the TPC-C district row). The lock-contention
+	// injector funnels these onto a single district.
+	HotLocks float64
+	// IsWrite marks read-write transaction classes.
+	IsWrite bool
+}
+
+// Mix is a named workload mix. Weights should sum to 1.
+type Mix struct {
+	Name  string
+	Types []TxnType
+}
+
+// WriteFraction returns the weight share of read-write classes.
+func (m Mix) WriteFraction() float64 {
+	var w float64
+	for _, t := range m.Types {
+		if t.IsWrite {
+			w += t.Weight
+		}
+	}
+	return w
+}
+
+// TPCCMix returns the TPC-C transaction mix used by the paper's main
+// experiments (NewOrder 45%, Payment 43%, OrderStatus/Delivery/StockLevel
+// 4% each) with per-class demands modelled after a scale-500 database.
+func TPCCMix() Mix {
+	return Mix{
+		Name: "tpcc",
+		Types: []TxnType{
+			{Name: "new_order", Weight: 0.45, CPUMS: 2.0, PageReads: 24, RowsRead: 46, RowsWritten: 12,
+				LogKB: 2.0, NetKBIn: 0.8, NetKBOut: 1.2, Statements: 6, HotLocks: 1.0, IsWrite: true},
+			{Name: "payment", Weight: 0.43, CPUMS: 0.9, PageReads: 6, RowsRead: 8, RowsWritten: 4,
+				LogKB: 1.0, NetKBIn: 0.3, NetKBOut: 0.4, Statements: 3, HotLocks: 0.3, IsWrite: true},
+			{Name: "order_status", Weight: 0.04, CPUMS: 0.7, PageReads: 12, RowsRead: 25, RowsWritten: 0,
+				LogKB: 0, NetKBIn: 0.2, NetKBOut: 0.8, Statements: 2},
+			{Name: "delivery", Weight: 0.04, CPUMS: 2.4, PageReads: 30, RowsRead: 60, RowsWritten: 15,
+				LogKB: 2.4, NetKBIn: 0.2, NetKBOut: 0.3, Statements: 4, HotLocks: 0.5, IsWrite: true},
+			{Name: "stock_level", Weight: 0.04, CPUMS: 1.6, PageReads: 80, RowsRead: 200, RowsWritten: 0,
+				LogKB: 0, NetKBIn: 0.2, NetKBOut: 0.6, Statements: 2},
+		},
+	}
+}
+
+// TPCEMix returns a TPC-E-like mix (Appendix A). TPC-E is much more
+// read-intensive than TPC-C (~77% read-only weight here), which is what
+// makes Poor Physical Design and Lock Contention less pronounced on it.
+func TPCEMix() Mix {
+	return Mix{
+		Name: "tpce",
+		Types: []TxnType{
+			{Name: "trade_order", Weight: 0.10, CPUMS: 2.6, PageReads: 20, RowsRead: 35, RowsWritten: 8,
+				LogKB: 1.6, NetKBIn: 0.9, NetKBOut: 0.9, Statements: 5, HotLocks: 0.4, IsWrite: true},
+			{Name: "trade_result", Weight: 0.10, CPUMS: 2.9, PageReads: 24, RowsRead: 40, RowsWritten: 10,
+				LogKB: 2.0, NetKBIn: 0.5, NetKBOut: 0.6, Statements: 5, HotLocks: 0.4, IsWrite: true},
+			{Name: "trade_update", Weight: 0.02, CPUMS: 3.4, PageReads: 40, RowsRead: 80, RowsWritten: 12,
+				LogKB: 2.2, NetKBIn: 0.4, NetKBOut: 0.9, Statements: 4, HotLocks: 0.2, IsWrite: true},
+			{Name: "market_feed", Weight: 0.01, CPUMS: 2.2, PageReads: 12, RowsRead: 20, RowsWritten: 6,
+				LogKB: 1.2, NetKBIn: 1.2, NetKBOut: 0.3, Statements: 2, HotLocks: 0.1, IsWrite: true},
+			{Name: "trade_lookup", Weight: 0.08, CPUMS: 3.1, PageReads: 90, RowsRead: 220, RowsWritten: 0,
+				LogKB: 0, NetKBIn: 0.3, NetKBOut: 1.8, Statements: 3},
+			{Name: "trade_status", Weight: 0.19, CPUMS: 0.9, PageReads: 10, RowsRead: 22, RowsWritten: 0,
+				LogKB: 0, NetKBIn: 0.2, NetKBOut: 0.7, Statements: 2},
+			{Name: "customer_position", Weight: 0.13, CPUMS: 1.4, PageReads: 18, RowsRead: 40, RowsWritten: 0,
+				LogKB: 0, NetKBIn: 0.2, NetKBOut: 1.0, Statements: 2},
+			{Name: "market_watch", Weight: 0.18, CPUMS: 1.2, PageReads: 26, RowsRead: 60, RowsWritten: 0,
+				LogKB: 0, NetKBIn: 0.2, NetKBOut: 0.8, Statements: 2},
+			{Name: "security_detail", Weight: 0.14, CPUMS: 1.1, PageReads: 16, RowsRead: 30, RowsWritten: 0,
+				LogKB: 0, NetKBIn: 0.2, NetKBOut: 1.1, Statements: 2},
+			{Name: "broker_volume", Weight: 0.05, CPUMS: 1.9, PageReads: 50, RowsRead: 120, RowsWritten: 0,
+				LogKB: 0, NetKBIn: 0.2, NetKBOut: 0.9, Statements: 2},
+		},
+	}
+}
+
+// Config describes the simulated server and client fleet. Defaults model
+// one Azure A3 instance (4 cores, 7 GB RAM) serving TPC-C at scale
+// factor 500 (50 GB) from 128 terminals, as in paper Section 8.1.
+type Config struct {
+	Seed int64
+	// Cores is the number of CPU cores.
+	Cores int
+	// DiskIOPS and DiskMBps are the storage throughput limits.
+	DiskIOPS float64
+	DiskMBps float64
+	// NetMBps is the NIC bandwidth.
+	NetMBps float64
+	// BaseRTTMS is the uncongested client<->server round-trip time.
+	BaseRTTMS float64
+	// BufferPoolMB and DataMB size the buffer pool and the database.
+	BufferPoolMB float64
+	DataMB       float64
+	// RAMMB is total server memory.
+	RAMMB float64
+	// Terminals is the number of closed-loop clients.
+	Terminals int
+	// ThinkTimeMS is the per-terminal pause between transactions.
+	ThinkTimeMS float64
+	// Mix is the transaction mix.
+	Mix Mix
+}
+
+// DefaultConfig returns the TPC-C testbed configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         1,
+		Cores:        4,
+		DiskIOPS:     4000,
+		DiskMBps:     160,
+		NetMBps:      120,
+		BaseRTTMS:    0.5,
+		BufferPoolMB: 5 * 1024,
+		DataMB:       50 * 1024,
+		RAMMB:        7 * 1024,
+		Terminals:    128,
+		ThinkTimeMS:  300,
+		Mix:          TPCCMix(),
+	}
+}
+
+// TPCEConfig returns the TPC-E testbed configuration (3,000 customers,
+// 50 GB; Appendix A).
+func TPCEConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Mix = TPCEMix()
+	return cfg
+}
+
+// Env carries the externally-injected conditions of one simulated
+// second. A zero Env is the healthy steady state; anomaly injectors
+// (internal/anomaly) mutate fields inside their active window.
+type Env struct {
+	// ExtraTerminals adds aggressive clients (workload spike). They use
+	// ExtraThinkTimeMS (near zero: the paper's spike requests 50,000
+	// transactions/s, i.e. effectively open-loop).
+	ExtraTerminals   int
+	ExtraThinkTimeMS float64
+	// ExternalCPUCores is CPU demand (in cores) of non-DBMS processes
+	// (stress-ng --poll).
+	ExternalCPUCores float64
+	// ExternalIOPS / ExternalIOMBps is disk traffic of non-DBMS
+	// processes (stress-ng write/unlink/sync).
+	ExternalIOPS   float64
+	ExternalIOMBps float64
+	// NetworkDelayMS is added one-way network delay (tc netem).
+	NetworkDelayMS float64
+	// ScanQueriesPerSec injects poorly-written join queries, each
+	// scanning ScanRowsPerQuery rows without an index.
+	ScanQueriesPerSec float64
+	ScanRowsPerQuery  float64
+	// ExtraIndexes is the number of unnecessary indexes maintained on
+	// insert-heavy tables (poor physical design).
+	ExtraIndexes int
+	// BackupReadMBps is mysqldump-style sequential read + network send.
+	BackupReadMBps float64
+	// RestoreRowsPerSec is bulk re-insert traffic of a table restore
+	// (rows arrive over the network from the client machine).
+	RestoreRowsPerSec float64
+	// FlushStorm forces a flush of all tables and logs this second
+	// (mysqladmin flush-logs / refresh).
+	FlushStorm bool
+	// LockHotspot in [0,1] funnels hot-lock acquisitions onto a single
+	// district; 1 means every NewOrder hits the same district row.
+	LockHotspot float64
+}
+
+// Perturb is a per-second hook that lets callers (anomaly injectors)
+// modify the environment. sec is the tick index from the start of the
+// run; env starts zeroed every tick.
+type Perturb func(sec int, env *Env)
