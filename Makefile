@@ -1,0 +1,39 @@
+# Tier-1 gate for the DBSherlock reproduction (see ROADMAP.md).
+# `make ci` is what every PR must keep green: vet, build, the full test
+# suite under the race detector, and a one-iteration benchmark smoke so
+# the paper-evaluation harnesses and the parallel-engine benchmarks
+# cannot silently rot.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke fuzz-smoke bench-parallel
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches API drift and panics in the
+# experiment harnesses without paying for statistically meaningful runs.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Short fuzz campaigns over the CSV parser and the model-merge rule.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=10s ./internal/collector/
+	$(GO) test -run='^$$' -fuzz=FuzzMergePredicates -fuzztime=10s ./internal/causal/
+	$(GO) test -run='^$$' -fuzz=FuzzMergeCategorical -fuzztime=10s ./internal/causal/
+
+# Regenerate the numbers behind BENCH_parallel.json (sequential vs
+# parallel Explain/Rank at 1/4/8 workers, small and large datasets).
+bench-parallel:
+	$(GO) test -bench 'BenchmarkExplainWorkers|BenchmarkRankWorkers' -benchtime=10x -run='^$$' .

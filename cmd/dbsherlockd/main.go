@@ -36,14 +36,15 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	models := flag.String("models", "", "optional model store file (loaded at start, saved on shutdown)")
 	theta := flag.Float64("theta", 0.05, "normalized difference threshold for learned models")
+	workers := flag.Int("workers", 0, "diagnosis worker pool size per request (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
-	if err := run(*addr, *models, *theta); err != nil {
+	if err := run(*addr, *models, *theta, *workers); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, models string, theta float64) error {
-	analyzer, err := dbsherlock.New(dbsherlock.WithTheta(theta))
+func run(addr, models string, theta float64, workers int) error {
+	analyzer, err := dbsherlock.New(dbsherlock.WithTheta(theta), dbsherlock.WithWorkers(workers))
 	if err != nil {
 		return err
 	}

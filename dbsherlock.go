@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"dbsherlock/internal/causal"
 	"dbsherlock/internal/core"
@@ -35,13 +36,32 @@ import (
 
 // Analyzer is the top-level diagnostic engine: predicate generation
 // parameters, accumulated causal models, and optional domain knowledge.
-// An Analyzer is not safe for concurrent use.
+//
+// An Analyzer is safe for concurrent use. Explain, Detect, RankAll, and
+// the model accessors are read-mostly and run in parallel with each
+// other; LearnCause, AddModel, RecordRemediation, and LoadModels are
+// serialized writes against the RWMutex-guarded model repository.
+// Parameters and domain knowledge are fixed at construction. The
+// per-attribute and per-model hot paths additionally fan out across a
+// bounded worker pool (see WithWorkers) with output byte-identical to a
+// sequential run.
 type Analyzer struct {
 	params    core.Params
-	repo      *causal.Repository
 	knowledge *domain.Knowledge
 	lambda    float64
 	detectP   detect.Params
+
+	// mu guards the repo pointer (swapped by LoadModels); the Repository
+	// itself serializes access to its models.
+	mu   sync.RWMutex
+	repo *causal.Repository
+}
+
+// repository returns the current model repository.
+func (a *Analyzer) repository() *causal.Repository {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.repo
 }
 
 // Option configures an Analyzer.
@@ -103,6 +123,19 @@ func WithLambda(lambda float64) Option {
 			return errors.New("dbsherlock: lambda must be in [0, 1]")
 		}
 		a.lambda = lambda
+		return nil
+	}
+}
+
+// WithWorkers bounds the worker pool the diagnosis engine fans
+// per-attribute work (partition-space construction, Algorithm 1) and
+// per-model work (confidence ranking) out across. n <= 0 — the default —
+// sizes the pool to runtime.GOMAXPROCS; 1 forces the sequential path.
+// Worker count never changes results: parallel runs are byte-identical
+// to sequential ones.
+func WithWorkers(n int) Option {
+	return func(a *Analyzer) error {
+		a.params.Workers = n
 		return nil
 	}
 }
@@ -184,17 +217,18 @@ func (a *Analyzer) Explain(ds *Dataset, abnormal, normal *Region) (*Explanation,
 		expl.Predicates, expl.Pruned = a.knowledge.Apply(preds, ds)
 	}
 	expl.Ranked = make([]ScoredPredicate, len(expl.Predicates))
-	for i, p := range expl.Predicates {
+	core.ForEach(len(expl.Predicates), core.ResolveWorkers(a.params.Workers), func(i int) {
+		p := expl.Predicates[i]
 		expl.Ranked[i] = ScoredPredicate{
 			Predicate:       p,
 			SeparationPower: core.SeparationPower(p, ds, abnormal, normal),
 		}
-	}
+	})
 	sort.SliceStable(expl.Ranked, func(i, j int) bool {
 		return expl.Ranked[i].SeparationPower > expl.Ranked[j].SeparationPower
 	})
-	if a.repo.Len() > 0 {
-		expl.Causes = a.repo.Diagnose(ds, abnormal, normal, a.params, a.lambda)
+	if repo := a.repository(); repo.Len() > 0 {
+		expl.Causes = repo.Diagnose(ds, abnormal, normal, a.params, a.lambda)
 	}
 	return expl, nil
 }
@@ -219,21 +253,24 @@ func (a *Analyzer) LearnCause(cause string, ds *Dataset, abnormal, normal *Regio
 	if a.knowledge != nil {
 		preds, _ = a.knowledge.Apply(preds, ds)
 	}
-	if err := a.repo.Add(causal.New(cause, preds)); err != nil {
+	repo := a.repository()
+	if err := repo.Add(causal.New(cause, preds)); err != nil {
 		return nil, err
 	}
-	return a.repo.Model(cause), nil
+	return repo.Model(cause), nil
 }
 
 // AddModel installs an externally built causal model (merging with any
-// existing model of the same cause).
-func (a *Analyzer) AddModel(m *CausalModel) error { return a.repo.Add(m) }
+// existing model of the same cause). The repository keeps its own copy.
+func (a *Analyzer) AddModel(m *CausalModel) error { return a.repository().Add(m) }
 
-// Model returns the (merged) causal model for a cause, or nil.
-func (a *Analyzer) Model(cause string) *CausalModel { return a.repo.Model(cause) }
+// Model returns the (merged) causal model for a cause, or nil. The
+// returned model is an immutable snapshot: later learning replaces the
+// stored model rather than mutating it.
+func (a *Analyzer) Model(cause string) *CausalModel { return a.repository().Model(cause) }
 
 // Causes lists the known causes in the order they were first learned.
-func (a *Analyzer) Causes() []string { return a.repo.Causes() }
+func (a *Analyzer) Causes() []string { return a.repository().Causes() }
 
 // RankAll computes every known model's confidence for the given anomaly
 // without applying the lambda threshold (useful for inspecting margins).
@@ -242,7 +279,7 @@ func (a *Analyzer) RankAll(ds *Dataset, abnormal, normal *Region) ([]RankedCause
 	if err != nil {
 		return nil, err
 	}
-	return a.repo.Rank(ds, abnormal, normal, a.params), nil
+	return a.repository().Rank(ds, abnormal, normal, a.params), nil
 }
 
 // DetectResult is the outcome of automatic anomaly detection.

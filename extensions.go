@@ -39,14 +39,12 @@ func DefaultActionPolicy() ActionPolicy { return actions.DefaultPolicy() }
 // diagnosed cause; it is replayed as a suggestion on future occurrences
 // of the same cause (paper Section 10) and survives SaveModels.
 func (a *Analyzer) RecordRemediation(cause, action string) error {
-	m := a.repo.Model(cause)
-	if m == nil {
-		return fmt.Errorf("dbsherlock: unknown cause %q", cause)
-	}
 	if action == "" {
 		return errors.New("dbsherlock: empty remediation")
 	}
-	m.AddRemediation(action)
+	if !a.repository().AddRemediation(cause, action) {
+		return fmt.Errorf("dbsherlock: unknown cause %q", cause)
+	}
 	return nil
 }
 
@@ -63,16 +61,20 @@ func (a *Analyzer) Recommend(causes []RankedCause, policy ActionPolicy) ([]Recom
 
 // SaveModels writes every learned causal model (with remediation notes)
 // as versioned JSON.
-func (a *Analyzer) SaveModels(w io.Writer) error { return a.repo.Save(w) }
+func (a *Analyzer) SaveModels(w io.Writer) error { return a.repository().Save(w) }
 
 // LoadModels replaces the analyzer's causal models with the contents of
-// a SaveModels stream.
+// a SaveModels stream. The new repository is parsed fully before being
+// published, so concurrent readers see either the old store or the new
+// one, never a partial load.
 func (a *Analyzer) LoadModels(r io.Reader) error {
 	repo, err := causal.LoadRepository(r)
 	if err != nil {
 		return err
 	}
+	a.mu.Lock()
 	a.repo = repo
+	a.mu.Unlock()
 	return nil
 }
 

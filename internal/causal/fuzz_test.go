@@ -1,0 +1,165 @@
+package causal
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dbsherlock/internal/core"
+	"dbsherlock/internal/metrics"
+)
+
+// FuzzMergePredicates attacks the Section 6.2 merge rule with arbitrary
+// numeric bound pairs. Properties under test, for any two valid
+// predicates on the same attribute:
+//
+//   - merge never panics and is commutative: merge(a,b) == merge(b,a);
+//   - the merged predicate never narrows: every value satisfying either
+//     input still satisfies the merge (the merge covers both originals);
+//   - the merge never widens into an invalid range: if both bounds
+//     survive, Lower < Upper still holds.
+func FuzzMergePredicates(f *testing.F) {
+	f.Add(true, 10.0, false, 0.0, true, 15.0, false, 0.0)  // paper: {A>10}+{A>15}
+	f.Add(true, 20.0, false, 0.0, true, 15.0, false, 0.0)  // paper: {C>20}+{C>15}
+	f.Add(true, 10.0, false, 0.0, false, 0.0, true, 30.0)  // opposite directions
+	f.Add(true, 1.0, true, 2.0, true, 3.0, true, 4.0)      // two ranges
+	f.Add(true, -5.0, true, 5.0, true, -100.0, true, 0.25) // nested ranges
+	f.Add(false, 0.0, true, 9.0, false, 0.0, true, 4.0)    // two upper bounds
+
+	f.Fuzz(func(t *testing.T, hasL1 bool, l1 float64, hasU1 bool, u1 float64,
+		hasL2 bool, l2 float64, hasU2 bool, u2 float64) {
+		a := core.Predicate{Attr: "x", Type: metrics.Numeric, HasLower: hasL1, HasUpper: hasU1}
+		b := core.Predicate{Attr: "x", Type: metrics.Numeric, HasLower: hasL2, HasUpper: hasU2}
+		if hasL1 {
+			a.Lower = l1
+		}
+		if hasU1 {
+			a.Upper = u1
+		}
+		if hasL2 {
+			b.Lower = l2
+		}
+		if hasU2 {
+			b.Upper = u2
+		}
+		// Only feed predicates that Algorithm 1 could emit: at least one
+		// bound, finite, and a non-empty open interval when two-sided.
+		for _, p := range []core.Predicate{a, b} {
+			if !p.HasLower && !p.HasUpper {
+				t.Skip("unbounded input")
+			}
+			if p.HasLower && (math.IsNaN(p.Lower) || math.IsInf(p.Lower, 0)) {
+				t.Skip("non-finite bound")
+			}
+			if p.HasUpper && (math.IsNaN(p.Upper) || math.IsInf(p.Upper, 0)) {
+				t.Skip("non-finite bound")
+			}
+			if p.HasLower && p.HasUpper && p.Lower >= p.Upper {
+				t.Skip("empty input range")
+			}
+		}
+
+		ab, okAB := mergePredicates(a, b)
+		ba, okBA := mergePredicates(b, a)
+		if okAB != okBA || (okAB && !reflect.DeepEqual(ab, ba)) {
+			t.Fatalf("merge not commutative:\n a=%v b=%v\n a+b=(%v,%v)\n b+a=(%v,%v)",
+				a, b, ab, okAB, ba, okBA)
+		}
+		if !okAB {
+			// Rejection is only legal for direction conflicts (the union
+			// would be unbounded on both sides).
+			sameDirection := (a.HasLower && b.HasLower) || (a.HasUpper && b.HasUpper)
+			if sameDirection {
+				t.Fatalf("merge rejected compatible predicates %v and %v", a, b)
+			}
+			return
+		}
+		if !ab.HasLower && !ab.HasUpper {
+			t.Fatalf("merge of %v and %v produced an unbounded predicate", a, b)
+		}
+		if ab.HasLower && ab.HasUpper && ab.Lower >= ab.Upper {
+			t.Fatalf("merge of %v and %v widened into invalid range %v", a, b, ab)
+		}
+		// Coverage: points satisfying an input must satisfy the merge.
+		// Probe each input's interior (midpoint or offset past the bound).
+		for _, p := range []core.Predicate{a, b} {
+			probe := probePoint(p)
+			if p.MatchesNumeric(probe) && !ab.MatchesNumeric(probe) {
+				t.Fatalf("merge %v of %v and %v excludes %v, which input %v accepts",
+					ab, a, b, probe, p)
+			}
+		}
+	})
+}
+
+// probePoint picks a value in the interior of a valid predicate.
+func probePoint(p core.Predicate) float64 {
+	switch {
+	case p.HasLower && p.HasUpper:
+		return p.Lower + (p.Upper-p.Lower)/2
+	case p.HasLower:
+		return p.Lower + 1
+	default:
+		return p.Upper - 1
+	}
+}
+
+// FuzzMergeCategorical drives the categorical branch: the merge must be
+// commutative, keep only common categories, stay sorted, and reject
+// disjoint sets rather than emit an empty predicate.
+func FuzzMergeCategorical(f *testing.F) {
+	f.Add("xx,yy,zz", "xx,zz") // paper's example
+	f.Add("a", "b")            // disjoint
+	f.Add("a,b", "b,a")        // order must not matter
+	f.Add("", "a")             // degenerate
+	f.Fuzz(func(t *testing.T, cats1, cats2 string) {
+		a := catPredFromList(cats1)
+		b := catPredFromList(cats2)
+		if len(a.Categories) == 0 || len(b.Categories) == 0 {
+			t.Skip("empty category set")
+		}
+		ab, okAB := mergePredicates(a, b)
+		ba, okBA := mergePredicates(b, a)
+		if okAB != okBA {
+			t.Fatalf("commutativity broken: %v vs %v", okAB, okBA)
+		}
+		if !okAB {
+			for _, c := range a.Categories {
+				if b.MatchesCategorical(c) {
+					t.Fatalf("merge rejected overlapping sets %v and %v", a.Categories, b.Categories)
+				}
+			}
+			return
+		}
+		if !reflect.DeepEqual(ab.Categories, ba.Categories) {
+			t.Fatalf("merge not commutative: %v vs %v", ab.Categories, ba.Categories)
+		}
+		if len(ab.Categories) == 0 {
+			t.Fatalf("merge emitted empty categorical predicate from %v and %v", a, b)
+		}
+		for _, c := range ab.Categories {
+			if !a.MatchesCategorical(c) || !b.MatchesCategorical(c) {
+				t.Fatalf("merged category %q not common to %v and %v", c, a.Categories, b.Categories)
+			}
+		}
+	})
+}
+
+// catPredFromList builds a categorical predicate from a comma-separated
+// list, dropping empties and duplicates (mirroring generator output,
+// which never emits either).
+func catPredFromList(list string) core.Predicate {
+	seen := make(map[string]bool)
+	var cats []string
+	start := 0
+	for i := 0; i <= len(list); i++ {
+		if i == len(list) || list[i] == ',' {
+			if c := list[start:i]; c != "" && !seen[c] {
+				seen[c] = true
+				cats = append(cats, c)
+			}
+			start = i + 1
+		}
+	}
+	return core.Predicate{Attr: "x", Type: metrics.Categorical, Categories: cats}
+}

@@ -44,6 +44,21 @@ func (m *Model) AddRemediation(action string) {
 	m.Remediations = append(m.Remediations, action)
 }
 
+// Clone returns a copy of the model whose slices are independent of the
+// original, so a mutation of one cannot be observed through the other.
+// (Predicate category slices are shared: they are never mutated after
+// construction.)
+func (m *Model) Clone() *Model {
+	cp := &Model{Cause: m.Cause, Merged: m.Merged}
+	if len(m.Predicates) > 0 {
+		cp.Predicates = append([]core.Predicate(nil), m.Predicates...)
+	}
+	if len(m.Remediations) > 0 {
+		cp.Remediations = append([]string(nil), m.Remediations...)
+	}
+	return cp
+}
+
 // New creates a causal model from a diagnosis.
 func New(cause string, preds []core.Predicate) *Model {
 	cp := make([]core.Predicate, len(preds))

@@ -83,6 +83,8 @@ func predicateFromJSON(j predicateJSON) (core.Predicate, error) {
 // Save serializes the repository's models (including remediation notes)
 // as versioned JSON.
 func (r *Repository) Save(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	doc := repositoryJSON{Version: persistVersion}
 	for _, cause := range r.order {
 		m := r.models[cause]

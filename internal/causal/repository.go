@@ -2,6 +2,7 @@ package causal
 
 import (
 	"sort"
+	"sync"
 
 	"dbsherlock/internal/core"
 	"dbsherlock/internal/metrics"
@@ -21,7 +22,14 @@ type RankedCause struct {
 // Repository holds the causal models accumulated from past diagnoses.
 // Models sharing a cause are merged incrementally (Section 6.2), so each
 // cause maps to one (possibly merged) model.
+//
+// A Repository is safe for concurrent use: reads (Model, Causes, Rank,
+// Save) take a shared lock, writes (Add, AddRemediation) an exclusive
+// one. Stored models are treated as immutable — every write replaces the
+// map entry with a fresh model — so the pointers handed out by Model and
+// Rank stay consistent snapshots even while new diagnoses arrive.
 type Repository struct {
+	mu     sync.RWMutex
 	models map[string]*Model
 	order  []string // insertion order, for deterministic iteration
 }
@@ -33,10 +41,13 @@ func NewRepository() *Repository {
 
 // Add incorporates a newly diagnosed model. If a model for the same
 // cause exists, the two are merged; otherwise the model is stored as-is.
+// The repository keeps its own copy, so the caller may keep mutating m.
 func (r *Repository) Add(m *Model) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	existing, ok := r.models[m.Cause]
 	if !ok {
-		r.models[m.Cause] = m
+		r.models[m.Cause] = m.Clone()
 		r.order = append(r.order, m.Cause)
 		return nil
 	}
@@ -48,24 +59,70 @@ func (r *Repository) Add(m *Model) error {
 	return nil
 }
 
-// Len returns the number of distinct causes known.
-func (r *Repository) Len() int { return len(r.models) }
+// AddRemediation records a corrective action for a stored cause and
+// reports whether the cause is known. Stored models are immutable, so
+// the entry is replaced copy-on-write; readers holding the old pointer
+// keep a consistent snapshot.
+func (r *Repository) AddRemediation(cause, action string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.models[cause]
+	if !ok {
+		return false
+	}
+	cp := m.Clone()
+	cp.AddRemediation(action)
+	r.models[cause] = cp
+	return true
+}
 
-// Model returns the (merged) model for a cause, or nil.
-func (r *Repository) Model(cause string) *Model { return r.models[cause] }
+// Len returns the number of distinct causes known.
+func (r *Repository) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}
+
+// Model returns the (merged) model for a cause, or nil. The returned
+// model is an immutable snapshot: later writes replace the stored entry
+// rather than mutating it.
+func (r *Repository) Model(cause string) *Model {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.models[cause]
+}
 
 // Causes returns the known causes in insertion order.
 func (r *Repository) Causes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]string, len(r.order))
 	copy(out, r.order)
 	return out
+}
+
+// snapshot returns the causes (insertion order) and their models as a
+// consistent point-in-time view.
+func (r *Repository) snapshot() ([]string, []*Model) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	order := make([]string, len(r.order))
+	copy(order, r.order)
+	models := make([]*Model, len(order))
+	for i, cause := range order {
+		models[i] = r.models[cause]
+	}
+	return order, models
 }
 
 // Rank computes every model's confidence for the given anomaly and
 // returns all causes in decreasing confidence order (ties broken by
 // cause name for determinism). The caller applies a lambda threshold to
 // decide what to show; Rank itself returns everything so callers can
-// also inspect margins (Section 8.3).
+// also inspect margins (Section 8.3). Models are scored concurrently
+// across p.Workers workers; the result is byte-identical to a
+// sequential run because each model's confidence is computed
+// independently, collected by index, and sorted deterministically.
 func (r *Repository) Rank(ds *metrics.Dataset, abnormal, normal *metrics.Region, p core.Params) []RankedCause {
 	return r.RankEval(core.NewEvaluator(ds, abnormal, normal, p))
 }
@@ -73,15 +130,27 @@ func (r *Repository) Rank(ds *metrics.Dataset, abnormal, normal *metrics.Region,
 // RankEval is Rank against a prepared evaluator (shared partition-space
 // cache across all models).
 func (r *Repository) RankEval(ev *core.Evaluator) []RankedCause {
-	out := make([]RankedCause, 0, len(r.models))
-	for _, cause := range r.order {
-		m := r.models[cause]
-		out = append(out, RankedCause{
-			Cause:      cause,
-			Confidence: m.ConfidenceEval(ev),
-			Model:      m,
-		})
+	order, models := r.snapshot()
+	workers := core.ResolveWorkers(ev.Params().Workers)
+	if workers > 1 && len(models) > 1 {
+		// Build the partition spaces every model will probe up front, in
+		// parallel, so the scoring fan-out below hits a warm cache.
+		var attrs []string
+		for _, m := range models {
+			for _, p := range m.Predicates {
+				attrs = append(attrs, p.Attr)
+			}
+		}
+		ev.Prepare(attrs, workers)
 	}
+	out := make([]RankedCause, len(models))
+	core.ForEach(len(models), workers, func(i int) {
+		out[i] = RankedCause{
+			Cause:      order[i],
+			Confidence: models[i].ConfidenceEval(ev),
+			Model:      models[i],
+		}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Confidence != out[j].Confidence {
 			return out[i].Confidence > out[j].Confidence

@@ -1,6 +1,10 @@
 package core
 
-import "dbsherlock/internal/metrics"
+import (
+	"sync"
+
+	"dbsherlock/internal/metrics"
+)
 
 // Evaluator scores predicates against one (dataset, abnormal, normal)
 // diagnosis context, caching the labeled-and-filtered partition space of
@@ -8,12 +12,19 @@ import "dbsherlock/internal/metrics"
 // causal model's predicates against the same context, so the cache turns
 // an O(models x predicates x rows) recomputation into one partition
 // build per attribute.
+//
+// An Evaluator is safe for concurrent use: the space cache is guarded by
+// an RWMutex, and because space construction is deterministic, losers of
+// a racing build converge on the same labels. Callers that score many
+// models concurrently should Prepare the needed attributes first so the
+// scoring phase runs against a read-mostly cache.
 type Evaluator struct {
 	ds       *metrics.Dataset
 	abnormal *metrics.Region
 	normal   *metrics.Region
 	p        Params
 
+	mu  sync.RWMutex
 	num map[string]*NumericSpace
 	cat map[string]*CategoricalSpace
 }
@@ -29,6 +40,32 @@ func NewEvaluator(ds *metrics.Dataset, abnormal, normal *metrics.Region, p Param
 
 // Params returns the evaluation parameters.
 func (e *Evaluator) Params() Params { return e.p }
+
+// Prepare builds the partition spaces of the named attributes up front,
+// fanning the per-attribute construction out across the worker pool.
+// Duplicate and unknown names are fine (built once / skipped), so
+// callers can pass the raw attribute list of a model set.
+func (e *Evaluator) Prepare(attrs []string, workers int) {
+	seen := make(map[string]bool, len(attrs))
+	todo := attrs[:0:0]
+	for _, a := range attrs {
+		if !seen[a] {
+			seen[a] = true
+			todo = append(todo, a)
+		}
+	}
+	ForEach(len(todo), ResolveWorkers(workers), func(i int) {
+		col, ok := e.ds.Column(todo[i])
+		if !ok {
+			return
+		}
+		if col.Attr.Type == metrics.Numeric {
+			e.numericSpace(todo[i], col)
+		} else {
+			e.categoricalSpace(todo[i], col)
+		}
+	})
+}
 
 // Separation computes the partition-space separation of one predicate,
 // identically to PartitionSeparation but with cached spaces.
@@ -83,22 +120,41 @@ func (e *Evaluator) Separation(pred Predicate) float64 {
 }
 
 func (e *Evaluator) numericSpace(attr string, col metrics.Column) *NumericSpace {
+	e.mu.RLock()
+	ps, ok := e.num[attr]
+	e.mu.RUnlock()
+	if ok {
+		return ps
+	}
+	// Build outside the lock: construction is the expensive part and is
+	// deterministic, so concurrent builders produce identical spaces and
+	// the first writer wins.
+	built := NewNumericSpace(attr, col.Num, e.abnormal, e.normal, e.p.NumPartitions)
+	if built != nil && !e.p.DisableFiltering {
+		built.Filter()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if ps, ok := e.num[attr]; ok {
 		return ps
 	}
-	ps := NewNumericSpace(attr, col.Num, e.abnormal, e.normal, e.p.NumPartitions)
-	if ps != nil && !e.p.DisableFiltering {
-		ps.Filter()
-	}
-	e.num[attr] = ps
-	return ps
+	e.num[attr] = built
+	return built
 }
 
 func (e *Evaluator) categoricalSpace(attr string, col metrics.Column) *CategoricalSpace {
+	e.mu.RLock()
+	cs, ok := e.cat[attr]
+	e.mu.RUnlock()
+	if ok {
+		return cs
+	}
+	built := NewCategoricalSpace(attr, col.Cat, e.abnormal, e.normal)
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if cs, ok := e.cat[attr]; ok {
 		return cs
 	}
-	cs := NewCategoricalSpace(attr, col.Cat, e.abnormal, e.normal)
-	e.cat[attr] = cs
-	return cs
+	e.cat[attr] = built
+	return built
 }

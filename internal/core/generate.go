@@ -21,6 +21,14 @@ type Params struct {
 	// Delta is the anomaly distance multiplier of the gap-filling step.
 	Delta float64
 
+	// Workers bounds the worker pool used for per-attribute partition
+	// space construction and per-model ranking. Zero (the default) and
+	// negative values size the pool to runtime.GOMAXPROCS; 1 forces the
+	// sequential path. Parallel and sequential runs produce
+	// byte-identical results: attributes are processed independently and
+	// collected by index.
+	Workers int
+
 	// Ablation switches for the step-contribution experiment
 	// (Table 6, Appendix D). Production use leaves them false.
 	DisableFiltering  bool
@@ -50,7 +58,11 @@ func (p Params) Validate() error {
 
 // Generate runs Algorithm 1 over every attribute of the dataset and
 // returns the conjunct of candidate predicates with high separation
-// power, in dataset column order.
+// power, in dataset column order. Attributes are independent, so the
+// per-attribute work (partition-space construction, filtering,
+// gap-filling, predicate extraction) fans out across a bounded worker
+// pool sized by p.Workers; results are collected by attribute index, so
+// the output is byte-identical to a sequential run.
 func Generate(ds *metrics.Dataset, abnormal, normal *metrics.Region, p Params) ([]Predicate, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -68,18 +80,24 @@ func Generate(ds *metrics.Dataset, abnormal, normal *metrics.Region, p Params) (
 		return nil, errors.New("core: abnormal and normal regions overlap")
 	}
 
-	var out []Predicate
-	for i := 0; i < ds.NumAttrs(); i++ {
+	type candidate struct {
+		pred Predicate
+		ok   bool
+	}
+	results := make([]candidate, ds.NumAttrs())
+	ForEach(ds.NumAttrs(), ResolveWorkers(p.Workers), func(i int) {
 		col := ds.ColumnAt(i)
 		switch col.Attr.Type {
 		case metrics.Numeric:
-			if pred, ok := generateNumeric(col, abnormal, normal, p); ok {
-				out = append(out, pred)
-			}
+			results[i].pred, results[i].ok = generateNumeric(col, abnormal, normal, p)
 		case metrics.Categorical:
-			if pred, ok := generateCategorical(col, abnormal, normal); ok {
-				out = append(out, pred)
-			}
+			results[i].pred, results[i].ok = generateCategorical(col, abnormal, normal)
+		}
+	})
+	var out []Predicate
+	for _, c := range results {
+		if c.ok {
+			out = append(out, c.pred)
 		}
 	}
 	return out, nil

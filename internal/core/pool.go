@@ -1,0 +1,55 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ResolveWorkers maps a configured worker count to an effective pool
+// size: n <= 0 means one worker per available CPU (runtime.GOMAXPROCS),
+// the right default for the embarrassingly parallel per-attribute and
+// per-model work of the diagnosis engine.
+func ResolveWorkers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines. Indices are handed out by an atomic counter, so the pool
+// load-balances uneven per-index costs; each index runs exactly once.
+// With one worker (or at most one index) it runs inline on the calling
+// goroutine, making the sequential path goroutine-free.
+//
+// fn must write its result into a caller-owned, index-addressed slot
+// (e.g. results[i]) so output order is independent of scheduling —
+// this is what keeps parallel runs byte-identical to sequential ones.
+func ForEach(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -26,9 +26,13 @@ import (
 )
 
 // Server is the HTTP façade around one Analyzer. It is safe for
-// concurrent use; all analyzer and dataset access is serialized.
+// concurrent use: the dataset registry is guarded by an RWMutex, and the
+// Analyzer itself is safe for concurrent use, so overlapping requests —
+// including expensive /v1/explain calls — run in parallel instead of
+// being serialized behind one lock. Datasets are immutable once
+// uploaded, so handlers only hold the registry lock for the map lookup.
 type Server struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	analyzer *dbsherlock.Analyzer
 	datasets map[string]*dbsherlock.Dataset
 	nextID   int
@@ -98,17 +102,20 @@ type datasetInfo struct {
 }
 
 func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
+	s.mu.RLock()
 	out := make([]datasetInfo, 0, len(s.datasets))
 	for id, ds := range s.datasets {
 		out = append(out, datasetInfo{ID: id, Rows: ds.Rows(), Attributes: ds.NumAttrs()})
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
-// dataset resolves an id under the lock.
+// dataset resolves an id. Datasets are immutable after upload, so the
+// returned pointer is safe to use after the lock is released.
 func (s *Server) dataset(id string) (*dbsherlock.Dataset, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ds, ok := s.datasets[id]
 	if !ok {
 		return nil, fmt.Errorf("unknown dataset %q", id)
@@ -132,8 +139,6 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	ds, err := s.dataset(req.Dataset)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -236,8 +241,6 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	ds, err := s.dataset(req.Dataset)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -310,8 +313,6 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("cause is required"))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	ds, err := s.dataset(req.Dataset)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -346,11 +347,14 @@ type causeInfo struct {
 }
 
 func (s *Server) handleCauses(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make([]causeInfo, 0)
 	for _, cause := range s.analyzer.Causes() {
 		m := s.analyzer.Model(cause)
+		if m == nil {
+			// A concurrent PUT /v1/models replaced the store between the
+			// cause listing and the model lookup.
+			continue
+		}
 		info := causeInfo{Cause: cause, Merged: m.Merged, Remediations: m.Remediations}
 		for _, p := range m.Predicates {
 			info.Predicates = append(info.Predicates, p.String())
@@ -361,8 +365,6 @@ func (s *Server) handleCauses(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleExportModels(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.analyzer.SaveModels(w); err != nil {
 		// Headers are already out; nothing better to do than log-level
@@ -372,8 +374,6 @@ func (s *Server) handleExportModels(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleImportModels(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.analyzer.LoadModels(r.Body); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"dbsherlock"
+)
+
+// TestServerParallelRequests fires overlapping requests at every
+// endpoint of one server: concurrent explains and detects (reads)
+// racing learns and model imports (writes). Run under -race this is the
+// end-to-end proof of the Analyzer's locking contract; without -race it
+// still checks every response is well-formed under contention.
+func TestServerParallelRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := uploadTrace(t, ts, dbsherlock.LockContention, 11)
+
+	// Teach one cause up front so explains exercise ranking, and capture
+	// a model-store export for the concurrent PUT /v1/models goroutine.
+	resp := postJSON(t, ts.URL+"/v1/learn", map[string]any{
+		"dataset": id, "from": 120, "to": 180, "cause": "Lock Contention",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed learn status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	exported, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := io.ReadAll(exported.Body)
+	exported.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	run := func(name string, fn func(i int) error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := fn(i); err != nil {
+					errs <- fmt.Errorf("%s[%d]: %w", name, i, err)
+					return
+				}
+			}
+		}()
+	}
+	expect := func(resp *http.Response, err error, want int) error {
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != want {
+			return fmt.Errorf("status %d (want %d): %s", resp.StatusCode, want, body)
+		}
+		return nil
+	}
+
+	for g := 0; g < 3; g++ {
+		run("explain", func(int) error {
+			resp, err := http.Post(ts.URL+"/v1/explain", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"dataset":%q,"from":120,"to":180}`, id)))
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("status %d", resp.StatusCode)
+			}
+			var out struct {
+				Predicates []string `json:"predicates"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				return err
+			}
+			if len(out.Predicates) == 0 {
+				return fmt.Errorf("no predicates under contention")
+			}
+			return nil
+		})
+	}
+	run("learn", func(i int) error {
+		resp, err := http.Post(ts.URL+"/v1/learn", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"dataset":%q,"from":120,"to":180,"cause":"Cause %d","remedy":"fix %d"}`, id, i, i)))
+		return expect(resp, err, http.StatusOK)
+	})
+	run("causes", func(int) error {
+		resp, err := http.Get(ts.URL + "/v1/causes")
+		return expect(resp, err, http.StatusOK)
+	})
+	run("detect", func(int) error {
+		resp, err := http.Post(ts.URL+"/v1/detect", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"dataset":%q}`, id)))
+		return expect(resp, err, http.StatusOK)
+	})
+	run("export", func(int) error {
+		resp, err := http.Get(ts.URL + "/v1/models")
+		return expect(resp, err, http.StatusOK)
+	})
+	run("import", func(int) error {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/models", bytes.NewReader(store))
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		return expect(resp, err, http.StatusOK)
+	})
+	run("list-datasets", func(int) error {
+		resp, err := http.Get(ts.URL + "/v1/datasets")
+		return expect(resp, err, http.StatusOK)
+	})
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
