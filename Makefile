@@ -1,14 +1,19 @@
 # Tier-1 gate for the DBSherlock reproduction (see ROADMAP.md).
-# `make ci` is what every PR must keep green: vet, build, the full test
-# suite under the race detector, and a one-iteration benchmark smoke so
-# the paper-evaluation harnesses and the parallel-engine benchmarks
-# cannot silently rot.
+# `make ci` is what every PR must keep green: gofmt, vet, build, the
+# full test suite under the race detector, and a one-iteration benchmark
+# smoke so the paper-evaluation harnesses and the parallel-engine
+# benchmarks cannot silently rot.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke fuzz-smoke bench-parallel
+.PHONY: ci fmt-check vet build test race bench-smoke fuzz-smoke bench-parallel bench-obs
 
-ci: vet build race bench-smoke
+ci: fmt-check vet build race bench-smoke
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -37,3 +42,8 @@ fuzz-smoke:
 # parallel Explain/Rank at 1/4/8 workers, small and large datasets).
 bench-parallel:
 	$(GO) test -bench 'BenchmarkExplainWorkers|BenchmarkRankWorkers' -benchtime=10x -run='^$$' .
+
+# Regenerate the numbers behind BENCH_obs.json (Explain with diagnosis
+# tracing off vs on; commit the medians across the 5 repetitions).
+bench-obs:
+	$(GO) test -bench BenchmarkExplainTracing -benchtime=150x -count=5 -benchmem -run='^$$' .

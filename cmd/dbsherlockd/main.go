@@ -10,6 +10,12 @@
 //	curl -s -XPOST -d '{"dataset":"ds-1","from":120,"to":180}' localhost:8080/v1/explain
 //	curl -s -XPOST -d '{"dataset":"ds-1","from":120,"to":180,"cause":"Lock Contention"}' localhost:8080/v1/learn
 //	curl -s localhost:8080/v1/causes
+//	curl -s localhost:8080/metrics
+//
+// Observability flags: -log-level and -log-format shape the structured
+// request log on stderr, -trace attaches per-stage diagnosis traces to
+// every /v1/explain response, -pprof mounts net/http/pprof under
+// /debug/pprof/, and -max-upload caps dataset upload bodies.
 //
 // The model store (if given) is loaded at startup and written back on
 // SIGINT/SIGTERM shutdown.
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"io/fs"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,39 +36,86 @@ import (
 	"time"
 
 	"dbsherlock"
+	"dbsherlock/internal/obs"
 	"dbsherlock/internal/server"
 )
 
+// config collects the daemon's flag values.
+type config struct {
+	addr      string
+	models    string
+	theta     float64
+	workers   int
+	logLevel  string
+	logFormat string
+	trace     bool
+	pprof     bool
+	maxUpload int64
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	models := flag.String("models", "", "optional model store file (loaded at start, saved on shutdown)")
-	theta := flag.Float64("theta", 0.05, "normalized difference threshold for learned models")
-	workers := flag.Int("workers", 0, "diagnosis worker pool size per request (0 = GOMAXPROCS, 1 = sequential)")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.models, "models", "", "optional model store file (loaded at start, saved on shutdown)")
+	flag.Float64Var(&cfg.theta, "theta", 0.05, "normalized difference threshold for learned models")
+	flag.IntVar(&cfg.workers, "workers", 0, "diagnosis worker pool size per request (0 = GOMAXPROCS, 1 = sequential)")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "log level: debug|info|warn|error")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "log format: text|json")
+	flag.BoolVar(&cfg.trace, "trace", false, "attach per-stage diagnosis traces to /v1/explain responses")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.Int64Var(&cfg.maxUpload, "max-upload", server.DefaultMaxUploadBytes, "maximum dataset upload body size in bytes")
 	flag.Parse()
-	if err := run(*addr, *models, *theta, *workers); err != nil {
+	if err := run(cfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, models string, theta float64, workers int) error {
-	analyzer, err := dbsherlock.New(dbsherlock.WithTheta(theta), dbsherlock.WithWorkers(workers))
+func run(cfg config) error {
+	level, err := obs.ParseLevel(cfg.logLevel)
 	if err != nil {
 		return err
 	}
-	if models != "" {
-		if err := loadStore(analyzer, models); err != nil {
+	logger, err := obs.NewLogger(os.Stderr, level, cfg.logFormat)
+	if err != nil {
+		return err
+	}
+
+	analyzerOpts := []dbsherlock.Option{
+		dbsherlock.WithTheta(cfg.theta),
+		dbsherlock.WithWorkers(cfg.workers),
+	}
+	if cfg.trace {
+		analyzerOpts = append(analyzerOpts, dbsherlock.WithTracing())
+	}
+	analyzer, err := dbsherlock.New(analyzerOpts...)
+	if err != nil {
+		return err
+	}
+	if cfg.models != "" {
+		if err := loadStore(analyzer, cfg.models); err != nil {
 			return fmt.Errorf("load models: %w", err)
 		}
 	}
 
+	serverOpts := []server.Option{
+		server.WithLogger(logger),
+		server.WithMaxUploadBytes(cfg.maxUpload),
+	}
+	if cfg.pprof {
+		serverOpts = append(serverOpts, server.WithPprof())
+	}
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           server.New(analyzer),
+		Addr:              cfg.addr,
+		Handler:           server.New(analyzer, serverOpts...),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("dbsherlockd listening on %s (model store: %s)", addr, storeName(models))
+	logger.Info("dbsherlockd listening",
+		slog.String("addr", cfg.addr),
+		slog.String("model_store", storeName(cfg.models)),
+		slog.Bool("tracing", cfg.trace),
+		slog.Bool("pprof", cfg.pprof))
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -69,7 +123,7 @@ func run(addr, models string, theta float64, workers int) error {
 	case err := <-errCh:
 		return err
 	case sig := <-stop:
-		log.Printf("received %v, shutting down", sig)
+		logger.Info("shutting down", slog.String("signal", sig.String()))
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -77,11 +131,11 @@ func run(addr, models string, theta float64, workers int) error {
 	if err := srv.Shutdown(ctx); err != nil {
 		return err
 	}
-	if models != "" {
-		if err := saveStore(analyzer, models); err != nil {
+	if cfg.models != "" {
+		if err := saveStore(analyzer, cfg.models); err != nil {
 			return fmt.Errorf("save models: %w", err)
 		}
-		log.Printf("model store saved to %s", models)
+		logger.Info("model store saved", slog.String("path", cfg.models))
 	}
 	return nil
 }

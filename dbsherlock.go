@@ -32,6 +32,7 @@ import (
 	"dbsherlock/internal/core"
 	"dbsherlock/internal/detect"
 	"dbsherlock/internal/domain"
+	"dbsherlock/internal/obs"
 )
 
 // Analyzer is the top-level diagnostic engine: predicate generation
@@ -50,6 +51,7 @@ type Analyzer struct {
 	knowledge *domain.Knowledge
 	lambda    float64
 	detectP   detect.Params
+	tracing   bool
 
 	// mu guards the repo pointer (swapped by LoadModels); the Repository
 	// itself serializes access to its models.
@@ -140,6 +142,20 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithTracing makes every Explain record a per-stage diagnosis trace
+// (partitioning, filtering, gap filling, predicate extraction, pruning,
+// scoring, model ranking — see internal/obs) and attach its snapshot to
+// the Explanation. Without this option traces are off and cost nothing:
+// the hot path sees a nil trace pointer and skips all instrumentation.
+// Callers that want a trace for a single call regardless of this option
+// can use ExplainTraced or RankAllTraced.
+func WithTracing() Option {
+	return func(a *Analyzer) error {
+		a.tracing = true
+		return nil
+	}
+}
+
 // WithDomainKnowledge installs secondary-symptom pruning rules
 // (Section 5 of the paper). Rules are validated: a rule and its reverse
 // cannot coexist.
@@ -173,6 +189,9 @@ type Explanation struct {
 	// Causes are the qualifying causal-model diagnoses (may be empty:
 	// fall back to Predicates).
 	Causes []RankedCause
+	// Trace is the per-stage diagnosis trace, non-nil only when tracing
+	// was enabled (WithTracing or ExplainTraced).
+	Trace *TraceSnapshot
 }
 
 // ScoredPredicate pairs a predicate with its separation power on the
@@ -202,22 +221,50 @@ func resolveRegions(ds *Dataset, abnormal, normal *Region) (*Region, *Region, er
 // Explain diagnoses a user-perceived anomaly: it generates predicates
 // with high separation power (Algorithm 1), prunes secondary symptoms
 // if domain knowledge is installed, and ranks every known causal model
-// by confidence (Equation 3), returning those above lambda.
+// by confidence (Equation 3), returning those above lambda. With
+// WithTracing enabled the returned Explanation carries a per-stage
+// trace snapshot.
 func (a *Analyzer) Explain(ds *Dataset, abnormal, normal *Region) (*Explanation, error) {
+	if a.tracing {
+		return a.ExplainTraced(ds, abnormal, normal)
+	}
+	return a.explain(ds, abnormal, normal, nil)
+}
+
+// ExplainTraced is Explain with tracing forced on for this call,
+// regardless of the WithTracing option. The returned Explanation's
+// Trace field is always populated on success.
+func (a *Analyzer) ExplainTraced(ds *Dataset, abnormal, normal *Region) (*Explanation, error) {
+	tr := obs.NewTrace(core.ResolveWorkers(a.params.Workers))
+	expl, err := a.explain(ds, abnormal, normal, tr)
+	if err != nil {
+		return nil, err
+	}
+	expl.Trace = tr.Snapshot()
+	return expl, nil
+}
+
+func (a *Analyzer) explain(ds *Dataset, abnormal, normal *Region, tr *obs.Trace) (*Explanation, error) {
 	abnormal, normal, err := resolveRegions(ds, abnormal, normal)
 	if err != nil {
 		return nil, err
 	}
-	preds, err := core.Generate(ds, abnormal, normal, a.params)
+	params := a.params
+	params.Trace = tr
+	preds, err := core.Generate(ds, abnormal, normal, params)
 	if err != nil {
 		return nil, fmt.Errorf("dbsherlock: %w", err)
 	}
 	expl := &Explanation{Predicates: preds}
 	if a.knowledge != nil {
+		start := tr.Start()
 		expl.Predicates, expl.Pruned = a.knowledge.Apply(preds, ds)
+		tr.EndStage(obs.StagePrune, start)
+		tr.Count(obs.CounterPredicatesPruned, len(expl.Pruned))
 	}
+	start := tr.Start()
 	expl.Ranked = make([]ScoredPredicate, len(expl.Predicates))
-	core.ForEach(len(expl.Predicates), core.ResolveWorkers(a.params.Workers), func(i int) {
+	core.ForEach(len(expl.Predicates), core.ResolveWorkers(params.Workers), func(i int) {
 		p := expl.Predicates[i]
 		expl.Ranked[i] = ScoredPredicate{
 			Predicate:       p,
@@ -227,8 +274,9 @@ func (a *Analyzer) Explain(ds *Dataset, abnormal, normal *Region) (*Explanation,
 	sort.SliceStable(expl.Ranked, func(i, j int) bool {
 		return expl.Ranked[i].SeparationPower > expl.Ranked[j].SeparationPower
 	})
+	tr.EndStage(obs.StageScore, start)
 	if repo := a.repository(); repo.Len() > 0 {
-		expl.Causes = repo.Diagnose(ds, abnormal, normal, a.params, a.lambda)
+		expl.Causes = repo.Diagnose(ds, abnormal, normal, params, a.lambda)
 	}
 	return expl, nil
 }
@@ -280,6 +328,21 @@ func (a *Analyzer) RankAll(ds *Dataset, abnormal, normal *Region) ([]RankedCause
 		return nil, err
 	}
 	return a.repository().Rank(ds, abnormal, normal, a.params), nil
+}
+
+// RankAllTraced is RankAll with a per-stage trace of the ranking pass
+// (evaluator warm-up, model scoring, spaces built/reused, models
+// ranked) recorded for this call.
+func (a *Analyzer) RankAllTraced(ds *Dataset, abnormal, normal *Region) ([]RankedCause, *TraceSnapshot, error) {
+	abnormal, normal, err := resolveRegions(ds, abnormal, normal)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := obs.NewTrace(core.ResolveWorkers(a.params.Workers))
+	params := a.params
+	params.Trace = tr
+	ranked := a.repository().Rank(ds, abnormal, normal, params)
+	return ranked, tr.Snapshot(), nil
 }
 
 // DetectResult is the outcome of automatic anomaly detection.

@@ -6,6 +6,7 @@ import (
 
 	"dbsherlock/internal/core"
 	"dbsherlock/internal/metrics"
+	"dbsherlock/internal/obs"
 )
 
 // DefaultLambda is the minimum confidence a cause needs to be shown to
@@ -130,11 +131,13 @@ func (r *Repository) Rank(ds *metrics.Dataset, abnormal, normal *metrics.Region,
 // RankEval is Rank against a prepared evaluator (shared partition-space
 // cache across all models).
 func (r *Repository) RankEval(ev *core.Evaluator) []RankedCause {
+	tr := ev.Params().Trace
 	order, models := r.snapshot()
 	workers := core.ResolveWorkers(ev.Params().Workers)
 	if workers > 1 && len(models) > 1 {
 		// Build the partition spaces every model will probe up front, in
 		// parallel, so the scoring fan-out below hits a warm cache.
+		start := tr.Start()
 		var attrs []string
 		for _, m := range models {
 			for _, p := range m.Predicates {
@@ -142,7 +145,9 @@ func (r *Repository) RankEval(ev *core.Evaluator) []RankedCause {
 			}
 		}
 		ev.Prepare(attrs, workers)
+		tr.EndStage(obs.StagePrepare, start)
 	}
+	start := tr.Start()
 	out := make([]RankedCause, len(models))
 	core.ForEach(len(models), workers, func(i int) {
 		out[i] = RankedCause{
@@ -157,6 +162,8 @@ func (r *Repository) RankEval(ev *core.Evaluator) []RankedCause {
 		}
 		return out[i].Cause < out[j].Cause
 	})
+	tr.EndStage(obs.StageRank, start)
+	tr.Count(obs.CounterModelsRanked, len(models))
 	return out
 }
 

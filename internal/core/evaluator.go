@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"dbsherlock/internal/metrics"
+	"dbsherlock/internal/obs"
 )
 
 // Evaluator scores predicates against one (dataset, abnormal, normal)
@@ -124,6 +125,7 @@ func (e *Evaluator) numericSpace(attr string, col metrics.Column) *NumericSpace 
 	ps, ok := e.num[attr]
 	e.mu.RUnlock()
 	if ok {
+		e.p.Trace.Count(obs.CounterSpacesReused, 1)
 		return ps
 	}
 	// Build outside the lock: construction is the expensive part and is
@@ -136,8 +138,10 @@ func (e *Evaluator) numericSpace(attr string, col metrics.Column) *NumericSpace 
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if ps, ok := e.num[attr]; ok {
+		e.p.Trace.Count(obs.CounterSpacesReused, 1)
 		return ps
 	}
+	e.p.Trace.Count(obs.CounterSpacesBuilt, 1)
 	e.num[attr] = built
 	return built
 }
@@ -147,14 +151,17 @@ func (e *Evaluator) categoricalSpace(attr string, col metrics.Column) *Categoric
 	cs, ok := e.cat[attr]
 	e.mu.RUnlock()
 	if ok {
+		e.p.Trace.Count(obs.CounterSpacesReused, 1)
 		return cs
 	}
 	built := NewCategoricalSpace(attr, col.Cat, e.abnormal, e.normal)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if cs, ok := e.cat[attr]; ok {
+		e.p.Trace.Count(obs.CounterSpacesReused, 1)
 		return cs
 	}
+	e.p.Trace.Count(obs.CounterSpacesBuilt, 1)
 	e.cat[attr] = built
 	return built
 }

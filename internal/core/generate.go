@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"dbsherlock/internal/metrics"
+	"dbsherlock/internal/obs"
 	"dbsherlock/internal/stats"
 )
 
@@ -33,6 +34,11 @@ type Params struct {
 	// (Table 6, Appendix D). Production use leaves them false.
 	DisableFiltering  bool
 	DisableGapFilling bool
+
+	// Trace, when non-nil, accumulates per-stage wall time and work
+	// counts for this diagnosis (see internal/obs). Nil — the default —
+	// disables tracing at zero allocation cost on the hot path.
+	Trace *obs.Trace
 }
 
 // DefaultParams returns the paper's defaults: R=250, theta=0.2, delta=10
@@ -91,7 +97,7 @@ func Generate(ds *metrics.Dataset, abnormal, normal *metrics.Region, p Params) (
 		case metrics.Numeric:
 			results[i].pred, results[i].ok = generateNumeric(col, abnormal, normal, p)
 		case metrics.Categorical:
-			results[i].pred, results[i].ok = generateCategorical(col, abnormal, normal)
+			results[i].pred, results[i].ok = generateCategorical(col, abnormal, normal, p)
 		}
 	})
 	var out []Predicate
@@ -100,22 +106,35 @@ func Generate(ds *metrics.Dataset, abnormal, normal *metrics.Region, p Params) (
 			out = append(out, c.pred)
 		}
 	}
+	p.Trace.Count(obs.CounterAttributes, ds.NumAttrs())
+	p.Trace.Count(obs.CounterPredicatesKept, len(out))
 	return out, nil
 }
 
 func generateNumeric(col metrics.Column, abnormal, normal *metrics.Region, p Params) (Predicate, bool) {
+	tr := p.Trace
+	start := tr.Start()
 	ps := NewNumericSpace(col.Attr.Name, col.Num, abnormal, normal, p.NumPartitions)
+	tr.EndStage(obs.StagePartition, start)
 	if ps == nil {
 		return Predicate{}, false
 	}
+	tr.Count(obs.CounterPartitionsCreated, ps.R)
 	if !p.DisableFiltering {
-		ps.Filter()
+		start = tr.Start()
+		removed := ps.Filter()
+		tr.Count(obs.CounterPartitionsFiltered, removed)
+		tr.EndStage(obs.StageFilter, start)
 	}
 	if !p.DisableGapFilling {
+		start = tr.Start()
 		ps.FillGaps(p.Delta, regionMean(col.Num, normal))
+		tr.EndStage(obs.StageGapFill, start)
 	}
 
 	// Normalized mean-difference threshold (Section 4.5, Equation 2).
+	start = tr.Start()
+	defer tr.EndStage(obs.StageExtract, start)
 	norm := stats.Normalize(col.Num)
 	muA := regionMean(norm, abnormal)
 	muN := regionMean(norm, normal)
@@ -145,11 +164,17 @@ func generateNumeric(col metrics.Column, abnormal, normal *metrics.Region, p Par
 	return pred, true
 }
 
-func generateCategorical(col metrics.Column, abnormal, normal *metrics.Region) (Predicate, bool) {
+func generateCategorical(col metrics.Column, abnormal, normal *metrics.Region, p Params) (Predicate, bool) {
+	tr := p.Trace
+	start := tr.Start()
 	cs := NewCategoricalSpace(col.Attr.Name, col.Cat, abnormal, normal)
+	tr.EndStage(obs.StagePartition, start)
 	if cs == nil {
 		return Predicate{}, false
 	}
+	tr.Count(obs.CounterPartitionsCreated, len(cs.Labels))
+	start = tr.Start()
+	defer tr.EndStage(obs.StageExtract, start)
 	values := cs.AbnormalValues()
 	if len(values) == 0 {
 		return Predicate{}, false

@@ -135,8 +135,9 @@ func NewNumericSpace(attr string, values []float64, abnormal, normal *metrics.Re
 // the first and last non-Empty partitions — which lack a neighbour on
 // one side — are never filtered (the paper notes incremental filtering
 // would erode them too, Section 4.3). A space with a single non-Empty
-// partition is deemed significant and left untouched.
-func (ps *NumericSpace) Filter() {
+// partition is deemed significant and left untouched. It returns the
+// number of partitions whose label it removed.
+func (ps *NumericSpace) Filter() int {
 	type pos struct {
 		idx   int
 		label Label
@@ -148,17 +149,20 @@ func (ps *NumericSpace) Filter() {
 		}
 	}
 	if len(nonEmpty) <= 1 {
-		return
+		return 0
 	}
 	out := make([]Label, len(ps.Labels))
 	copy(out, ps.Labels)
+	removed := 0
 	for k := 1; k < len(nonEmpty)-1; k++ {
 		p := nonEmpty[k]
 		if nonEmpty[k-1].label != p.label || nonEmpty[k+1].label != p.label {
 			out[p.idx] = Empty
+			removed++
 		}
 	}
 	ps.Labels = out
+	return removed
 }
 
 // FillGaps applies the paper's Step 4: every Empty partition receives the

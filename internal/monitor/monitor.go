@@ -12,6 +12,7 @@ import (
 
 	"dbsherlock/internal/detect"
 	"dbsherlock/internal/metrics"
+	"dbsherlock/internal/obs"
 )
 
 // Alert reports one detected anomaly.
@@ -51,6 +52,10 @@ type Config struct {
 	// this many rows (default max(120, 4*CheckEvery)): tiny windows
 	// mistake startup transients for anomalies.
 	WarmupRows int
+	// Registry, when non-nil, receives the monitor's counters
+	// (dbsherlock_monitor_rows_ingested_total, _detections_run_total,
+	// _alerts_total) so they show up on the service's /metrics scrape.
+	Registry *obs.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -92,6 +97,12 @@ type Monitor struct {
 	lastAlertFrom int64
 	lastAlertTo   int64
 	alerted       bool
+
+	// Optional observability counters (nil when Config.Registry is nil;
+	// the obs counters are nil-safe no-ops in that case).
+	rowsIngested  *obs.Counter
+	detectionsRun *obs.Counter
+	alertsRaised  *obs.Counter
 }
 
 // New builds a monitor; onAlert fires synchronously from Append.
@@ -100,7 +111,26 @@ func New(cfg Config, onAlert func(Alert)) (*Monitor, error) {
 		return nil, errors.New("monitor: onAlert must be non-nil")
 	}
 	cfg.fillDefaults()
-	return &Monitor{cfg: cfg, onAlert: onAlert}, nil
+	m := &Monitor{cfg: cfg, onAlert: onAlert}
+	if reg := cfg.Registry; reg != nil {
+		m.rowsIngested = reg.NewCounterFamily(
+			"dbsherlock_monitor_rows_ingested_total",
+			"Statistics rows appended to the monitor's sliding window.").With()
+		m.detectionsRun = reg.NewCounterFamily(
+			"dbsherlock_monitor_detections_run_total",
+			"Anomaly detection passes executed over the window.").With()
+		m.alertsRaised = reg.NewCounterFamily(
+			"dbsherlock_monitor_alerts_total",
+			"Alerts raised after deduplication and cooldown.").With()
+	}
+	return m, nil
+}
+
+// Stats returns the monitor's lifetime counters: rows ingested,
+// detection passes run, and alerts raised. All zero when no Registry
+// was configured.
+func (m *Monitor) Stats() (rowsIngested, detectionsRun, alertsRaised int64) {
+	return m.rowsIngested.Value(), m.detectionsRun.Value(), m.alertsRaised.Value()
 }
 
 // WindowSize returns the number of rows currently buffered.
@@ -140,6 +170,7 @@ func (m *Monitor) Append(ds *metrics.Dataset) error {
 		}
 		m.sinceCheck++
 	}
+	m.rowsIngested.Add(int64(ds.Rows()))
 	m.trim()
 
 	if m.sinceCheck >= m.cfg.CheckEvery {
@@ -215,6 +246,7 @@ func (m *Monitor) runDetection() {
 	if len(m.time) < m.cfg.WarmupRows {
 		return
 	}
+	m.detectionsRun.Inc()
 	window, err := m.snapshot()
 	if err != nil {
 		return // a malformed window cannot alert; next append rebuilds it
@@ -253,6 +285,7 @@ func (m *Monitor) runDetection() {
 	m.alerted = true
 	m.lastAlertFrom, m.lastAlertTo = from, to
 
+	m.alertsRaised.Inc()
 	m.onAlert(Alert{
 		Window: window, Region: region,
 		FromTime: from, ToTime: to,

@@ -1,0 +1,71 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"dbsherlock/internal/anomaly"
+	"dbsherlock/internal/obs"
+)
+
+func TestMonitorCountersTrackWork(t *testing.T) {
+	trace := simTrace(t, 600, []anomaly.Injection{
+		{Kind: anomaly.IOSaturation, Start: 400, Duration: 60},
+	}, 1)
+
+	reg := obs.NewRegistry()
+	alerts := 0
+	m, err := New(Config{WindowSeconds: 300, CheckEvery: 30, Registry: reg},
+		func(Alert) { alerts++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range chunked(t, trace, 30) {
+		if err := m.Append(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rows, detections, raised := m.Stats()
+	if rows != int64(trace.Rows()) {
+		t.Errorf("rows ingested = %d, want %d", rows, trace.Rows())
+	}
+	if detections == 0 {
+		t.Error("no detections counted over a 600-second trace")
+	}
+	if raised == 0 || raised != int64(alerts) {
+		t.Errorf("alerts counter = %d, want %d (callback count, nonzero)", raised, alerts)
+	}
+
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, name := range []string{
+		"dbsherlock_monitor_rows_ingested_total",
+		"dbsherlock_monitor_detections_run_total",
+		"dbsherlock_monitor_alerts_total",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("exposition missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestMonitorCountersOptional(t *testing.T) {
+	// Without a registry the counters are nil and Stats reads zero —
+	// the monitor itself must still function.
+	trace := simTrace(t, 400, nil, 2)
+	m, err := New(Config{WindowSeconds: 300, CheckEvery: 30}, func(Alert) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range chunked(t, trace, 50) {
+		if err := m.Append(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, detections, raised := m.Stats()
+	if rows != 0 || detections != 0 || raised != 0 {
+		t.Errorf("Stats without registry = %d/%d/%d, want zeros", rows, detections, raised)
+	}
+}

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency histogram bucket upper bounds in
+// seconds (the Prometheus client default).
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Counter is a monotonically increasing metric. A nil *Counter is a
+// valid no-op, so optional instrumentation can skip wiring checks.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.n.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Histogram is a fixed-bucket latency histogram (cumulative buckets,
+// like Prometheus: bucket i counts observations <= bounds[i]). A nil
+// *Histogram is a valid no-op.
+type Histogram struct {
+	bounds   []float64 // sorted upper bounds, seconds
+	buckets  []atomic.Int64
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	secs := d.Seconds()
+	for i, ub := range h.bounds {
+		if secs <= ub {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// family is one named metric family: a HELP/TYPE header plus its
+// labeled children, kept in insertion order for stable exposition.
+type family struct {
+	name string
+	help string
+	typ  string // "counter" or "histogram"
+
+	buckets []float64 // histogram families only
+
+	mu       sync.Mutex
+	order    []string
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	labels   map[string]string // child key -> rendered label string
+}
+
+// CounterFamily hands out labeled counters of one family.
+type CounterFamily struct{ f *family }
+
+// HistogramFamily hands out labeled histograms of one family.
+type HistogramFamily struct{ f *family }
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, typ string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ, buckets: buckets,
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+		labels:   make(map[string]string),
+	}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// NewCounterFamily registers (or returns the existing) counter family.
+func (r *Registry) NewCounterFamily(name, help string) *CounterFamily {
+	return &CounterFamily{f: r.family(name, help, "counter", nil)}
+}
+
+// NewHistogramFamily registers (or returns the existing) histogram
+// family. Nil or empty buckets take DefBuckets.
+func (r *Registry) NewHistogramFamily(name, help string, buckets []float64) *HistogramFamily {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	sorted := append([]float64(nil), buckets...)
+	sort.Float64s(sorted)
+	return &HistogramFamily{f: r.family(name, help, "histogram", sorted)}
+}
+
+// labelKey renders "k1,v1,k2,v2,..." pairs into a canonical child key
+// and the exposition label string ({k1="v1",k2="v2"}).
+func labelKey(pairs []string) (key, rendered string) {
+	if len(pairs) == 0 {
+		return "", ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(pairs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	s := b.String()
+	return s, s
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// With returns the counter for the given "key, value, ..." label
+// pairs, creating it on first use.
+func (cf *CounterFamily) With(labelPairs ...string) *Counter {
+	f := cf.f
+	key, rendered := labelKey(labelPairs)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.counters[key]; ok {
+		return c
+	}
+	c := &Counter{}
+	f.counters[key] = c
+	f.labels[key] = rendered
+	f.order = append(f.order, key)
+	return c
+}
+
+// With returns the histogram for the given "key, value, ..." label
+// pairs, creating it on first use.
+func (hf *HistogramFamily) With(labelPairs ...string) *Histogram {
+	f := hf.f
+	key, rendered := labelKey(labelPairs)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h, ok := f.hists[key]; ok {
+		return h
+	}
+	h := &Histogram{bounds: f.buckets, buckets: make([]atomic.Int64, len(f.buckets))}
+	f.hists[key] = h
+	f.labels[key] = rendered
+	f.order = append(f.order, key)
+	return h
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range families {
+		f.write(w)
+	}
+}
+
+func (f *family) write(w io.Writer) {
+	f.mu.Lock()
+	order := append([]string(nil), f.order...)
+	f.mu.Unlock()
+	if len(order) == 0 {
+		return
+	}
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+	for _, key := range order {
+		f.mu.Lock()
+		labels := f.labels[key]
+		c := f.counters[key]
+		h := f.hists[key]
+		f.mu.Unlock()
+		switch {
+		case c != nil:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, labels, c.Value())
+		case h != nil:
+			f.writeHistogram(w, labels, h)
+		}
+	}
+}
+
+// writeHistogram renders one histogram child: cumulative _bucket series
+// (including +Inf), then _sum (seconds) and _count.
+func (f *family) writeHistogram(w io.Writer, labels string, h *Histogram) {
+	// Re-render the label set with the le label appended.
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bucketLabels(inner, formatBound(ub)), cum)
+	}
+	count := h.count.Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bucketLabels(inner, "+Inf"), count)
+	fmt.Fprintf(w, "%s_sum%s %g\n", f.name, labels, float64(h.sumNanos.Load())/float64(time.Second))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, labels, count)
+}
+
+func bucketLabels(inner, le string) string {
+	if inner == "" {
+		return fmt.Sprintf(`{le="%s"}`, le)
+	}
+	return fmt.Sprintf(`{%s,le="%s"}`, inner, le)
+}
+
+func formatBound(ub float64) string {
+	return fmt.Sprintf("%g", ub)
+}
+
+// Handler returns an http.Handler serving the registry in the text
+// exposition format — mount it at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterFamilyExposition(t *testing.T) {
+	reg := NewRegistry()
+	reqs := reg.NewCounterFamily("http_requests_total", "Requests served.")
+	reqs.With("endpoint", "GET /healthz", "code", "200").Add(3)
+	reqs.With("endpoint", "POST /v1/explain", "code", "400").Inc()
+	reqs.With().Inc() // unlabeled child
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP http_requests_total Requests served.",
+		"# TYPE http_requests_total counter",
+		`http_requests_total{endpoint="GET /healthz",code="200"} 3`,
+		`http_requests_total{endpoint="POST /v1/explain",code="400"} 1`,
+		"http_requests_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	reg := NewRegistry()
+	lat := reg.NewHistogramFamily("req_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h := lat.With("endpoint", "e")
+	h.Observe(5 * time.Millisecond)   // <= 0.01
+	h.Observe(50 * time.Millisecond)  // <= 0.1
+	h.Observe(500 * time.Millisecond) // <= 1
+	h.Observe(2 * time.Second)        // +Inf only
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{endpoint="e",le="0.01"} 1`,
+		`req_seconds_bucket{endpoint="e",le="0.1"} 2`,
+		`req_seconds_bucket{endpoint="e",le="1"} 3`,
+		`req_seconds_bucket{endpoint="e",le="+Inf"} 4`,
+		`req_seconds_count{endpoint="e"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Sum: 5ms + 50ms + 500ms + 2s = 2.555 s.
+	if !strings.Contains(out, `req_seconds_sum{endpoint="e"} 2.555`) {
+		t.Errorf("exposition missing sum 2.555:\n%s", out)
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count() = %d, want 4", h.Count())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounterFamily("c_total", "").With("path", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if want := `c_total{path="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestRegistryFamiliesAreIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.NewCounterFamily("dup_total", "h")
+	b := reg.NewCounterFamily("dup_total", "h")
+	a.With("k", "v").Inc()
+	b.With("k", "v").Inc()
+	if got := a.With("k", "v").Value(); got != 2 {
+		t.Errorf("re-registered family does not share children: got %d, want 2", got)
+	}
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	if n := strings.Count(sb.String(), "# TYPE dup_total counter"); n != 1 {
+		t.Errorf("family header rendered %d times, want 1", n)
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	h.Observe(time.Second)
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Error("nil metrics should read zero")
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounterFamily("x_total", "").With().Inc()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("handler body missing metric:\n%s", rec.Body.String())
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	cf := reg.NewCounterFamily("conc_total", "")
+	hf := reg.NewHistogramFamily("conc_seconds", "", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				cf.With("w", "shared").Inc()
+				hf.With("w", "shared").Observe(time.Millisecond)
+				var sb strings.Builder
+				if i%50 == 0 {
+					reg.WritePrometheus(&sb)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := cf.With("w", "shared").Value(); got != 1600 {
+		t.Errorf("concurrent counter = %d, want 1600", got)
+	}
+}

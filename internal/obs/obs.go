@@ -1,0 +1,19 @@
+// Package obs is the observability layer of the DBSherlock service:
+// diagnosis traces, Prometheus-style metrics, structured logging, and
+// HTTP middleware. It is stdlib-only (log/slog, sync/atomic) so the
+// diagnostic engine stays dependency-free.
+//
+// The package has three independent pieces:
+//
+//   - Trace: per-stage wall time and work counters for one diagnosis
+//     (Algorithm 1 stages, domain-knowledge pruning, causal-model
+//     ranking). A nil *Trace is valid and free: every method nil-checks
+//     first, so the un-instrumented hot path pays one branch and zero
+//     allocations.
+//   - Registry: named counter and histogram families rendered in the
+//     Prometheus text exposition format (a /metrics scrape target
+//     without importing a client library).
+//   - Middleware: request-ID injection, panic recovery, structured
+//     access logging, and per-endpoint request counters / latency
+//     histograms for net/http handlers.
+package obs

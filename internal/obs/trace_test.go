@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceAccumulatesStagesAndCounters(t *testing.T) {
+	tr := NewTrace(4)
+	start := tr.Start()
+	time.Sleep(2 * time.Millisecond)
+	tr.EndStage(StagePartition, start)
+	tr.EndStage(StageRank, tr.Start())
+	tr.Count(CounterAttributes, 10)
+	tr.Count(CounterAttributes, 5)
+	tr.Count(CounterModelsRanked, 3)
+	tr.Count(CounterPredicatesPruned, 0) // no-op
+
+	snap := tr.Snapshot()
+	if snap == nil {
+		t.Fatal("snapshot of a live trace is nil")
+	}
+	if snap.Workers != 4 {
+		t.Errorf("workers = %d, want 4", snap.Workers)
+	}
+	if ms, ok := snap.StageMS("partition"); !ok || ms < 1 {
+		t.Errorf("partition stage = %v ms (ok=%v), want >= 1ms", ms, ok)
+	}
+	if snap.TotalMS <= 0 {
+		t.Errorf("total = %v ms, want > 0", snap.TotalMS)
+	}
+	if got := snap.Counters["attributes"]; got != 15 {
+		t.Errorf("attributes counter = %d, want 15", got)
+	}
+	if got := snap.Counters["models_ranked"]; got != 3 {
+		t.Errorf("models_ranked counter = %d, want 3", got)
+	}
+	if _, ok := snap.Counters["predicates_pruned"]; ok {
+		t.Error("zero counter should be omitted from the snapshot")
+	}
+	if _, ok := snap.StageMS("gap_fill"); ok {
+		t.Error("unrecorded stage should be omitted from the snapshot")
+	}
+}
+
+func TestTraceSnapshotJSONShape(t *testing.T) {
+	tr := NewTrace(1)
+	tr.EndStage(StageExtract, tr.Start().Add(-time.Millisecond))
+	tr.Count(CounterPredicatesKept, 7)
+	raw, err := json.Marshal(tr.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TotalMS  float64          `json:"total_ms"`
+		Workers  int              `json:"workers"`
+		Stages   []StageTiming    `json:"stages"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Stages) != 1 || decoded.Stages[0].Name != "extract" {
+		t.Errorf("stages = %+v, want a single extract entry", decoded.Stages)
+	}
+	if decoded.Counters["predicates_kept"] != 7 {
+		t.Errorf("counters = %v, want predicates_kept=7", decoded.Counters)
+	}
+}
+
+func TestTraceConcurrentUse(t *testing.T) {
+	tr := NewTrace(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.EndStage(StageFilter, tr.Start())
+				tr.Count(CounterPartitionsCreated, 2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Snapshot().Counters["partitions_created"]; got != 1600 {
+		t.Errorf("partitions_created = %d, want 1600", got)
+	}
+}
+
+// TestNilTraceIsFree pins the disabled-tracing contract: every method
+// is a nil-safe no-op that allocates nothing, so an un-traced diagnosis
+// pays only a branch per instrumentation point.
+func TestNilTraceIsFree(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(1000, func() {
+		start := tr.Start()
+		tr.EndStage(StagePartition, start)
+		tr.EndStage(StageRank, start)
+		tr.Count(CounterAttributes, 42)
+		if tr.Snapshot() != nil {
+			t.Fatal("nil trace snapshot must be nil")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("nil-trace instrumentation allocates %v per run, want 0", allocs)
+	}
+	if ms, ok := (*Snapshot)(nil).StageMS("partition"); ok || ms != 0 {
+		t.Error("nil snapshot StageMS should report absent")
+	}
+}

@@ -6,24 +6,39 @@
 // Endpoints (all JSON unless noted):
 //
 //	GET  /healthz                    liveness
+//	GET  /metrics                    Prometheus text exposition (per-endpoint counters + latency histograms)
+//	GET  /debug/pprof/               net/http/pprof (only with WithPprof)
 //	POST /v1/datasets                upload a CSV dataset -> {"id": ...}
 //	GET  /v1/datasets                list uploaded datasets
 //	POST /v1/detect                  {"dataset","detector"} -> abnormal rows
-//	POST /v1/explain                 {"dataset","from","to"|"auto",...} -> predicates + causes
+//	POST /v1/explain                 {"dataset","from","to"|"auto",...} -> predicates + causes (+"trace")
 //	POST /v1/learn                   {"dataset","from","to","cause","remedy"} -> model summary
 //	GET  /v1/causes                  list learned causes
 //	GET  /v1/models                  export the model store (SaveModels JSON)
 //	PUT  /v1/models                  replace the model store (LoadModels JSON)
+//
+// Every handler is wrapped in the observability middleware chain
+// (request-ID injection, panic recovery, structured access logging,
+// per-endpoint request counters and latency histograms — see
+// internal/obs).
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 
 	"dbsherlock"
+	"dbsherlock/internal/obs"
 )
+
+// DefaultMaxUploadBytes caps POST /v1/datasets request bodies (64 MiB);
+// override with WithMaxUploadBytes.
+const DefaultMaxUploadBytes = 64 << 20
 
 // Server is the HTTP façade around one Analyzer. It is safe for
 // concurrent use: the dataset registry is guarded by an RWMutex, and the
@@ -37,29 +52,110 @@ type Server struct {
 	datasets map[string]*dbsherlock.Dataset
 	nextID   int
 	mux      *http.ServeMux
+	handler  http.Handler
+
+	logger    *slog.Logger
+	registry  *obs.Registry
+	httpReqs  *obs.CounterFamily
+	httpLat   *obs.HistogramFamily
+	maxUpload int64
+	pprof     bool
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger installs the structured logger used for access logs, panic
+// reports, and handler errors. The default discards everything.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.logger = l
+		}
+	}
+}
+
+// WithMetrics uses the given registry for the per-endpoint counters and
+// histograms and the GET /metrics endpoint, so callers can co-register
+// their own metrics (e.g. the monitor's) on the same scrape target. The
+// default is a fresh private registry.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) {
+		if reg != nil {
+			s.registry = reg
+		}
+	}
+}
+
+// WithPprof mounts net/http/pprof under GET /debug/pprof/. Off by
+// default: profiles expose internals, so the daemon gates this behind
+// the -pprof flag.
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
+}
+
+// WithMaxUploadBytes caps POST /v1/datasets request bodies; n <= 0
+// keeps the default (64 MiB). Oversized uploads get 413 with a JSON
+// error.
+func WithMaxUploadBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxUpload = n
+		}
+	}
 }
 
 // New builds a server around the analyzer.
-func New(analyzer *dbsherlock.Analyzer) *Server {
+func New(analyzer *dbsherlock.Analyzer, opts ...Option) *Server {
 	s := &Server{
-		analyzer: analyzer,
-		datasets: make(map[string]*dbsherlock.Dataset),
-		mux:      http.NewServeMux(),
+		analyzer:  analyzer,
+		datasets:  make(map[string]*dbsherlock.Dataset),
+		mux:       http.NewServeMux(),
+		logger:    obs.DiscardLogger(),
+		registry:  obs.NewRegistry(),
+		maxUpload: DefaultMaxUploadBytes,
 	}
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("POST /v1/datasets", s.handleUpload)
-	s.mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
-	s.mux.HandleFunc("POST /v1/detect", s.handleDetect)
-	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
-	s.mux.HandleFunc("POST /v1/learn", s.handleLearn)
-	s.mux.HandleFunc("GET /v1/causes", s.handleCauses)
-	s.mux.HandleFunc("GET /v1/models", s.handleExportModels)
-	s.mux.HandleFunc("PUT /v1/models", s.handleImportModels)
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.httpReqs = s.registry.NewCounterFamily(
+		"dbsherlock_http_requests_total",
+		"HTTP requests served, by endpoint and status code.")
+	s.httpLat = s.registry.NewHistogramFamily(
+		"dbsherlock_http_request_duration_seconds",
+		"HTTP request latency in seconds, by endpoint.", nil)
+
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("POST /v1/datasets", s.handleUpload)
+	s.handle("GET /v1/datasets", s.handleListDatasets)
+	s.handle("POST /v1/detect", s.handleDetect)
+	s.handle("POST /v1/explain", s.handleExplain)
+	s.handle("POST /v1/learn", s.handleLearn)
+	s.handle("GET /v1/causes", s.handleCauses)
+	s.handle("GET /v1/models", s.handleExportModels)
+	s.handle("PUT /v1/models", s.handleImportModels)
+	s.mux.Handle("GET /metrics", s.registry.Handler())
+	if s.pprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	// Recovery sits innermost so the access log still records the 500 it
+	// writes; the request ID is injected first so both see it.
+	s.handler = obs.RequestID(obs.AccessLog(s.logger, obs.Recover(s.logger, s.mux)))
 	return s
 }
 
+// handle registers a handler wrapped with the per-endpoint counter and
+// latency histogram, labeled by the route pattern.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, obs.Instrument(s.httpReqs, s.httpLat, pattern, h))
+}
+
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 type errorResponse struct {
 	Error string `json:"error"`
@@ -80,8 +176,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
-	ds, err := dbsherlock.ReadCSV(r.Body)
+	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
+	defer body.Close()
+	ds, err := dbsherlock.ReadCSV(body)
 	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("upload exceeds the %d-byte limit", tooLarge.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -196,13 +300,15 @@ type explainRequest struct {
 	To      *int   `json:"to,omitempty"`
 	Auto    bool   `json:"auto,omitempty"`
 	Rules   bool   `json:"rules,omitempty"` // apply MySQL/Linux domain knowledge
+	Trace   bool   `json:"trace,omitempty"` // force a per-stage diagnosis trace for this call
 }
 
 type explainResponse struct {
-	Predicates []string      `json:"predicates"`
-	Pruned     []prunedJSON  `json:"pruned,omitempty"`
-	Causes     []rankedCause `json:"causes,omitempty"`
-	Region     []rowRange    `json:"region"`
+	Predicates []string                  `json:"predicates"`
+	Pruned     []prunedJSON              `json:"pruned,omitempty"`
+	Causes     []rankedCause             `json:"causes,omitempty"`
+	Region     []rowRange                `json:"region"`
+	Trace      *dbsherlock.TraceSnapshot `json:"trace,omitempty"`
 }
 
 type prunedJSON struct {
@@ -214,6 +320,17 @@ type prunedJSON struct {
 type rankedCause struct {
 	Cause      string  `json:"cause"`
 	Confidence float64 `json:"confidence"`
+}
+
+// rulesAnalyzer builds the per-request analyzer for the rules:true
+// explain path: domain knowledge installed, sharing no mutable state
+// with the shared analyzer, but inheriting its predicate-generation
+// parameters (theta, R, delta, workers) so a rules request is diagnosed
+// with the same tuning as a plain one.
+func (s *Server) rulesAnalyzer() (*dbsherlock.Analyzer, error) {
+	return dbsherlock.New(
+		dbsherlock.WithParams(s.analyzer.Params()),
+		dbsherlock.WithDomainKnowledge(dbsherlock.MySQLLinuxRules()))
 }
 
 // resolveRegion extracts the abnormal region from a request, running
@@ -254,15 +371,19 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 	analyzer := s.analyzer
 	if req.Rules {
-		// A per-request analyzer with rules installed, sharing no state.
-		withRules, err := dbsherlock.New(dbsherlock.WithDomainKnowledge(dbsherlock.MySQLLinuxRules()))
+		withRules, err := s.rulesAnalyzer()
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
 		analyzer = withRules
 	}
-	expl, err := analyzer.Explain(ds, region, nil)
+	var expl *dbsherlock.Explanation
+	if req.Trace {
+		expl, err = analyzer.ExplainTraced(ds, region, nil)
+	} else {
+		expl, err = analyzer.Explain(ds, region, nil)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -280,7 +401,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	resp := explainResponse{Region: regionRanges(region)}
+	resp := explainResponse{Region: regionRanges(region), Trace: expl.Trace}
 	for _, p := range expl.Predicates {
 		resp.Predicates = append(resp.Predicates, p.String())
 	}
@@ -364,12 +485,24 @@ func (s *Server) handleCauses(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleExportModels(w http.ResponseWriter, _ *http.Request) {
+// exportErrorTrailer is the HTTP trailer carrying a model-export
+// failure, declared up front so clients that read trailers can detect
+// truncation even when the status line already said 200.
+const exportErrorTrailer = "X-DBSherlock-Export-Error"
+
+func (s *Server) handleExportModels(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Trailer", exportErrorTrailer)
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.analyzer.SaveModels(w); err != nil {
-		// Headers are already out; nothing better to do than log-level
-		// truncation. Keep the handler simple.
-		return
+		// The status line is already out, so the error cannot become a
+		// 500. Log it, record it in the declared trailer, and abort the
+		// response so the connection closes without the terminating
+		// chunk — both signals let clients detect the truncation.
+		s.logger.Error("model export truncated",
+			"err", err,
+			"request_id", obs.RequestIDFrom(r.Context()))
+		w.Header().Set(exportErrorTrailer, err.Error())
+		panic(http.ErrAbortHandler)
 	}
 }
 

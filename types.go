@@ -9,6 +9,7 @@ import (
 	"dbsherlock/internal/core"
 	"dbsherlock/internal/domain"
 	"dbsherlock/internal/metrics"
+	"dbsherlock/internal/obs"
 	"dbsherlock/internal/workload"
 )
 
@@ -37,6 +38,11 @@ type (
 	// PrunedPredicate reports a predicate removed as a secondary
 	// symptom, with the rule and independence factor that justified it.
 	PrunedPredicate = domain.Pruned
+	// TraceSnapshot is the JSON-ready per-stage timing and work-count
+	// view of one traced diagnosis (WithTracing / ExplainTraced).
+	TraceSnapshot = obs.Snapshot
+	// TraceStage is one stage's cumulative duration in a TraceSnapshot.
+	TraceStage = obs.StageTiming
 )
 
 // NewDataset creates an empty dataset over strictly increasing
