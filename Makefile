@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race bench-smoke fuzz-smoke bench-parallel bench-obs
+.PHONY: ci fmt-check vet build test race alloc-gate bench-smoke fuzz-smoke bench-parallel bench-obs bench-alloc
 
-ci: fmt-check vet build race bench-smoke
+ci: fmt-check vet build race alloc-gate bench-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -27,16 +27,26 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Allocation-budget regression gate for the diagnosis hot path. Runs
+# without -race on purpose: sync.Pool drops items at random under the
+# detector, which makes allocs/op nondeterministic (the -race run above
+# skips this test for the same reason).
+alloc-gate:
+	$(GO) test -run TestExplainAllocCeiling .
+
 # One iteration of every benchmark: catches API drift and panics in the
 # experiment harnesses without paying for statistically meaningful runs.
+# -benchmem so an allocation explosion is visible even in the smoke run.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...
 
-# Short fuzz campaigns over the CSV parser and the model-merge rule.
+# Short fuzz campaigns over the CSV parser, the model-merge rule, and
+# the region iterator round-trip.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=10s ./internal/collector/
 	$(GO) test -run='^$$' -fuzz=FuzzMergePredicates -fuzztime=10s ./internal/causal/
 	$(GO) test -run='^$$' -fuzz=FuzzMergeCategorical -fuzztime=10s ./internal/causal/
+	$(GO) test -run='^$$' -fuzz=FuzzRegionRoundTrip -fuzztime=10s ./internal/metrics/
 
 # Regenerate the numbers behind BENCH_parallel.json (sequential vs
 # parallel Explain/Rank at 1/4/8 workers, small and large datasets).
@@ -47,3 +57,10 @@ bench-parallel:
 # tracing off vs on; commit the medians across the 5 repetitions).
 bench-obs:
 	$(GO) test -bench BenchmarkExplainTracing -benchtime=150x -count=5 -benchmem -run='^$$' .
+
+# Regenerate the numbers behind BENCH_alloc.json (full Explain pipeline
+# allocs/op and ns/op on both scales, plus the sliding-window-median
+# comparison; commit the medians across the 5 repetitions).
+bench-alloc:
+	$(GO) test -bench BenchmarkExplainAllocs -benchtime=150x -count=5 -benchmem -run='^$$' .
+	$(GO) test -bench BenchmarkSlidingWindowMedians -benchtime=100x -count=5 -benchmem -run='^$$' ./internal/stats/

@@ -1,0 +1,7 @@
+//go:build !race
+
+package dbsherlock_test
+
+// raceEnabled reports whether the race detector is active; see
+// alloc_race_test.go.
+const raceEnabled = false

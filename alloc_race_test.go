@@ -1,0 +1,9 @@
+//go:build race
+
+package dbsherlock_test
+
+// raceEnabled reports whether the race detector is active. Allocation
+// ceilings are skipped under -race: sync.Pool deliberately drops items
+// at random when the detector is on, so pooled-scratch reuse — and with
+// it the per-Explain allocation count — becomes nondeterministic.
+const raceEnabled = true

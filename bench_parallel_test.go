@@ -45,9 +45,9 @@ var (
 )
 
 // parallelSetup simulates the two dataset scales and learns all ten
-// anomaly classes once, exporting the models so each benchmark analyzer
-// can load an identical repository.
-func parallelSetup(b *testing.B) {
+// anomaly classes once, exporting the models so each benchmark (or
+// test) analyzer can load an identical repository.
+func parallelSetup(b testing.TB) {
 	b.Helper()
 	parallelOnce.Do(func() {
 		parallelData = make(map[string]struct {
@@ -97,7 +97,7 @@ func parallelSetup(b *testing.B) {
 	}
 }
 
-func benchAnalyzer(b *testing.B, workers int, withModels bool) *dbsherlock.Analyzer {
+func benchAnalyzer(b testing.TB, workers int, withModels bool) *dbsherlock.Analyzer {
 	b.Helper()
 	a := dbsherlock.MustNew(dbsherlock.WithTheta(0.05), dbsherlock.WithWorkers(workers))
 	if withModels {

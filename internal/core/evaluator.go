@@ -55,17 +55,25 @@ func (e *Evaluator) Prepare(attrs []string, workers int) {
 			todo = append(todo, a)
 		}
 	}
-	ForEach(len(todo), ResolveWorkers(workers), func(i int) {
+	resolved := ResolveWorkers(workers)
+	scratches := make([]*scratch, EffectiveWorkers(len(todo), resolved))
+	for i := range scratches {
+		scratches[i] = getScratch()
+	}
+	ForEachWorker(len(todo), resolved, func(w, i int) {
 		col, ok := e.ds.Column(todo[i])
 		if !ok {
 			return
 		}
 		if col.Attr.Type == metrics.Numeric {
-			e.numericSpace(todo[i], col)
+			e.numericSpace(todo[i], col, scratches[w])
 		} else {
-			e.categoricalSpace(todo[i], col)
+			e.categoricalSpace(todo[i], col, scratches[w])
 		}
 	})
+	for _, sc := range scratches {
+		putScratch(sc)
+	}
 }
 
 // Separation computes the partition-space separation of one predicate,
@@ -76,7 +84,7 @@ func (e *Evaluator) Separation(pred Predicate) float64 {
 		return 0
 	}
 	if pred.Type == metrics.Numeric {
-		ps := e.numericSpace(pred.Attr, col)
+		ps := e.numericSpace(pred.Attr, col, nil)
 		if ps == nil {
 			return 0
 		}
@@ -98,7 +106,7 @@ func (e *Evaluator) Separation(pred Predicate) float64 {
 		return ratio(hitA, nA) - ratio(hitN, nN)
 	}
 
-	cs := e.categoricalSpace(pred.Attr, col)
+	cs := e.categoricalSpace(pred.Attr, col, nil)
 	if cs == nil {
 		return 0
 	}
@@ -120,7 +128,12 @@ func (e *Evaluator) Separation(pred Predicate) float64 {
 	return ratio(hitA, nA) - ratio(hitN, nN)
 }
 
-func (e *Evaluator) numericSpace(attr string, col metrics.Column) *NumericSpace {
+// numericSpace returns the cached space for attr, building it with the
+// given scratch arena on a miss (nil falls back to the shared pool).
+// Cache entries own their Labels — they are handed to concurrent scoring
+// goroutines and outlive every scratch — so nothing scratch-backed is
+// ever stored.
+func (e *Evaluator) numericSpace(attr string, col metrics.Column, sc *scratch) *NumericSpace {
 	e.mu.RLock()
 	ps, ok := e.num[attr]
 	e.mu.RUnlock()
@@ -128,12 +141,16 @@ func (e *Evaluator) numericSpace(attr string, col metrics.Column) *NumericSpace 
 		e.p.Trace.Count(obs.CounterSpacesReused, 1)
 		return ps
 	}
+	if sc == nil {
+		sc = getScratch()
+		defer putScratch(sc)
+	}
 	// Build outside the lock: construction is the expensive part and is
 	// deterministic, so concurrent builders produce identical spaces and
 	// the first writer wins.
-	built := NewNumericSpace(attr, col.Num, e.abnormal, e.normal, e.p.NumPartitions)
+	built := newNumericSpace(attr, col.Num, e.abnormal, e.normal, e.p.NumPartitions, sc)
 	if built != nil && !e.p.DisableFiltering {
-		built.Filter()
+		built.filter(sc)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -146,7 +163,7 @@ func (e *Evaluator) numericSpace(attr string, col metrics.Column) *NumericSpace 
 	return built
 }
 
-func (e *Evaluator) categoricalSpace(attr string, col metrics.Column) *CategoricalSpace {
+func (e *Evaluator) categoricalSpace(attr string, col metrics.Column, sc *scratch) *CategoricalSpace {
 	e.mu.RLock()
 	cs, ok := e.cat[attr]
 	e.mu.RUnlock()
@@ -154,7 +171,11 @@ func (e *Evaluator) categoricalSpace(attr string, col metrics.Column) *Categoric
 		e.p.Trace.Count(obs.CounterSpacesReused, 1)
 		return cs
 	}
-	built := NewCategoricalSpace(attr, col.Cat, e.abnormal, e.normal)
+	if sc == nil {
+		sc = getScratch()
+		defer putScratch(sc)
+	}
+	built := newCategoricalSpace(attr, col.Cat, e.abnormal, e.normal, sc)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if cs, ok := e.cat[attr]; ok {

@@ -6,7 +6,6 @@ import (
 
 	"dbsherlock/internal/metrics"
 	"dbsherlock/internal/obs"
-	"dbsherlock/internal/stats"
 )
 
 // Params are the configurable parameters of the predicate-generation
@@ -91,15 +90,26 @@ func Generate(ds *metrics.Dataset, abnormal, normal *metrics.Region, p Params) (
 		ok   bool
 	}
 	results := make([]candidate, ds.NumAttrs())
-	ForEach(ds.NumAttrs(), ResolveWorkers(p.Workers), func(i int) {
+	workers := ResolveWorkers(p.Workers)
+	// One scratch arena per worker slot: the per-attribute buffers
+	// (membership flags, label snapshots, category counters) are reused
+	// across all ~R attributes a slot processes instead of reallocated.
+	scratches := make([]*scratch, EffectiveWorkers(ds.NumAttrs(), workers))
+	for i := range scratches {
+		scratches[i] = getScratch()
+	}
+	ForEachWorker(ds.NumAttrs(), workers, func(w, i int) {
 		col := ds.ColumnAt(i)
 		switch col.Attr.Type {
 		case metrics.Numeric:
-			results[i].pred, results[i].ok = generateNumeric(col, abnormal, normal, p)
+			results[i].pred, results[i].ok = generateNumeric(col, abnormal, normal, p, scratches[w])
 		case metrics.Categorical:
-			results[i].pred, results[i].ok = generateCategorical(col, abnormal, normal, p)
+			results[i].pred, results[i].ok = generateCategorical(col, abnormal, normal, p, scratches[w])
 		}
 	})
+	for _, sc := range scratches {
+		putScratch(sc)
+	}
 	var out []Predicate
 	for _, c := range results {
 		if c.ok {
@@ -111,10 +121,10 @@ func Generate(ds *metrics.Dataset, abnormal, normal *metrics.Region, p Params) (
 	return out, nil
 }
 
-func generateNumeric(col metrics.Column, abnormal, normal *metrics.Region, p Params) (Predicate, bool) {
+func generateNumeric(col metrics.Column, abnormal, normal *metrics.Region, p Params, sc *scratch) (Predicate, bool) {
 	tr := p.Trace
 	start := tr.Start()
-	ps := NewNumericSpace(col.Attr.Name, col.Num, abnormal, normal, p.NumPartitions)
+	ps := newNumericSpace(col.Attr.Name, col.Num, abnormal, normal, p.NumPartitions, sc)
 	tr.EndStage(obs.StagePartition, start)
 	if ps == nil {
 		return Predicate{}, false
@@ -122,23 +132,26 @@ func generateNumeric(col metrics.Column, abnormal, normal *metrics.Region, p Par
 	tr.Count(obs.CounterPartitionsCreated, ps.R)
 	if !p.DisableFiltering {
 		start = tr.Start()
-		removed := ps.Filter()
+		removed := ps.filter(sc)
 		tr.Count(obs.CounterPartitionsFiltered, removed)
 		tr.EndStage(obs.StageFilter, start)
 	}
+	muN := regionMean(col.Num, normal)
 	if !p.DisableGapFilling {
 		start = tr.Start()
-		ps.FillGaps(p.Delta, regionMean(col.Num, normal))
+		ps.fillGaps(p.Delta, muN, sc)
 		tr.EndStage(obs.StageGapFill, start)
 	}
 
-	// Normalized mean-difference threshold (Section 4.5, Equation 2).
+	// Normalized mean-difference threshold (Section 4.5, Equation 2) in
+	// closed form: Equation 2 averages (v-Min)/(Max-Min) over each
+	// region, which equals (rawMean-Min)/(Max-Min), so the normalized
+	// difference is (muA-muN)/(Max-Min) from the raw region means — no
+	// row-length normalized copy of the column is ever materialized.
 	start = tr.Start()
 	defer tr.EndStage(obs.StageExtract, start)
-	norm := stats.Normalize(col.Num)
-	muA := regionMean(norm, abnormal)
-	muN := regionMean(norm, normal)
-	if math.IsNaN(muA) || math.IsNaN(muN) || math.Abs(muA-muN) <= p.Theta {
+	muA := regionMean(col.Num, abnormal)
+	if math.IsNaN(muA) || math.IsNaN(muN) || math.Abs((muA-muN)/(ps.Max-ps.Min)) <= p.Theta {
 		return Predicate{}, false
 	}
 
@@ -164,10 +177,10 @@ func generateNumeric(col metrics.Column, abnormal, normal *metrics.Region, p Par
 	return pred, true
 }
 
-func generateCategorical(col metrics.Column, abnormal, normal *metrics.Region, p Params) (Predicate, bool) {
+func generateCategorical(col metrics.Column, abnormal, normal *metrics.Region, p Params, sc *scratch) (Predicate, bool) {
 	tr := p.Trace
 	start := tr.Start()
-	cs := NewCategoricalSpace(col.Attr.Name, col.Cat, abnormal, normal)
+	cs := newCategoricalSpace(col.Attr.Name, col.Cat, abnormal, normal, sc)
 	tr.EndStage(obs.StagePartition, start)
 	if cs == nil {
 		return Predicate{}, false
@@ -185,17 +198,23 @@ func generateCategorical(col metrics.Column, abnormal, normal *metrics.Region, p
 }
 
 // regionMean returns the mean of values over the region's rows, skipping
-// NaNs.
+// NaNs. It iterates the region's runs directly, so no index slice is
+// materialized.
 func regionMean(values []float64, r *metrics.Region) float64 {
 	var sum float64
 	var n int
-	for _, i := range r.Indices() {
-		if i >= len(values) || math.IsNaN(values[i]) {
-			continue
+	r.Runs(func(lo, hi int) {
+		if hi > len(values) {
+			hi = len(values)
 		}
-		sum += values[i]
-		n++
-	}
+		for i := lo; i < hi; i++ {
+			if math.IsNaN(values[i]) {
+				continue
+			}
+			sum += values[i]
+			n++
+		}
+	})
 	if n == 0 {
 		return math.NaN()
 	}

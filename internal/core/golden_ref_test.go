@@ -1,0 +1,536 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dbsherlock/internal/metrics"
+	"dbsherlock/internal/stats"
+)
+
+// This file carries the golden contract of the zero-allocation hot path:
+// the optimized pipeline (scratch arenas, in-place filter/gap-fill,
+// closed-form Equation 2, inverse-width IndexOf, region iterators) must
+// be byte-identical to the seed implementation. The ref* functions below
+// are verbatim copies of the pre-optimization code; the tests drive both
+// over randomized datasets — including the adversarial cases (integer
+// values on exact partition boundaries, NaNs, constant columns,
+// multi-run regions) — and require exact equality.
+
+func refIndexOf(ps *NumericSpace, v float64) int {
+	if ps.Max == ps.Min {
+		return 0
+	}
+	j := int(float64(ps.R) * (v - ps.Min) / (ps.Max - ps.Min))
+	if j < 0 {
+		j = 0
+	}
+	if j >= ps.R {
+		j = ps.R - 1
+	}
+	return j
+}
+
+func refNewNumericSpace(attr string, values []float64, abnormal, normal *metrics.Region, r int) *NumericSpace {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min >= max || math.IsInf(min, 1) {
+		return nil
+	}
+	// invSpan deliberately left zero: the reference space indexes with
+	// the original dividing form everywhere.
+	ps := &NumericSpace{Attr: attr, Min: min, Max: max, R: r, Labels: make([]Label, r)}
+	hasA := make([]bool, r)
+	hasN := make([]bool, r)
+	for i, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		inA, inN := abnormal.Contains(i), normal.Contains(i)
+		if !inA && !inN {
+			continue
+		}
+		j := refIndexOf(ps, v)
+		if inA {
+			hasA[j] = true
+		}
+		if inN {
+			hasN[j] = true
+		}
+	}
+	for j := 0; j < r; j++ {
+		switch {
+		case hasA[j] && !hasN[j]:
+			ps.Labels[j] = Abnormal
+		case hasN[j] && !hasA[j]:
+			ps.Labels[j] = Normal
+		default:
+			ps.Labels[j] = Empty
+		}
+	}
+	return ps
+}
+
+func refFilter(ps *NumericSpace) int {
+	type pos struct {
+		idx   int
+		label Label
+	}
+	var nonEmpty []pos
+	for j, l := range ps.Labels {
+		if l != Empty {
+			nonEmpty = append(nonEmpty, pos{j, l})
+		}
+	}
+	if len(nonEmpty) <= 1 {
+		return 0
+	}
+	out := make([]Label, len(ps.Labels))
+	copy(out, ps.Labels)
+	removed := 0
+	for k := 1; k < len(nonEmpty)-1; k++ {
+		p := nonEmpty[k]
+		if nonEmpty[k-1].label != p.label || nonEmpty[k+1].label != p.label {
+			out[p.idx] = Empty
+			removed++
+		}
+	}
+	ps.Labels = out
+	return removed
+}
+
+func refFillGaps(ps *NumericSpace, delta, normalMean float64) {
+	hasNormal, hasAbnormal := false, false
+	for _, l := range ps.Labels {
+		switch l {
+		case Normal:
+			hasNormal = true
+		case Abnormal:
+			hasAbnormal = true
+		}
+	}
+	if !hasNormal && !hasAbnormal {
+		return
+	}
+	if !hasNormal {
+		ps.Labels[refIndexOf(ps, normalMean)] = Normal
+	}
+	n := len(ps.Labels)
+	leftIdx := make([]int, n)
+	last := -1
+	for j := 0; j < n; j++ {
+		if ps.Labels[j] != Empty {
+			last = j
+		}
+		leftIdx[j] = last
+	}
+	rightIdx := make([]int, n)
+	last = -1
+	for j := n - 1; j >= 0; j-- {
+		if ps.Labels[j] != Empty {
+			last = j
+		}
+		rightIdx[j] = last
+	}
+	out := make([]Label, n)
+	copy(out, ps.Labels)
+	for j := 0; j < n; j++ {
+		if ps.Labels[j] != Empty {
+			continue
+		}
+		li, ri := leftIdx[j], rightIdx[j]
+		switch {
+		case li < 0 && ri < 0:
+		case li < 0:
+			out[j] = ps.Labels[ri]
+		case ri < 0:
+			out[j] = ps.Labels[li]
+		case ps.Labels[li] == ps.Labels[ri]:
+			out[j] = ps.Labels[li]
+		default:
+			dl := float64(j - li)
+			dr := float64(ri - j)
+			if ps.Labels[li] == Abnormal {
+				dl *= delta
+			} else {
+				dr *= delta
+			}
+			if dl <= dr {
+				out[j] = ps.Labels[li]
+			} else {
+				out[j] = ps.Labels[ri]
+			}
+		}
+	}
+	ps.Labels = out
+}
+
+func refRegionMean(values []float64, r *metrics.Region) float64 {
+	var sum float64
+	var n int
+	for _, i := range r.Indices() {
+		if i >= len(values) || math.IsNaN(values[i]) {
+			continue
+		}
+		sum += values[i]
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+func refGenerateNumeric(col metrics.Column, abnormal, normal *metrics.Region, p Params) (Predicate, bool) {
+	ps := refNewNumericSpace(col.Attr.Name, col.Num, abnormal, normal, p.NumPartitions)
+	if ps == nil {
+		return Predicate{}, false
+	}
+	if !p.DisableFiltering {
+		refFilter(ps)
+	}
+	if !p.DisableGapFilling {
+		refFillGaps(ps, p.Delta, refRegionMean(col.Num, normal))
+	}
+	norm := stats.Normalize(col.Num)
+	muA := refRegionMean(norm, abnormal)
+	muN := refRegionMean(norm, normal)
+	if math.IsNaN(muA) || math.IsNaN(muN) || math.Abs(muA-muN) <= p.Theta {
+		return Predicate{}, false
+	}
+	first, last, ok := ps.AbnormalBlock()
+	if !ok {
+		return Predicate{}, false
+	}
+	pred := Predicate{Attr: col.Attr.Name, Type: metrics.Numeric}
+	if first > 0 {
+		lb, _ := ps.Bounds(first)
+		pred.HasLower = true
+		pred.Lower = lb
+	}
+	if last < ps.R-1 {
+		_, ub := ps.Bounds(last)
+		pred.HasUpper = true
+		pred.Upper = ub
+	}
+	if !pred.HasLower && !pred.HasUpper {
+		return Predicate{}, false
+	}
+	return pred, true
+}
+
+func refSeparationPower(p Predicate, ds *metrics.Dataset, abnormal, normal *metrics.Region) float64 {
+	if abnormal.Count() == 0 || normal.Count() == 0 {
+		return 0
+	}
+	var inA, inN int
+	for _, i := range abnormal.Indices() {
+		if p.MatchesRow(ds, i) {
+			inA++
+		}
+	}
+	for _, i := range normal.Indices() {
+		if p.MatchesRow(ds, i) {
+			inN++
+		}
+	}
+	return float64(inA)/float64(abnormal.Count()) - float64(inN)/float64(normal.Count())
+}
+
+func refGenerate(ds *metrics.Dataset, abnormal, normal *metrics.Region, p Params) []Predicate {
+	var out []Predicate
+	for i := 0; i < ds.NumAttrs(); i++ {
+		col := ds.ColumnAt(i)
+		switch col.Attr.Type {
+		case metrics.Numeric:
+			if pred, ok := refGenerateNumeric(col, abnormal, normal, p); ok {
+				out = append(out, pred)
+			}
+		case metrics.Categorical:
+			cs := NewCategoricalSpace(col.Attr.Name, col.Cat, abnormal, normal)
+			if cs == nil {
+				continue
+			}
+			values := cs.AbnormalValues()
+			if len(values) == 0 {
+				continue
+			}
+			pred := Predicate{Attr: col.Attr.Name, Type: metrics.Categorical, Categories: values}
+			sortCategories(&pred)
+			out = append(out, pred)
+		}
+	}
+	return out
+}
+
+// goldenDataset builds a randomized dataset that stresses the optimized
+// paths: smooth Gaussian columns, integer-valued counters whose span
+// divides the partition count (exact-boundary IndexOf), columns with
+// NaN holes, a constant column, and two categorical columns.
+func goldenDataset(t *testing.T, rows int, seed int64) *metrics.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ts := make([]int64, rows)
+	for i := range ts {
+		ts[i] = int64(i)
+	}
+	ds := metrics.MustNewDataset(ts)
+	addNum := func(name string, gen func(i int) float64) {
+		vals := make([]float64, rows)
+		for i := range vals {
+			vals[i] = gen(i)
+		}
+		if err := ds.AddNumeric(name, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shiftAt := rows / 2
+	addNum("gauss_shift", func(i int) float64 {
+		if i >= shiftAt {
+			return 300 + 20*rng.NormFloat64()
+		}
+		return 100 + 20*rng.NormFloat64()
+	})
+	// Integer counter over [0, 500]: with R=250 every even value sits
+	// exactly on a partition boundary.
+	addNum("int_counter", func(i int) float64 {
+		base := 100
+		if i >= shiftAt {
+			base = 400
+		}
+		return float64(base + rng.Intn(100))
+	})
+	addNum("nan_holes", func(i int) float64 {
+		if rng.Intn(5) == 0 {
+			return math.NaN()
+		}
+		if i >= shiftAt {
+			return 80 + rng.Float64()
+		}
+		return 10 + rng.Float64()
+	})
+	addNum("constant", func(int) float64 { return 42 })
+	addNum("pure_noise", func(int) float64 { return 50 + 10*rng.NormFloat64() })
+	addCat := func(name string, vals []string) {
+		col := make([]string, rows)
+		for i := range col {
+			if i >= shiftAt {
+				col[i] = vals[rng.Intn(len(vals))]
+			} else {
+				col[i] = vals[0]
+			}
+		}
+		if err := ds.AddCategorical(name, col); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addCat("state", []string{"ok", "locked", "waiting"})
+	addCat("flag", []string{"off", "on"})
+	return ds
+}
+
+// goldenRegions yields region shapes covering the iterator edge cases:
+// one run, the complement split, several runs, and scattered rows.
+func goldenRegions(rows int, rng *rand.Rand) []struct {
+	name     string
+	abnormal *metrics.Region
+} {
+	scattered := metrics.NewRegion(rows)
+	for i := 0; i < rows/6; i++ {
+		scattered.Add(rng.Intn(rows))
+	}
+	multi := metrics.NewRegion(rows)
+	multi.AddRange(rows/2, rows/2+rows/8)
+	multi.AddRange(3*rows/4, 3*rows/4+rows/10)
+	return []struct {
+		name     string
+		abnormal *metrics.Region
+	}{
+		{"single-run", metrics.RegionFromRange(rows, rows/2, 3*rows/4)},
+		{"multi-run", multi},
+		{"scattered", scattered},
+	}
+}
+
+// TestGenerateMatchesReference pins the tentpole contract: the optimized
+// Algorithm 1 produces byte-identical predicates to the seed
+// implementation, across parameter settings, region shapes, worker
+// counts, and adversarial columns.
+func TestGenerateMatchesReference(t *testing.T) {
+	paramSets := []Params{
+		DefaultParams(),
+		{NumPartitions: 250, Theta: 0.05, Delta: 10},
+		{NumPartitions: 100, Theta: 0.2, Delta: 2},
+		{NumPartitions: 17, Theta: 0.1, Delta: 10},
+		{NumPartitions: 250, Theta: 0.2, Delta: 10, DisableFiltering: true},
+		{NumPartitions: 250, Theta: 0.2, Delta: 10, DisableGapFilling: true},
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		rows := 160 + 40*int(seed)
+		ds := goldenDataset(t, rows, seed)
+		rng := rand.New(rand.NewSource(seed + 100))
+		for _, reg := range goldenRegions(rows, rng) {
+			normal := reg.abnormal.Complement()
+			for pi, p := range paramSets {
+				want := refGenerate(ds, reg.abnormal, normal, p)
+				for _, workers := range []int{1, 2, 8} {
+					p := p
+					p.Workers = workers
+					got, err := Generate(ds, reg.abnormal, normal, p)
+					if err != nil {
+						t.Fatalf("seed=%d region=%s params=%d workers=%d: %v", seed, reg.name, pi, workers, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("seed=%d region=%s params=%d workers=%d:\ngot  %v\nwant %v",
+							seed, reg.name, pi, workers, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNumericSpaceMatchesReference checks label-level equality of the
+// in-place scratch pipeline (build, filter, gap-fill) against the
+// allocating seed version, stage by stage.
+func TestNumericSpaceMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rows := 200
+		ds := goldenDataset(t, rows, seed)
+		rng := rand.New(rand.NewSource(seed))
+		for _, reg := range goldenRegions(rows, rng) {
+			normal := reg.abnormal.Complement()
+			for i := 0; i < ds.NumAttrs(); i++ {
+				col := ds.ColumnAt(i)
+				if col.Attr.Type != metrics.Numeric {
+					continue
+				}
+				for _, r := range []int{7, 100, 250} {
+					got := NewNumericSpace(col.Attr.Name, col.Num, reg.abnormal, normal, r)
+					want := refNewNumericSpace(col.Attr.Name, col.Num, reg.abnormal, normal, r)
+					name := fmt.Sprintf("seed=%d region=%s attr=%s R=%d", seed, reg.name, col.Attr.Name, r)
+					if (got == nil) != (want == nil) {
+						t.Fatalf("%s: nil mismatch (got %v, want %v)", name, got, want)
+					}
+					if got == nil {
+						continue
+					}
+					if !reflect.DeepEqual(got.Labels, want.Labels) {
+						t.Fatalf("%s: labels diverge after construction", name)
+					}
+					if gr, wr := got.Filter(), refFilter(want); gr != wr {
+						t.Fatalf("%s: filter removed %d, want %d", name, gr, wr)
+					}
+					if !reflect.DeepEqual(got.Labels, want.Labels) {
+						t.Fatalf("%s: labels diverge after filter", name)
+					}
+					mean := refRegionMean(col.Num, normal)
+					got.FillGaps(10, mean)
+					refFillGaps(want, 10, mean)
+					if !reflect.DeepEqual(got.Labels, want.Labels) {
+						t.Fatalf("%s: labels diverge after gap fill", name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIndexOfMatchesDividingForm hammers the inverse-width fast path
+// with values on and around exact partition boundaries: the result must
+// be bit-for-bit the truncation the seed's dividing form produced.
+func TestIndexOfMatchesDividingForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	spaces := []*NumericSpace{
+		{Min: 0, Max: 500, R: 250, invSpan: 1.0 / 500},
+		{Min: 0, Max: 3, R: 3, invSpan: 1.0 / 3},
+		{Min: -17.5, Max: 113.25, R: 250, invSpan: 1.0 / (113.25 + 17.5)},
+		{Min: 1e9, Max: 1e9 + 7, R: 97, invSpan: 1.0 / 7},
+	}
+	for _, ps := range spaces {
+		w := (ps.Max - ps.Min) / float64(ps.R)
+		for j := 0; j <= ps.R; j++ {
+			// Exact and near-boundary probes.
+			for _, v := range []float64{
+				ps.Min + float64(j)*w,
+				ps.Min + float64(j)*w - 1e-9,
+				ps.Min + float64(j)*w + 1e-9,
+			} {
+				if got, want := ps.IndexOf(v), refIndexOf(ps, v); got != want {
+					t.Fatalf("space [%g,%g] R=%d: IndexOf(%v) = %d, dividing form = %d",
+						ps.Min, ps.Max, ps.R, v, got, want)
+				}
+			}
+		}
+		for i := 0; i < 10000; i++ {
+			v := ps.Min + (ps.Max-ps.Min)*(rng.Float64()*1.2-0.1) // include out-of-range
+			if got, want := ps.IndexOf(v), refIndexOf(ps, v); got != want {
+				t.Fatalf("space [%g,%g] R=%d: IndexOf(%v) = %d, dividing form = %d",
+					ps.Min, ps.Max, ps.R, v, got, want)
+			}
+		}
+	}
+}
+
+// TestSeparationPowerMatchesReference pins the run-iterating,
+// column-hoisted Equation 1 against the seed's per-row MatchesRow form.
+func TestSeparationPowerMatchesReference(t *testing.T) {
+	rows := 200
+	ds := goldenDataset(t, rows, 3)
+	rng := rand.New(rand.NewSource(3))
+	preds := []Predicate{
+		{Attr: "gauss_shift", Type: metrics.Numeric, HasLower: true, Lower: 200},
+		{Attr: "int_counter", Type: metrics.Numeric, HasLower: true, Lower: 150, HasUpper: true, Upper: 450},
+		{Attr: "nan_holes", Type: metrics.Numeric, HasUpper: true, Upper: 50},
+		{Attr: "state", Type: metrics.Categorical, Categories: []string{"locked", "waiting"}},
+		{Attr: "missing", Type: metrics.Numeric, HasLower: true, Lower: 0},
+		{Attr: "state", Type: metrics.Numeric, HasLower: true, Lower: 0}, // type mismatch
+	}
+	for _, reg := range goldenRegions(rows, rng) {
+		normal := reg.abnormal.Complement()
+		for _, p := range preds {
+			got := SeparationPower(p, ds, reg.abnormal, normal)
+			want := refSeparationPower(p, ds, reg.abnormal, normal)
+			if got != want {
+				t.Errorf("region=%s pred=%v: SeparationPower = %v, reference = %v", reg.name, p, got, want)
+			}
+		}
+	}
+}
+
+// TestCategoricalSpaceScratchReuse drives many categorical builds
+// through one shared scratch and checks each against a fresh reference
+// build, proving cleared-map reuse leaks nothing across attributes.
+func TestCategoricalSpaceScratchReuse(t *testing.T) {
+	rows := 120
+	rng := rand.New(rand.NewSource(9))
+	sc := getScratch()
+	defer putScratch(sc)
+	for trial := 0; trial < 50; trial++ {
+		vals := make([]string, rows)
+		alphabet := []string{"a", "b", "c", "d", "e", "f"}[:2+rng.Intn(4)]
+		for i := range vals {
+			vals[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		abnormal := metrics.RegionFromRange(rows, rng.Intn(rows/2), rows/2+rng.Intn(rows/2))
+		normal := abnormal.Complement()
+		got := newCategoricalSpace("cat", vals, abnormal, normal, sc)
+		want := NewCategoricalSpace("cat", vals, abnormal, normal)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: scratch-built space %+v, fresh build %+v", trial, got, want)
+		}
+	}
+}

@@ -39,18 +39,46 @@ type NumericSpace struct {
 	Max    float64
 	R      int
 	Labels []Label
+
+	// invSpan caches 1/(Max-Min) so the per-tuple IndexOf in the
+	// labeling loop multiplies instead of divides. Zero (e.g. in a
+	// literal-constructed space) falls back to the dividing path.
+	invSpan float64
 }
 
 // width returns the partition width.
 func (ps *NumericSpace) width() float64 { return (ps.Max - ps.Min) / float64(ps.R) }
 
+// boundaryEps is the fractional distance from a partition boundary under
+// which IndexOf abandons the multiply-by-inverse fast path. The fast and
+// exact forms agree to within a few ULPs (relative ~2^-50), so any value
+// whose scaled position is farther than 1e-6 from an integer truncates
+// identically under both; only boundary-adjacent values (common for
+// integer-valued counters whose span divides R) pay the division.
+const boundaryEps = 1e-6
+
 // IndexOf returns the partition containing value v. Values at the domain
 // maximum are clamped into the last partition.
+//
+// The result is bit-for-bit the truncation of R*(v-Min)/(Max-Min): the
+// precomputed inverse only serves values that provably truncate the same
+// way, so spaces labeled by the fast path are byte-identical to ones
+// labeled by the original dividing form.
 func (ps *NumericSpace) IndexOf(v float64) int {
 	if ps.Max == ps.Min {
 		return 0
 	}
-	j := int(float64(ps.R) * (v - ps.Min) / (ps.Max - ps.Min))
+	f := float64(ps.R) * (v - ps.Min)
+	var j int
+	if x := f * ps.invSpan; ps.invSpan != 0 {
+		if fl := math.Floor(x); x-fl > boundaryEps && fl+1-x > boundaryEps {
+			j = int(x)
+		} else {
+			j = int(f / (ps.Max - ps.Min))
+		}
+	} else {
+		j = int(f / (ps.Max - ps.Min))
+	}
 	if j < 0 {
 		j = 0
 	}
@@ -80,6 +108,16 @@ func (ps *NumericSpace) Midpoint(j int) float64 {
 // ignored; NaNs are skipped. Returns nil for constant or all-NaN
 // attributes (invariants cannot explain an anomaly, Section 2.4).
 func NewNumericSpace(attr string, values []float64, abnormal, normal *metrics.Region, r int) *NumericSpace {
+	sc := getScratch()
+	defer putScratch(sc)
+	return newNumericSpace(attr, values, abnormal, normal, r, sc)
+}
+
+// newNumericSpace is NewNumericSpace against a caller-owned scratch
+// arena; the hot fan-outs (Generate, Evaluator.Prepare) thread one
+// scratch per worker through it so the hasA/hasN membership flags are
+// reused across all attributes. The returned space owns its Labels.
+func newNumericSpace(attr string, values []float64, abnormal, normal *metrics.Region, r int, sc *scratch) *NumericSpace {
 	min, max := math.Inf(1), math.Inf(-1)
 	for _, v := range values {
 		if math.IsNaN(v) {
@@ -95,9 +133,12 @@ func NewNumericSpace(attr string, values []float64, abnormal, normal *metrics.Re
 	if min >= max || math.IsInf(min, 1) {
 		return nil
 	}
-	ps := &NumericSpace{Attr: attr, Min: min, Max: max, R: r, Labels: make([]Label, r)}
-	hasA := make([]bool, r)
-	hasN := make([]bool, r)
+	ps := &NumericSpace{
+		Attr: attr, Min: min, Max: max, R: r,
+		Labels:  make([]Label, r),
+		invSpan: 1 / (max - min),
+	}
+	hasA, hasN := sc.boolPair(r)
 	for i, v := range values {
 		if math.IsNaN(v) {
 			continue
@@ -138,30 +179,34 @@ func NewNumericSpace(attr string, values []float64, abnormal, normal *metrics.Re
 // partition is deemed significant and left untouched. It returns the
 // number of partitions whose label it removed.
 func (ps *NumericSpace) Filter() int {
-	type pos struct {
-		idx   int
-		label Label
-	}
-	var nonEmpty []pos
+	sc := getScratch()
+	defer putScratch(sc)
+	return ps.filter(sc)
+}
+
+// filter is Filter against a caller-owned scratch arena. The non-Empty
+// index/label snapshot taken up front is what lets the rewrite happen
+// in place: every filtering decision reads the snapshot, never the
+// labels being rewritten, preserving the all-at-once semantics.
+func (ps *NumericSpace) filter(sc *scratch) int {
+	idx, lab := sc.nonEmpty[:0], sc.nonEmptyL[:0]
 	for j, l := range ps.Labels {
 		if l != Empty {
-			nonEmpty = append(nonEmpty, pos{j, l})
+			idx = append(idx, j)
+			lab = append(lab, l)
 		}
 	}
-	if len(nonEmpty) <= 1 {
+	sc.nonEmpty, sc.nonEmptyL = idx[:0], lab[:0]
+	if len(idx) <= 1 {
 		return 0
 	}
-	out := make([]Label, len(ps.Labels))
-	copy(out, ps.Labels)
 	removed := 0
-	for k := 1; k < len(nonEmpty)-1; k++ {
-		p := nonEmpty[k]
-		if nonEmpty[k-1].label != p.label || nonEmpty[k+1].label != p.label {
-			out[p.idx] = Empty
+	for k := 1; k < len(idx)-1; k++ {
+		if lab[k-1] != lab[k] || lab[k+1] != lab[k] {
+			ps.Labels[idx[k]] = Empty
 			removed++
 		}
 	}
-	ps.Labels = out
 	return removed
 }
 
@@ -173,6 +218,19 @@ func (ps *NumericSpace) Filter() int {
 // over the normal region) is relabeled Normal first, so the predicate
 // direction is determinable.
 func (ps *NumericSpace) FillGaps(delta, normalMean float64) {
+	sc := getScratch()
+	defer putScratch(sc)
+	ps.fillGaps(delta, normalMean, sc)
+}
+
+// fillGaps is FillGaps against a caller-owned scratch arena. It fills in
+// place: writes only touch originally-Empty partitions, while every read
+// (leftIdx[j]/rightIdx[j] targets) lands on an originally-non-Empty
+// partition, so no assignment can observe another — the same
+// all-at-once semantics as rewriting into a fresh copy. leftIdx[j] == j
+// exactly when partition j was non-Empty before filling, which is the
+// in-place substitute for consulting the original labels.
+func (ps *NumericSpace) fillGaps(delta, normalMean float64, sc *scratch) {
 	hasNormal, hasAbnormal := false, false
 	for _, l := range ps.Labels {
 		switch l {
@@ -189,9 +247,9 @@ func (ps *NumericSpace) FillGaps(delta, normalMean float64) {
 		ps.Labels[ps.IndexOf(normalMean)] = Normal
 	}
 
-	// Distance to the closest non-Empty partition on the left.
+	// Distance to the closest non-Empty partition on each side.
 	n := len(ps.Labels)
-	leftIdx := make([]int, n)
+	leftIdx, rightIdx := sc.intPair(n)
 	last := -1
 	for j := 0; j < n; j++ {
 		if ps.Labels[j] != Empty {
@@ -199,7 +257,6 @@ func (ps *NumericSpace) FillGaps(delta, normalMean float64) {
 		}
 		leftIdx[j] = last
 	}
-	rightIdx := make([]int, n)
 	last = -1
 	for j := n - 1; j >= 0; j-- {
 		if ps.Labels[j] != Empty {
@@ -208,22 +265,20 @@ func (ps *NumericSpace) FillGaps(delta, normalMean float64) {
 		rightIdx[j] = last
 	}
 
-	out := make([]Label, n)
-	copy(out, ps.Labels)
 	for j := 0; j < n; j++ {
-		if ps.Labels[j] != Empty {
-			continue
+		if leftIdx[j] == j {
+			continue // non-Empty before filling
 		}
 		li, ri := leftIdx[j], rightIdx[j]
 		switch {
 		case li < 0 && ri < 0:
 			// Unreachable: at least one partition is non-Empty here.
 		case li < 0:
-			out[j] = ps.Labels[ri]
+			ps.Labels[j] = ps.Labels[ri]
 		case ri < 0:
-			out[j] = ps.Labels[li]
+			ps.Labels[j] = ps.Labels[li]
 		case ps.Labels[li] == ps.Labels[ri]:
-			out[j] = ps.Labels[li]
+			ps.Labels[j] = ps.Labels[li]
 		default:
 			dl := float64(j - li)
 			dr := float64(ri - j)
@@ -233,13 +288,12 @@ func (ps *NumericSpace) FillGaps(delta, normalMean float64) {
 				dr *= delta
 			}
 			if dl <= dr {
-				out[j] = ps.Labels[li]
+				ps.Labels[j] = ps.Labels[li]
 			} else {
-				out[j] = ps.Labels[ri]
+				ps.Labels[j] = ps.Labels[ri]
 			}
 		}
 	}
-	ps.Labels = out
 }
 
 // AbnormalBlock returns the bounds [first, last] of the single contiguous
@@ -285,10 +339,18 @@ type CategoricalSpace struct {
 // normal-region tuples carry it, Normal if strictly fewer, Empty on ties
 // (paper Section 4.2).
 func NewCategoricalSpace(attr string, values []string, abnormal, normal *metrics.Region) *CategoricalSpace {
-	countA := make(map[string]int)
-	countN := make(map[string]int)
-	seen := make(map[string]bool)
-	var order []string
+	sc := getScratch()
+	defer putScratch(sc)
+	return newCategoricalSpace(attr, values, abnormal, normal, sc)
+}
+
+// newCategoricalSpace is NewCategoricalSpace against a caller-owned
+// scratch arena: the three counting maps and the distinct-value order
+// slice are reused across attributes (cleared, pre-sized for the small
+// distinct-value counts typical of telemetry flags). The returned
+// space owns Values and Labels — scratch state never escapes.
+func newCategoricalSpace(attr string, values []string, abnormal, normal *metrics.Region, sc *scratch) *CategoricalSpace {
+	countA, countN, seen, order := sc.catState()
 	for i, v := range values {
 		inA, inN := abnormal.Contains(i), normal.Contains(i)
 		if !inA && !inN {
@@ -305,12 +367,17 @@ func NewCategoricalSpace(attr string, values []string, abnormal, normal *metrics
 			countN[v]++
 		}
 	}
+	defer sc.keepOrder(order)
 	if len(order) == 0 {
 		return nil
 	}
 	sort.Strings(order)
-	cs := &CategoricalSpace{Attr: attr, Values: order, Labels: make([]Label, len(order))}
-	for j, v := range order {
+	cs := &CategoricalSpace{
+		Attr:   attr,
+		Values: append(make([]string, 0, len(order)), order...),
+		Labels: make([]Label, len(order)),
+	}
+	for j, v := range cs.Values {
 		switch {
 		case countA[v] > countN[v]:
 			cs.Labels[j] = Abnormal

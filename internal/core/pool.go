@@ -17,6 +17,20 @@ func ResolveWorkers(n int) int {
 	return n
 }
 
+// EffectiveWorkers returns the number of worker slots ForEach and
+// ForEachWorker will actually use for n items: at least 1, at most n.
+// Callers that allocate per-worker state (e.g. scratch arenas) size it
+// with this so no slot goes unused.
+func EffectiveWorkers(n, workers int) int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // ForEach runs fn(i) for every i in [0, n) across at most workers
 // goroutines. Indices are handed out by an atomic counter, so the pool
 // load-balances uneven per-index costs; each index runs exactly once.
@@ -27,12 +41,18 @@ func ResolveWorkers(n int) int {
 // (e.g. results[i]) so output order is independent of scheduling —
 // this is what keeps parallel runs byte-identical to sequential ones.
 func ForEach(n, workers int, fn func(int)) {
-	if workers > n {
-		workers = n
-	}
+	ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach where fn also receives the worker slot id
+// w in [0, EffectiveWorkers(n, workers)). Each slot is owned by exactly
+// one goroutine for the duration of the call, so fn may use w to index
+// mutable per-worker state (scratch buffers) without synchronization.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	workers = EffectiveWorkers(n, workers)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -40,16 +60,16 @@ func ForEach(n, workers int, fn func(int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -97,17 +97,34 @@ func SeparationPower(p Predicate, ds *metrics.Dataset, abnormal, normal *metrics
 	if abnormal.Count() == 0 || normal.Count() == 0 {
 		return 0
 	}
-	var inA, inN int
-	for _, i := range abnormal.Indices() {
-		if p.MatchesRow(ds, i) {
-			inA++
-		}
+	// Resolve the column once instead of per row, and walk the regions'
+	// contiguous runs instead of materializing index slices.
+	col, ok := ds.Column(p.Attr)
+	if !ok || col.Attr.Type != p.Type {
+		return 0 // no row can match a missing/mistyped attribute
 	}
-	for _, i := range normal.Indices() {
-		if p.MatchesRow(ds, i) {
-			inN++
+	count := func(r *metrics.Region) int {
+		var hits int
+		if p.Type == metrics.Numeric {
+			r.Runs(func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if p.MatchesNumeric(col.Num[i]) {
+						hits++
+					}
+				}
+			})
+		} else {
+			r.Runs(func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					if p.MatchesCategorical(col.Cat[i]) {
+						hits++
+					}
+				}
+			})
 		}
+		return hits
 	}
+	inA, inN := count(abnormal), count(normal)
 	return float64(inA)/float64(abnormal.Count()) - float64(inN)/float64(normal.Count())
 }
 

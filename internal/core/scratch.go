@@ -1,0 +1,90 @@
+package core
+
+import "sync"
+
+// scratch is a per-worker arena of reusable buffers for the Algorithm 1
+// hot path. One diagnosis builds a partition space per attribute
+// (~116 on the paper's testbed), and each build needs several short-lived
+// slices and maps (membership flags, label snapshots, nearest-neighbour
+// indices, category counters). Allocating them fresh per attribute is
+// pure GC pressure, so Generate and Evaluator.Prepare hand each worker
+// slot one scratch for the whole fan-out, and the exported constructors
+// (NewNumericSpace, Filter, FillGaps, NewCategoricalSpace) fall back to
+// a sync.Pool so direct callers keep the same zero-boilerplate API.
+//
+// Ownership rules (see DESIGN.md §10):
+//   - A scratch is owned by exactly one goroutine between get and put;
+//     ForEachWorker's slot ids make that trivially true for the pools.
+//   - Buffers handed out by scratch methods are valid only until the
+//     next call on the same scratch. Nothing that outlives the current
+//     attribute may alias them.
+//   - Everything that escapes a construction — the partition space
+//     itself, its Labels, a CategoricalSpace's Values — is allocated
+//     owned, never scratch-backed. Evaluator cache entries in particular
+//     must own their labels: they are shared across concurrent scoring
+//     goroutines and outlive every scratch.
+type scratch struct {
+	hasA, hasN []bool  // NewNumericSpace: per-partition region membership
+	nonEmpty   []int   // Filter: indices of non-Empty partitions
+	nonEmptyL  []Label // Filter: their labels, snapshot before rewriting
+	leftIdx    []int   // FillGaps: nearest non-Empty partition on the left
+	rightIdx   []int   // FillGaps: nearest non-Empty partition on the right
+
+	countA map[string]int  // NewCategoricalSpace: abnormal tuples per value
+	countN map[string]int  // NewCategoricalSpace: normal tuples per value
+	seen   map[string]bool // NewCategoricalSpace: first-occurrence filter
+	order  []string        // NewCategoricalSpace: distinct values
+}
+
+// catDistinctHint pre-sizes the categorical counting maps. Categorical
+// attributes in per-second DBMS telemetry (status flags, lock modes,
+// active-query names) have a handful of distinct values, so a small
+// fixed hint avoids rehashing without wasting memory; the maps keep any
+// larger size they grow to for the lifetime of the scratch.
+const catDistinctHint = 8
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// boolPair returns two zeroed []bool of length n, reusing capacity.
+func (s *scratch) boolPair(n int) (a, b []bool) {
+	if cap(s.hasA) < n {
+		s.hasA = make([]bool, n)
+		s.hasN = make([]bool, n)
+	}
+	a, b = s.hasA[:n], s.hasN[:n]
+	clear(a)
+	clear(b)
+	return a, b
+}
+
+// intPair returns two []int of length n, reusing capacity. Contents are
+// unspecified; callers overwrite every element.
+func (s *scratch) intPair(n int) (a, b []int) {
+	if cap(s.leftIdx) < n {
+		s.leftIdx = make([]int, n)
+		s.rightIdx = make([]int, n)
+	}
+	return s.leftIdx[:n], s.rightIdx[:n]
+}
+
+// catState returns cleared counting maps and an empty order slice for a
+// categorical build. The order slice must be stored back via keepOrder
+// so grown capacity survives to the next attribute.
+func (s *scratch) catState() (countA, countN map[string]int, seen map[string]bool, order []string) {
+	if s.countA == nil {
+		s.countA = make(map[string]int, catDistinctHint)
+		s.countN = make(map[string]int, catDistinctHint)
+		s.seen = make(map[string]bool, catDistinctHint)
+	} else {
+		clear(s.countA)
+		clear(s.countN)
+		clear(s.seen)
+	}
+	return s.countA, s.countN, s.seen, s.order[:0]
+}
+
+// keepOrder stores the (possibly grown) order slice back into the arena.
+func (s *scratch) keepOrder(order []string) { s.order = order[:0] }

@@ -79,6 +79,10 @@ func (r *Region) Remove(i int) {
 }
 
 // Indices returns the selected row indices in increasing order.
+//
+// Indices materializes a fresh slice on every call; hot paths that only
+// need to visit the rows should use ForEach or Runs instead, which
+// iterate the selection without allocating.
 func (r *Region) Indices() []int {
 	out := make([]int, 0, r.count)
 	for i, m := range r.member {
@@ -87,6 +91,36 @@ func (r *Region) Indices() []int {
 		}
 	}
 	return out
+}
+
+// ForEach calls fn for every selected row in increasing order. It visits
+// exactly the rows Indices would return, without materializing them.
+func (r *Region) ForEach(fn func(row int)) {
+	for i, m := range r.member {
+		if m {
+			fn(i)
+		}
+	}
+}
+
+// Runs calls fn for every maximal run [lo, hi) of consecutively selected
+// rows, in increasing order. User-marked regions are almost always one
+// or two contiguous ranges, so Runs lets callers iterate a selection
+// with O(runs) callbacks and tight inner loops over [lo, hi).
+func (r *Region) Runs(fn func(lo, hi int)) {
+	n := len(r.member)
+	for i := 0; i < n; {
+		if !r.member[i] {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < n && r.member[j] {
+			j++
+		}
+		fn(i, j)
+		i = j
+	}
 }
 
 // Clone returns a deep copy.

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// iterRegions builds the iterator edge cases: empty, full, single-row,
+// multi-run, and Expand-perturbed (grown and shrunk) selections.
+func iterRegions() map[string]*Region {
+	multi := NewRegion(20)
+	multi.AddRange(2, 5)
+	multi.Add(8)
+	multi.AddRange(12, 18)
+	return map[string]*Region{
+		"empty":       NewRegion(12),
+		"full":        RegionFromRange(12, 0, 12),
+		"single-row":  RegionFromIndices(12, []int{7}),
+		"first-row":   RegionFromIndices(12, []int{0}),
+		"last-row":    RegionFromIndices(12, []int{11}),
+		"multi-run":   multi,
+		"expanded":    multi.Expand(2),
+		"shrunk":      multi.Expand(-1),
+		"zero-length": NewRegion(0),
+	}
+}
+
+// TestForEachMatchesIndices: ForEach must visit exactly the rows Indices
+// returns, in the same increasing order.
+func TestForEachMatchesIndices(t *testing.T) {
+	for name, r := range iterRegions() {
+		var got []int
+		r.ForEach(func(i int) { got = append(got, i) })
+		want := r.Indices()
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: ForEach visited %v, Indices = %v", name, got, want)
+		}
+	}
+}
+
+// TestRunsMatchesIndices: concatenating the half-open runs must
+// reproduce Indices exactly, the runs must be maximal (separated by
+// unselected rows), and their lengths must sum to Count.
+func TestRunsMatchesIndices(t *testing.T) {
+	for name, r := range iterRegions() {
+		var got []int
+		total := 0
+		prevHi := -1
+		r.Runs(func(lo, hi int) {
+			if lo >= hi {
+				t.Errorf("%s: empty run [%d,%d)", name, lo, hi)
+			}
+			if lo <= prevHi {
+				t.Errorf("%s: run [%d,%d) not separated from previous end %d", name, lo, hi, prevHi)
+			}
+			prevHi = hi
+			total += hi - lo
+			for i := lo; i < hi; i++ {
+				got = append(got, i)
+			}
+		})
+		want := r.Indices()
+		if total != r.Count() {
+			t.Errorf("%s: run lengths sum to %d, Count = %d", name, total, r.Count())
+		}
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: Runs covered %v, Indices = %v", name, got, want)
+		}
+	}
+}
+
+// TestIteratorsRandomized cross-checks ForEach, Runs, and Indices over
+// random sparse selections and their Expand perturbations.
+func TestIteratorsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		r := NewRegion(n)
+		for k := rng.Intn(n + 1); k > 0; k-- {
+			r.Add(rng.Intn(n))
+		}
+		for _, pad := range []int{0, 1, -1, 3} {
+			p := r.Expand(pad)
+			want := p.Indices()
+			var fe, runs []int
+			p.ForEach(func(i int) { fe = append(fe, i) })
+			p.Runs(func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					runs = append(runs, i)
+				}
+			})
+			if len(want) == 0 {
+				if len(fe) != 0 || len(runs) != 0 {
+					t.Fatalf("trial %d pad %d: iterators visited rows of an empty region", trial, pad)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(fe, want) || !reflect.DeepEqual(runs, want) {
+				t.Fatalf("trial %d pad %d: ForEach=%v Runs=%v Indices=%v", trial, pad, fe, runs, want)
+			}
+		}
+	}
+}
+
+// FuzzRegionRoundTrip: rebuilding a region from its own Indices must
+// reproduce it exactly — membership, count, and iterator traversals.
+func FuzzRegionRoundTrip(f *testing.F) {
+	f.Add(uint(12), []byte{3, 4, 5, 9})
+	f.Add(uint(1), []byte{0})
+	f.Add(uint(64), []byte{})
+	f.Add(uint(8), []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Fuzz(func(t *testing.T, n uint, rows []byte) {
+		if n == 0 || n > 1024 {
+			return
+		}
+		r := NewRegion(int(n))
+		for _, b := range rows {
+			r.Add(int(b) % int(n))
+		}
+		back := RegionFromIndices(r.Len(), r.Indices())
+		if !reflect.DeepEqual(back, r) {
+			t.Fatalf("round trip diverged: %v -> %v", r.Indices(), back.Indices())
+		}
+		var viaRuns []int
+		back.Runs(func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				viaRuns = append(viaRuns, i)
+			}
+		})
+		want := r.Indices()
+		if len(viaRuns) != len(want) {
+			t.Fatalf("Runs on round-tripped region visited %v, want %v", viaRuns, want)
+		}
+		for i := range want {
+			if viaRuns[i] != want[i] {
+				t.Fatalf("Runs on round-tripped region visited %v, want %v", viaRuns, want)
+			}
+		}
+	})
+}

@@ -265,7 +265,7 @@ func (m *Monitor) runDetection() {
 	if !ok {
 		return
 	}
-	runLo, runHi := largestRun(region.Indices())
+	runLo, runHi := largestRun(region)
 	if runHi-runLo < m.cfg.MinAnomalyRows {
 		return
 	}
@@ -293,21 +293,15 @@ func (m *Monitor) runDetection() {
 	})
 }
 
-// largestRun returns the half-open index bounds of the longest
-// consecutive run in sorted indices.
-func largestRun(idx []int) (lo, hi int) {
-	if len(idx) == 0 {
-		return 0, 0
-	}
-	bestLo, bestHi := idx[0], idx[0]+1
-	curLo := idx[0]
-	for i := 1; i < len(idx); i++ {
-		if idx[i] != idx[i-1]+1 {
-			curLo = idx[i]
+// largestRun returns the half-open index bounds of the longest run of
+// consecutively selected rows (the first such run on ties), without
+// materializing the region's indices. The monitor runs this every
+// detection tick, so it stays allocation-free.
+func largestRun(region *metrics.Region) (lo, hi int) {
+	region.Runs(func(l, h int) {
+		if h-l > hi-lo {
+			lo, hi = l, h
 		}
-		if idx[i]+1-curLo > bestHi-bestLo {
-			bestLo, bestHi = curLo, idx[i]+1
-		}
-	}
-	return bestLo, bestHi
+	})
+	return lo, hi
 }

@@ -279,18 +279,13 @@ func detectorByName(name string) (dbsherlock.Detector, error) {
 	}
 }
 
-// regionRanges compacts a region into [from, to) ranges.
+// regionRanges compacts a region into [from, to) ranges, iterating the
+// region's runs directly rather than materializing an index slice.
 func regionRanges(region *dbsherlock.Region) []rowRange {
-	idx := region.Indices()
 	var out []rowRange
-	for i := 0; i < len(idx); {
-		j := i
-		for j+1 < len(idx) && idx[j+1] == idx[j]+1 {
-			j++
-		}
-		out = append(out, rowRange{From: idx[i], To: idx[j] + 1})
-		i = j + 1
-	}
+	region.Runs(func(lo, hi int) {
+		out = append(out, rowRange{From: lo, To: hi})
+	})
 	return out
 }
 

@@ -146,6 +146,12 @@ func Normalize(xs []float64) []float64 {
 // xs. Window w starts at index w and covers xs[w : w+tau]. If tau exceeds
 // len(xs) a single whole-slice window is used. Used by the potential-power
 // computation of paper Section 7 (Equation 4).
+//
+// A single sorted scratch buffer is maintained incrementally across
+// windows — the outgoing value is removed and the incoming one inserted
+// by binary search — so the whole sweep costs one allocation and
+// O(n·tau) moves instead of re-allocating and re-sorting a fresh window
+// copy per position (O(n·tau log tau) with n allocations).
 func SlidingWindowMedians(xs []float64, tau int) []float64 {
 	if len(xs) == 0 {
 		return nil
@@ -157,8 +163,55 @@ func SlidingWindowMedians(xs []float64, tau int) []float64 {
 		tau = len(xs)
 	}
 	out := make([]float64, 0, len(xs)-tau+1)
-	for w := 0; w+tau <= len(xs); w++ {
-		out = append(out, Median(xs[w:w+tau]))
+	// win holds the non-NaN values of the current window, sorted.
+	win := make([]float64, 0, tau)
+	for _, x := range xs[:tau] {
+		if !math.IsNaN(x) {
+			win = insertSorted(win, x)
+		}
+	}
+	out = append(out, medianSorted(win))
+	for w := 1; w+tau <= len(xs); w++ {
+		if x := xs[w-1]; !math.IsNaN(x) {
+			win = removeSorted(win, x)
+		}
+		if x := xs[w+tau-1]; !math.IsNaN(x) {
+			win = insertSorted(win, x)
+		}
+		out = append(out, medianSorted(win))
 	}
 	return out
+}
+
+// insertSorted inserts x into sorted s, keeping it sorted.
+func insertSorted(s []float64, x float64) []float64 {
+	i := sort.SearchFloat64s(s, x)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+// removeSorted removes one occurrence of x from sorted s. x is always
+// present: callers remove only values they previously inserted.
+func removeSorted(s []float64, x float64) []float64 {
+	i := sort.SearchFloat64s(s, x)
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}
+
+// medianSorted returns the median of an already-sorted slice with the
+// same interpolation (and NaN-for-empty behaviour) as Quantile(s, 0.5).
+func medianSorted(s []float64) float64 {
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	pos := 0.5 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
 }
