@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race alloc-gate bench-smoke fuzz-smoke bench-parallel bench-obs bench-alloc
+.PHONY: ci fmt-check vet build test race alloc-gate bench-smoke fuzz-smoke bench-parallel bench-obs bench-alloc bench-detect
 
 ci: fmt-check vet build race alloc-gate bench-smoke
 
@@ -47,6 +47,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzMergePredicates -fuzztime=10s ./internal/causal/
 	$(GO) test -run='^$$' -fuzz=FuzzMergeCategorical -fuzztime=10s ./internal/causal/
 	$(GO) test -run='^$$' -fuzz=FuzzRegionRoundTrip -fuzztime=10s ./internal/metrics/
+	$(GO) test -run='^$$' -fuzz=FuzzGridClusterEquivalence -fuzztime=10s ./internal/dbscan/
 
 # Regenerate the numbers behind BENCH_parallel.json (sequential vs
 # parallel Explain/Rank at 1/4/8 workers, small and large datasets).
@@ -64,3 +65,13 @@ bench-obs:
 bench-alloc:
 	$(GO) test -bench BenchmarkExplainAllocs -benchtime=150x -count=5 -benchmem -run='^$$' .
 	$(GO) test -bench BenchmarkSlidingWindowMedians -benchtime=100x -count=5 -benchmem -run='^$$' ./internal/stats/
+
+# Regenerate the numbers behind BENCH_detect.json (per-tick monitoring
+# cost, naive snapshot+Detect vs the streaming path, and the DBSCAN
+# grid-index stress shapes; commit the medians across the 5
+# repetitions). The O(n^2) reference at n=20000 takes ~40 s per
+# iteration and only runs with DBSHERLOCK_BENCH_FULL=1.
+bench-detect:
+	$(GO) test -bench BenchmarkDetectTick -benchtime=50x -count=5 -benchmem -run='^$$' ./internal/detect/
+	$(GO) test -bench 'BenchmarkCluster(Naive|Indexed)' -benchtime=100x -count=5 -benchmem -run='^$$' ./internal/dbscan/
+	DBSHERLOCK_BENCH_FULL=$(DBSHERLOCK_BENCH_FULL) $(GO) test -bench BenchmarkPipelineStress -benchtime=3x -count=5 -benchmem -timeout=90m -run='^$$' ./internal/dbscan/

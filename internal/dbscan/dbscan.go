@@ -35,6 +35,10 @@ func Distance(a, b Point) float64 {
 // (excluding itself), sorted ascending. The DBSCAN paper suggests
 // inspecting this list to choose epsilon; DBSherlock uses
 // eps = max(KDist)/4 with k = minPts.
+//
+// KDist is the naive O(n²) reference; KDistIndexed computes the same
+// list through the uniform-grid index and is what the streaming
+// detector calls every tick.
 func KDist(points []Point, k int) []float64 {
 	if len(points) == 0 || k <= 0 {
 		return nil
@@ -63,20 +67,128 @@ func KDist(points []Point, k int) []float64 {
 	return out
 }
 
+// KDistIndexed is KDist through the uniform-grid spatial index:
+// identical output (pinned by golden tests), ~O(n) expected work
+// instead of O(n² log n). Degenerate geometries — high dimensionality,
+// non-finite coordinates, all-identical points — fall back to exact
+// slower paths, so the result is always byte-identical to KDist.
+func KDistIndexed(points []Point, k int) []float64 {
+	return KDistInto(nil, points, k)
+}
+
+// KDistInto is KDistIndexed writing into dst (grown as needed), so a
+// caller running detection every tick can reuse one buffer.
+func KDistInto(dst []float64, points []Point, k int) []float64 {
+	if len(points) == 0 || k <= 0 {
+		return nil
+	}
+	if cap(dst) < len(points) {
+		dst = make([]float64, len(points))
+	}
+	dst = dst[:len(points)]
+	sc := clusterPool.Get().(*clusterScratch)
+	defer clusterPool.Put(sc)
+	if !gridUsable(len(points), len(points[0])) {
+		return kdistAllNaive(dst, points, k, &sc.kd)
+	}
+	cell, ok := kdCell(points, k)
+	if !ok {
+		if allIdentical(points) {
+			// Every pairwise distance is zero, so every k-dist is zero.
+			for i := range dst {
+				dst[i] = 0
+			}
+			return dst
+		}
+		return kdistAllNaive(dst, points, k, &sc.kd)
+	}
+	g := getGrid()
+	defer putGrid(g)
+	if !g.build(points, cell) {
+		return kdistAllNaive(dst, points, k, &sc.kd)
+	}
+	for i := range points {
+		dst[i] = g.kdist(points, i, k, &sc.kd)
+	}
+	sort.Float64s(dst)
+	return dst
+}
+
+// kdistAllNaive fills dst with the naive O(n²) k-dist list.
+func kdistAllNaive(dst []float64, points []Point, k int, sc *kdScratch) []float64 {
+	for i := range points {
+		dists := sc.dists[:0]
+		for j := range points {
+			if i != j {
+				dists = append(dists, Distance(points[i], points[j]))
+			}
+		}
+		sc.dists = dists
+		if len(dists) == 0 {
+			dst[i] = 0
+			continue
+		}
+		sort.Float64s(dists)
+		idx := k - 1
+		if idx >= len(dists) {
+			idx = len(dists) - 1
+		}
+		dst[i] = dists[idx]
+	}
+	sort.Float64s(dst)
+	return dst
+}
+
 // Cluster runs DBSCAN and returns a cluster id per point: 0..n-1 for
 // cluster members, Noise (-1) for noise points. A point is a core point
 // if at least minPts points (including itself) lie within eps.
+//
+// Neighbour queries go through a uniform-grid index with cell size eps
+// when the point set supports it (low dimensionality, finite
+// coordinates, enough points to amortize the build); otherwise the
+// naive O(n²) scan is used. Both paths produce identical labels —
+// the grid returns neighbour lists in the same ascending order the
+// naive scan does, and golden + fuzz tests pin the equivalence.
 func Cluster(points []Point, eps float64, minPts int) []int {
+	return ClusterInto(nil, points, eps, minPts)
+}
+
+// ClusterInto is Cluster writing labels into dst (grown as needed), so
+// a caller running detection every tick can reuse one buffer.
+func ClusterInto(dst []int, points []Point, eps float64, minPts int) []int {
 	const unvisited = -2
-	labels := make([]int, len(points))
+	if cap(dst) < len(points) || dst == nil {
+		dst = make([]int, len(points))
+	}
+	labels := dst[:len(points)]
 	for i := range labels {
 		labels[i] = unvisited
 	}
-	neighbours := func(i int) []int {
-		var out []int
+	if len(points) == 0 {
+		return labels
+	}
+
+	sc := clusterPool.Get().(*clusterScratch)
+	defer clusterPool.Put(sc)
+
+	var g *grid
+	if gridUsable(len(points), len(points[0])) {
+		cg := getGrid()
+		if cg.build(points, eps) {
+			cg.buildOffsets()
+			g = cg
+		}
+		defer putGrid(cg)
+	}
+	// neighbours appends the indices within eps of point i (including i)
+	// in ascending order, identically on both paths.
+	neighbours := func(i int, out []int32) []int32 {
+		if g != nil {
+			return g.neighbours(points, i, eps, out)
+		}
 		for j := range points {
 			if Distance(points[i], points[j]) <= eps {
-				out = append(out, j)
+				out = append(out, int32(j))
 			}
 		}
 		return out
@@ -86,14 +198,15 @@ func Cluster(points []Point, eps float64, minPts int) []int {
 		if labels[i] != unvisited {
 			continue
 		}
-		seeds := neighbours(i)
-		if len(seeds) < minPts {
+		sc.nbr = neighbours(i, sc.nbr[:0])
+		if len(sc.nbr) < minPts {
 			labels[i] = Noise
 			continue
 		}
 		id := next
 		next++
 		labels[i] = id
+		seeds := append(sc.seeds[:0], sc.nbr...)
 		// Expand the cluster over density-reachable points.
 		for q := 0; q < len(seeds); q++ {
 			j := seeds[q]
@@ -104,11 +217,12 @@ func Cluster(points []Point, eps float64, minPts int) []int {
 				continue
 			}
 			labels[j] = id
-			jn := neighbours(j)
-			if len(jn) >= minPts {
-				seeds = append(seeds, jn...)
+			sc.nbr = neighbours(int(j), sc.nbr[:0])
+			if len(sc.nbr) >= minPts {
+				seeds = append(seeds, sc.nbr...)
 			}
 		}
+		sc.seeds = seeds
 	}
 	// Normalize any remaining unvisited (unreachable) to noise; cannot
 	// happen with the loop above but keeps the invariant explicit.

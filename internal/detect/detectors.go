@@ -20,6 +20,15 @@ type Detector interface {
 	FindRegion(ds *metrics.Dataset) (*metrics.Region, bool)
 }
 
+// ViewDetector is an optional Detector extension: detectors that can
+// answer directly over a zero-copy window view spare the always-on
+// monitor a full window materialization on every detection tick.
+type ViewDetector interface {
+	Detector
+	// FindRegionView is FindRegion over a window view.
+	FindRegionView(w metrics.WindowView) (*metrics.Region, bool)
+}
+
 // DBSCANDetector is the paper's own algorithm (Section 7): potential
 // power selection plus DBSCAN clustering.
 type DBSCANDetector struct {
@@ -58,19 +67,34 @@ func (t ThresholdDetector) FindRegion(ds *metrics.Dataset) (*metrics.Region, boo
 	if !ok || col.Num == nil {
 		return metrics.NewRegion(ds.Rows()), false
 	}
+	return t.findRegion(col.Num, ds.Rows())
+}
+
+// FindRegionView implements ViewDetector: only the indicator column is
+// copied out of the window, not the whole dataset.
+func (t ThresholdDetector) FindRegionView(w metrics.WindowView) (*metrics.Region, bool) {
+	col, ok := w.Column(t.Indicator)
+	if !ok || col.Attr.Type != metrics.Numeric {
+		return metrics.NewRegion(w.Rows()), false
+	}
+	vals := col.Num.AppendTo(make([]float64, 0, col.Num.Len()))
+	return t.findRegion(vals, w.Rows())
+}
+
+func (t ThresholdDetector) findRegion(vals []float64, rows int) (*metrics.Region, bool) {
 	z := t.Z
 	if z <= 0 {
 		z = 3
 	}
-	med := stats.Median(col.Num)
+	med := stats.Median(vals)
 	// 1.4826 scales MAD to the standard deviation of a normal
 	// distribution.
-	sigma := 1.4826 * stats.MAD(col.Num)
+	sigma := 1.4826 * stats.MAD(vals)
 	if math.IsNaN(med) || math.IsNaN(sigma) || sigma == 0 {
-		return metrics.NewRegion(ds.Rows()), false
+		return metrics.NewRegion(rows), false
 	}
-	out := metrics.NewRegion(ds.Rows())
-	for i, v := range col.Num {
+	out := metrics.NewRegion(rows)
+	for i, v := range vals {
 		if !math.IsNaN(v) && math.Abs(v-med) > z*sigma {
 			out.Add(i)
 		}

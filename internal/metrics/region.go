@@ -123,6 +123,16 @@ func (r *Region) Runs(fn func(lo, hi int)) {
 	}
 }
 
+// Reset deselects every row, keeping the region's size. Hot paths that
+// rebuild a selection every tick (the streaming detector) reuse one
+// region instead of allocating a fresh one.
+func (r *Region) Reset() {
+	for i := range r.member {
+		r.member[i] = false
+	}
+	r.count = 0
+}
+
 // Clone returns a deep copy.
 func (r *Region) Clone() *Region {
 	out := &Region{member: make([]bool, len(r.member)), count: r.count}

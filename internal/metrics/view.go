@@ -1,0 +1,90 @@
+package metrics
+
+// View is a read-only window over values stored in at most two
+// contiguous segments — exactly the shape a ring buffer exposes. The
+// monitor's sliding window lives in ring buffers and is handed to the
+// detection layer as views, so a detection tick touches no copies; a
+// Dataset is materialized only when an alert actually fires.
+type View[T any] struct{ a, b []T }
+
+// NewView builds a view over two segments; either may be nil. Logical
+// index i < len(a) reads a[i], the rest read b[i-len(a)].
+func NewView[T any](a, b []T) View[T] { return View[T]{a: a, b: b} }
+
+// Len returns the number of values in the view.
+func (v View[T]) Len() int { return len(v.a) + len(v.b) }
+
+// At returns the i-th value.
+func (v View[T]) At(i int) T {
+	if i < len(v.a) {
+		return v.a[i]
+	}
+	return v.b[i-len(v.a)]
+}
+
+// AppendTo appends the viewed values to dst and returns it.
+func (v View[T]) AppendTo(dst []T) []T {
+	dst = append(dst, v.a...)
+	return append(dst, v.b...)
+}
+
+// ColumnView is the view counterpart of Column: one attribute's values
+// over the window. Exactly one of Num or Cat is populated, matching
+// Attr.Type.
+type ColumnView struct {
+	Attr Attribute
+	Num  View[float64]
+	Cat  View[string]
+}
+
+// WindowView is the view counterpart of Dataset: a timestamp-aligned
+// window of samples shared zero-copy between the monitor's ring buffers
+// and the detection layer. The view is only valid until the owner
+// appends more rows; consumers must not retain it.
+type WindowView struct {
+	Time View[int64]
+	Cols []ColumnView
+}
+
+// Rows returns the number of samples in the window.
+func (w WindowView) Rows() int { return w.Time.Len() }
+
+// NumAttrs returns the number of attributes (columns).
+func (w WindowView) NumAttrs() int { return len(w.Cols) }
+
+// ColumnAt returns the i-th column view.
+func (w WindowView) ColumnAt(i int) ColumnView { return w.Cols[i] }
+
+// Column returns the column view with the given name, or false if
+// absent.
+func (w WindowView) Column(name string) (ColumnView, bool) {
+	for _, c := range w.Cols {
+		if c.Attr.Name == name {
+			return c, true
+		}
+	}
+	return ColumnView{}, false
+}
+
+// Materialize copies the window into a standalone Dataset — the same
+// dataset a deep snapshot of the window would have produced. Called on
+// the alert path only, never per detection tick.
+func (w WindowView) Materialize() (*Dataset, error) {
+	ds, err := NewDataset(w.Time.AppendTo(make([]int64, 0, w.Time.Len())))
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range w.Cols {
+		switch c.Attr.Type {
+		case Numeric:
+			if err := ds.AddNumeric(c.Attr.Name, c.Num.AppendTo(make([]float64, 0, c.Num.Len()))); err != nil {
+				return nil, err
+			}
+		case Categorical:
+			if err := ds.AddCategorical(c.Attr.Name, c.Cat.AppendTo(make([]string, 0, c.Cat.Len()))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ds, nil
+}

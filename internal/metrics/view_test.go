@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestViewIndexingAcrossSegments(t *testing.T) {
+	v := NewView([]float64{1, 2}, []float64{3, 4, 5})
+	if v.Len() != 5 {
+		t.Fatalf("len %d", v.Len())
+	}
+	want := []float64{1, 2, 3, 4, 5}
+	for i, w := range want {
+		if got := v.At(i); got != w {
+			t.Fatalf("At(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := v.AppendTo(nil); !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppendTo = %v", got)
+	}
+	if got := v.AppendTo([]float64{9}); !reflect.DeepEqual(got, []float64{9, 1, 2, 3, 4, 5}) {
+		t.Fatalf("AppendTo with prefix = %v", got)
+	}
+}
+
+func TestViewEmptySegments(t *testing.T) {
+	if v := NewView[int](nil, nil); v.Len() != 0 {
+		t.Fatal("nil/nil view not empty")
+	}
+	v := NewView(nil, []int{7})
+	if v.Len() != 1 || v.At(0) != 7 {
+		t.Fatalf("second-segment-only view: len=%d", v.Len())
+	}
+	v = NewView([]int{8}, nil)
+	if v.Len() != 1 || v.At(0) != 8 {
+		t.Fatalf("first-segment-only view: len=%d", v.Len())
+	}
+}
+
+// TestWindowViewMaterialize pins that materializing a split view equals
+// the dataset the values came from — the alert-path snapshot parity.
+func TestWindowViewMaterialize(t *testing.T) {
+	ts := []int64{10, 11, 12, 13}
+	ds := MustNewDataset(ts)
+	if err := ds.AddNumeric("cpu", []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.AddCategorical("state", []string{"a", "b", "c", "d"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same rows presented as wrapped two-segment views.
+	w := WindowView{
+		Time: NewView(ts[:1], ts[1:]),
+		Cols: []ColumnView{
+			{Attr: Attribute{Name: "cpu", Type: Numeric}, Num: NewView([]float64{1, 2, 3}, []float64{4})},
+			{Attr: Attribute{Name: "state", Type: Categorical}, Cat: NewView([]string{"a"}, []string{"b", "c", "d"})},
+		},
+	}
+	if w.Rows() != 4 || w.NumAttrs() != 2 {
+		t.Fatalf("rows=%d attrs=%d", w.Rows(), w.NumAttrs())
+	}
+	got, err := w.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ds) {
+		t.Fatalf("materialized dataset differs from source:\n%+v\nvs\n%+v", got, ds)
+	}
+
+	if col, ok := w.Column("state"); !ok || col.Cat.At(3) != "d" {
+		t.Fatal("Column lookup by name failed")
+	}
+	if _, ok := w.Column("absent"); ok {
+		t.Fatal("Column found an absent attribute")
+	}
+	if w.ColumnAt(0).Attr.Name != "cpu" {
+		t.Fatal("ColumnAt order broken")
+	}
+}
+
+func TestWindowViewMaterializeBadTime(t *testing.T) {
+	w := WindowView{Time: NewView([]int64{5, 5}, nil)}
+	if _, err := w.Materialize(); err == nil {
+		t.Fatal("non-increasing timestamps materialized without error")
+	}
+}

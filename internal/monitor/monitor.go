@@ -2,13 +2,22 @@
 // a stream of per-second statistics — the always-on counterpart of the
 // interactive workflow, mirroring how DBSeer watches a production
 // system. Rows are appended as they are collected; a sliding window is
-// kept; every checkEvery appended rows the detector runs and overlapping
-// findings are deduplicated into alerts.
+// kept in fixed-capacity ring buffers; every checkEvery appended rows
+// the detector runs and overlapping findings are deduplicated into
+// alerts.
+//
+// With the default DBSCAN detector, detection runs through
+// detect.Stream: per-attribute state advances incrementally with the
+// window and no dataset is materialized until an alert actually fires.
+// The emitted alerts are byte-identical to running the batch detector
+// on a deep window snapshot every tick (pinned by golden tests).
 package monitor
 
 import (
 	"errors"
 	"fmt"
+	"log/slog"
+	"time"
 
 	"dbsherlock/internal/detect"
 	"dbsherlock/internal/metrics"
@@ -41,7 +50,7 @@ type Config struct {
 	// previous alert's time span within this horizon (default 120).
 	CooldownSeconds int
 	// Detector is the detection algorithm (default: the Section 7
-	// DBSCAN detector).
+	// DBSCAN detector, which runs on the incremental streaming path).
 	Detector detect.Detector
 	// MinAnomalyRows ignores findings whose largest contiguous run is
 	// shorter than this (default 10): isolated spike rows and short
@@ -54,8 +63,18 @@ type Config struct {
 	WarmupRows int
 	// Registry, when non-nil, receives the monitor's counters
 	// (dbsherlock_monitor_rows_ingested_total, _detections_run_total,
-	// _alerts_total) so they show up on the service's /metrics scrape.
+	// _alerts_total, _snapshot_errors_total, _attrs_selected_total,
+	// _points_clustered_total), the _detection_seconds histogram, and
+	// the _last_epsilon gauge, so they show up on the service's
+	// /metrics scrape.
 	Registry *obs.Registry
+	// Workers bounds the per-attribute fan-out of each streaming
+	// detection pass (<= 0: one worker per CPU). Detection output is
+	// byte-identical for any worker count.
+	Workers int
+	// Logger, when non-nil, receives structured warnings (e.g. window
+	// snapshot failures). Nil stays silent.
+	Logger *slog.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -87,22 +106,33 @@ func (c *Config) fillDefaults() {
 type Monitor struct {
 	cfg     Config
 	onAlert func(Alert)
+	logger  *slog.Logger
 
-	attrs   []metrics.Attribute
-	time    []int64
-	numCols [][]float64
-	catCols [][]string
+	attrs    []metrics.Attribute
+	time     ring[int64]
+	numCols  []ring[float64]
+	catCols  []ring[string]
+	viewCols []metrics.ColumnView // reused scratch for window views
+
+	// stream is the incremental fast path, non-nil when Detector is the
+	// Section 7 DBSCAN detector.
+	stream *detect.Stream
 
 	sinceCheck    int
 	lastAlertFrom int64
 	lastAlertTo   int64
 	alerted       bool
 
-	// Optional observability counters (nil when Config.Registry is nil;
-	// the obs counters are nil-safe no-ops in that case).
-	rowsIngested  *obs.Counter
-	detectionsRun *obs.Counter
-	alertsRaised  *obs.Counter
+	// Optional observability instruments (nil when Config.Registry is
+	// nil; the obs types are nil-safe no-ops in that case).
+	rowsIngested     *obs.Counter
+	detectionsRun    *obs.Counter
+	alertsRaised     *obs.Counter
+	snapshotErrors   *obs.Counter
+	attrsSelected    *obs.Counter
+	pointsClustered  *obs.Counter
+	detectionSeconds *obs.Histogram
+	lastEpsilon      *obs.Gauge
 }
 
 // New builds a monitor; onAlert fires synchronously from Append.
@@ -111,7 +141,10 @@ func New(cfg Config, onAlert func(Alert)) (*Monitor, error) {
 		return nil, errors.New("monitor: onAlert must be non-nil")
 	}
 	cfg.fillDefaults()
-	m := &Monitor{cfg: cfg, onAlert: onAlert}
+	m := &Monitor{cfg: cfg, onAlert: onAlert, logger: cfg.Logger}
+	if m.logger == nil {
+		m.logger = obs.DiscardLogger()
+	}
 	if reg := cfg.Registry; reg != nil {
 		m.rowsIngested = reg.NewCounterFamily(
 			"dbsherlock_monitor_rows_ingested_total",
@@ -122,6 +155,21 @@ func New(cfg Config, onAlert func(Alert)) (*Monitor, error) {
 		m.alertsRaised = reg.NewCounterFamily(
 			"dbsherlock_monitor_alerts_total",
 			"Alerts raised after deduplication and cooldown.").With()
+		m.snapshotErrors = reg.NewCounterFamily(
+			"dbsherlock_monitor_snapshot_errors_total",
+			"Window snapshot failures (malformed window; the pass is skipped).").With()
+		m.attrsSelected = reg.NewCounterFamily(
+			"dbsherlock_monitor_attrs_selected_total",
+			"Attributes selected by potential power, summed over detection passes.").With()
+		m.pointsClustered = reg.NewCounterFamily(
+			"dbsherlock_monitor_points_clustered_total",
+			"Rows clustered with DBSCAN, summed over detection passes.").With()
+		m.detectionSeconds = reg.NewHistogramFamily(
+			"dbsherlock_monitor_detection_seconds",
+			"Wall-clock duration of one detection pass over the window.", nil).With()
+		m.lastEpsilon = reg.NewGaugeFamily(
+			"dbsherlock_monitor_last_epsilon",
+			"DBSCAN epsilon chosen from the k-dist list by the most recent clustering pass.").With()
 	}
 	return m, nil
 }
@@ -134,7 +182,7 @@ func (m *Monitor) Stats() (rowsIngested, detectionsRun, alertsRaised int64) {
 }
 
 // WindowSize returns the number of rows currently buffered.
-func (m *Monitor) WindowSize() int { return len(m.time) }
+func (m *Monitor) WindowSize() int { return m.time.len() }
 
 // Append ingests a chunk of aligned statistics (e.g. one collector
 // flush). The first chunk fixes the schema; later chunks must match it
@@ -150,28 +198,34 @@ func (m *Monitor) Append(ds *metrics.Dataset) error {
 		return err
 	}
 	ts := ds.Timestamps()
-	if len(m.time) > 0 && ts[0] <= m.time[len(m.time)-1] {
+	if m.time.len() > 0 && ts[0] <= m.time.last() {
 		return fmt.Errorf("monitor: chunk starts at %d, window already ends at %d",
-			ts[0], m.time[len(m.time)-1])
+			ts[0], m.time.last())
 	}
 
-	for i := 0; i < ds.Rows(); i++ {
-		m.time = append(m.time, ts[i])
-		ni, ci := 0, 0
-		for a := 0; a < ds.NumAttrs(); a++ {
-			col := ds.ColumnAt(a)
-			if col.Attr.Type == metrics.Numeric {
-				m.numCols[ni] = append(m.numCols[ni], col.Num[i])
-				ni++
-			} else {
-				m.catCols[ci] = append(m.catCols[ci], col.Cat[i])
-				ci++
+	ni, ci := 0, 0
+	for a := 0; a < ds.NumAttrs(); a++ {
+		col := ds.ColumnAt(a)
+		if col.Attr.Type == metrics.Numeric {
+			for _, v := range col.Num {
+				m.numCols[ni].push(v)
 			}
+			ni++
+		} else {
+			for _, v := range col.Cat {
+				m.catCols[ci].push(v)
+			}
+			ci++
 		}
-		m.sinceCheck++
 	}
+	for _, t := range ts {
+		m.time.push(t)
+	}
+	m.sinceCheck += ds.Rows()
 	m.rowsIngested.Add(int64(ds.Rows()))
-	m.trim()
+	if m.stream != nil {
+		m.stream.Append(ds)
+	}
 
 	if m.sinceCheck >= m.cfg.CheckEvery {
 		m.sinceCheck = 0
@@ -182,12 +236,16 @@ func (m *Monitor) Append(ds *metrics.Dataset) error {
 
 func (m *Monitor) initSchema(ds *metrics.Dataset) {
 	m.attrs = ds.Attributes()
+	m.time = newRing[int64](m.cfg.WindowSeconds)
 	for _, a := range m.attrs {
 		if a.Type == metrics.Numeric {
-			m.numCols = append(m.numCols, nil)
+			m.numCols = append(m.numCols, newRing[float64](m.cfg.WindowSeconds))
 		} else {
-			m.catCols = append(m.catCols, nil)
+			m.catCols = append(m.catCols, newRing[string](m.cfg.WindowSeconds))
 		}
+	}
+	if dd, isDBSCAN := m.cfg.Detector.(detect.DBSCANDetector); isDBSCAN {
+		m.stream = detect.NewStream(dd.Params, m.cfg.WindowSeconds, m.cfg.Workers)
 	}
 }
 
@@ -204,62 +262,66 @@ func (m *Monitor) checkSchema(ds *metrics.Dataset) error {
 	return nil
 }
 
-// trim drops rows older than the window.
-func (m *Monitor) trim() {
-	excess := len(m.time) - m.cfg.WindowSeconds
-	if excess <= 0 {
-		return
-	}
-	m.time = m.time[excess:]
-	for i := range m.numCols {
-		m.numCols[i] = m.numCols[i][excess:]
-	}
-	for i := range m.catCols {
-		m.catCols[i] = m.catCols[i][excess:]
-	}
-}
-
-// snapshot materializes the window as a Dataset.
-func (m *Monitor) snapshot() (*metrics.Dataset, error) {
-	ds, err := metrics.NewDataset(append([]int64(nil), m.time...))
-	if err != nil {
-		return nil, err
-	}
+// view exposes the window zero-copy as ring segments. Valid only until
+// the next Append.
+func (m *Monitor) view() metrics.WindowView {
+	m.viewCols = m.viewCols[:0]
 	ni, ci := 0, 0
 	for _, a := range m.attrs {
+		cv := metrics.ColumnView{Attr: a}
 		if a.Type == metrics.Numeric {
-			if err := ds.AddNumeric(a.Name, append([]float64(nil), m.numCols[ni]...)); err != nil {
-				return nil, err
-			}
+			x, y := m.numCols[ni].segs()
+			cv.Num = metrics.NewView(x, y)
 			ni++
 		} else {
-			if err := ds.AddCategorical(a.Name, append([]string(nil), m.catCols[ci]...)); err != nil {
-				return nil, err
-			}
+			x, y := m.catCols[ci].segs()
+			cv.Cat = metrics.NewView(x, y)
 			ci++
 		}
+		m.viewCols = append(m.viewCols, cv)
 	}
-	return ds, nil
+	ta, tb := m.time.segs()
+	return metrics.WindowView{Time: metrics.NewView(ta, tb), Cols: m.viewCols}
+}
+
+// snapshot materializes the window as a Dataset — alert path and
+// non-view custom detectors only, never the streaming tick.
+func (m *Monitor) snapshot() (*metrics.Dataset, error) {
+	return m.view().Materialize()
 }
 
 func (m *Monitor) runDetection() {
-	if len(m.time) < m.cfg.WarmupRows {
+	if m.time.len() < m.cfg.WarmupRows {
 		return
 	}
 	m.detectionsRun.Inc()
-	window, err := m.snapshot()
-	if err != nil {
-		return // a malformed window cannot alert; next append rebuilds it
-	}
+	start := time.Now()
+	defer func() { m.detectionSeconds.Observe(time.Since(start)) }()
+
+	var window *metrics.Dataset // materialized lazily, on the alert path
 	var region *metrics.Region
 	var ok bool
 	var selected []string
-	if dd, isDBSCAN := m.cfg.Detector.(detect.DBSCANDetector); isDBSCAN {
-		// Run the full Section 7 pipeline once so the alert can carry
-		// the selected attributes without a second detection pass.
-		res := detect.Detect(window, dd.Params)
+	if m.stream != nil {
+		// Incremental Section 7 pipeline: no window copy, and the alert
+		// can carry the selected attributes without a second pass.
+		res := m.stream.Detect()
 		region, ok, selected = res.Abnormal, !res.Abnormal.Empty(), res.SelectedAttrs
+		m.attrsSelected.Add(int64(len(selected)))
+		if res.Epsilon > 0 {
+			m.pointsClustered.Add(int64(m.time.len()))
+			m.lastEpsilon.Set(res.Epsilon)
+		}
+	} else if vd, isView := m.cfg.Detector.(detect.ViewDetector); isView {
+		region, ok = vd.FindRegionView(m.view())
 	} else {
+		var err error
+		window, err = m.snapshot()
+		if err != nil {
+			m.snapshotErrors.Inc()
+			m.logger.Warn("monitor: window snapshot failed, skipping detection pass", "err", err)
+			return
+		}
 		region, ok = m.cfg.Detector.FindRegion(window)
 	}
 	if !ok {
@@ -269,27 +331,45 @@ func (m *Monitor) runDetection() {
 	if runHi-runLo < m.cfg.MinAnomalyRows {
 		return
 	}
-	from := m.time[runLo]
-	to := m.time[runHi-1] + 1
+	from := m.time.at(runLo)
+	to := m.time.at(runHi-1) + 1
 
-	// Deduplicate: skip alerts overlapping the previous alert's span
-	// within the cooldown horizon.
-	if m.alerted && from <= m.lastAlertTo+int64(m.cfg.CooldownSeconds) {
+	// Deduplicate: skip alerts whose span overlaps the previous alert's
+	// full remembered span [lastAlertFrom, lastAlertTo] within the
+	// cooldown horizon.
+	if m.alerted && from <= m.lastAlertTo+int64(m.cfg.CooldownSeconds) && to >= m.lastAlertFrom {
 		// Extend the remembered span so a long anomaly keeps being
 		// suppressed rather than re-alerting every check.
 		if to > m.lastAlertTo {
 			m.lastAlertTo = to
 		}
+		if from < m.lastAlertFrom {
+			m.lastAlertFrom = from
+		}
 		return
+	}
+
+	if window == nil {
+		var err error
+		window, err = m.snapshot()
+		if err != nil {
+			// Dedup state deliberately not committed: the next pass can
+			// retry the alert.
+			m.snapshotErrors.Inc()
+			m.logger.Warn("monitor: window snapshot failed, dropping alert", "err", err)
+			return
+		}
 	}
 	m.alerted = true
 	m.lastAlertFrom, m.lastAlertTo = from, to
 
 	m.alertsRaised.Inc()
+	// The streaming detector reuses its region and attribute scratch
+	// across ticks; clone what escapes into the alert.
 	m.onAlert(Alert{
-		Window: window, Region: region,
+		Window: window, Region: region.Clone(),
 		FromTime: from, ToTime: to,
-		SelectedAttrs: selected,
+		SelectedAttrs: append([]string(nil), selected...),
 	})
 }
 

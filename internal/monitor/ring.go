@@ -1,0 +1,63 @@
+package monitor
+
+// ring is a fixed-capacity circular buffer holding the most recent
+// pushed values. It replaces the monitor's old append-and-reslice
+// column storage, whose trim() kept resliced prefixes alive in the
+// backing arrays (retained-prefix growth) and reallocated as the
+// buffers grew. A ring allocates once and evicts by overwrite.
+type ring[T any] struct {
+	buf  []T
+	head int // index of the logical first (oldest) element
+	n    int
+}
+
+func newRing[T any](capacity int) ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return ring[T]{buf: make([]T, capacity)}
+}
+
+func (r *ring[T]) len() int { return r.n }
+
+// at returns the i-th oldest value, 0 <= i < len.
+func (r *ring[T]) at(i int) T { return r.buf[(r.head+i)%len(r.buf)] }
+
+// last returns the newest value; the ring must be non-empty.
+func (r *ring[T]) last() T { return r.at(r.n - 1) }
+
+// push appends v, evicting the oldest value when full.
+func (r *ring[T]) push(v T) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = v
+		r.n++
+		return
+	}
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// popFront drops the k oldest values (clamped to the current length).
+func (r *ring[T]) popFront(k int) {
+	if k > r.n {
+		k = r.n
+	}
+	if k <= 0 {
+		return
+	}
+	r.head = (r.head + k) % len(r.buf)
+	r.n -= k
+}
+
+// segs returns the buffered values, oldest first, as at most two
+// contiguous slices of the backing array — the zero-copy window view.
+func (r *ring[T]) segs() (a, b []T) {
+	if r.n == 0 {
+		return nil, nil
+	}
+	end := r.head + r.n
+	if end <= len(r.buf) {
+		return r.buf[r.head:end], nil
+	}
+	return r.buf[r.head:], r.buf[:end-len(r.buf)]
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
@@ -38,6 +39,28 @@ func (c *Counter) Value() int64 {
 		return 0
 	}
 	return c.n.Load()
+}
+
+// Gauge is a metric that can go up and down, stored as float64 bits. A
+// nil *Gauge is a valid no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last value set (zero initially).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
 }
 
 // Histogram is a fixed-bucket latency histogram (cumulative buckets,
@@ -79,19 +102,23 @@ func (h *Histogram) Count() int64 {
 type family struct {
 	name string
 	help string
-	typ  string // "counter" or "histogram"
+	typ  string // "counter", "gauge", or "histogram"
 
 	buckets []float64 // histogram families only
 
 	mu       sync.Mutex
 	order    []string
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	labels   map[string]string // child key -> rendered label string
 }
 
 // CounterFamily hands out labeled counters of one family.
 type CounterFamily struct{ f *family }
+
+// GaugeFamily hands out labeled gauges of one family.
+type GaugeFamily struct{ f *family }
 
 // HistogramFamily hands out labeled histograms of one family.
 type HistogramFamily struct{ f *family }
@@ -118,6 +145,7 @@ func (r *Registry) family(name, help, typ string, buckets []float64) *family {
 	f := &family{
 		name: name, help: help, typ: typ, buckets: buckets,
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		labels:   make(map[string]string),
 	}
@@ -129,6 +157,11 @@ func (r *Registry) family(name, help, typ string, buckets []float64) *family {
 // NewCounterFamily registers (or returns the existing) counter family.
 func (r *Registry) NewCounterFamily(name, help string) *CounterFamily {
 	return &CounterFamily{f: r.family(name, help, "counter", nil)}
+}
+
+// NewGaugeFamily registers (or returns the existing) gauge family.
+func (r *Registry) NewGaugeFamily(name, help string) *GaugeFamily {
+	return &GaugeFamily{f: r.family(name, help, "gauge", nil)}
 }
 
 // NewHistogramFamily registers (or returns the existing) histogram
@@ -191,6 +224,23 @@ func (cf *CounterFamily) With(labelPairs ...string) *Counter {
 	return c
 }
 
+// With returns the gauge for the given "key, value, ..." label pairs,
+// creating it on first use.
+func (gf *GaugeFamily) With(labelPairs ...string) *Gauge {
+	f := gf.f
+	key, rendered := labelKey(labelPairs)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if g, ok := f.gauges[key]; ok {
+		return g
+	}
+	g := &Gauge{}
+	f.gauges[key] = g
+	f.labels[key] = rendered
+	f.order = append(f.order, key)
+	return g
+}
+
 // With returns the histogram for the given "key, value, ..." label
 // pairs, creating it on first use.
 func (hf *HistogramFamily) With(labelPairs ...string) *Histogram {
@@ -234,11 +284,14 @@ func (f *family) write(w io.Writer) {
 		f.mu.Lock()
 		labels := f.labels[key]
 		c := f.counters[key]
+		g := f.gauges[key]
 		h := f.hists[key]
 		f.mu.Unlock()
 		switch {
 		case c != nil:
 			fmt.Fprintf(w, "%s%s %d\n", f.name, labels, c.Value())
+		case g != nil:
+			fmt.Fprintf(w, "%s%s %g\n", f.name, labels, g.Value())
 		case h != nil:
 			f.writeHistogram(w, labels, h)
 		}

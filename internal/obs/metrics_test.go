@@ -138,3 +138,44 @@ func TestRegistryConcurrentUse(t *testing.T) {
 		t.Errorf("concurrent counter = %d, want 1600", got)
 	}
 }
+
+func TestGaugeExposition(t *testing.T) {
+	reg := NewRegistry()
+	gf := reg.NewGaugeFamily("queue_depth", "Current depth.")
+	g := gf.With("q", "ingest")
+	g.Set(7)
+	g.Set(3.5) // gauges go down too
+	gf.With().Set(-1)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP queue_depth Current depth.",
+		"# TYPE queue_depth gauge",
+		`queue_depth{q="ingest"} 3.5`,
+		"queue_depth -1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if g.Value() != 3.5 {
+		t.Errorf("Value() = %v, want 3.5", g.Value())
+	}
+}
+
+func TestGaugeNilAndIdempotent(t *testing.T) {
+	var g *Gauge
+	g.Set(9) // no-op
+	if g.Value() != 0 {
+		t.Error("nil gauge should read zero")
+	}
+	reg := NewRegistry()
+	a := reg.NewGaugeFamily("dup_gauge", "h")
+	b := reg.NewGaugeFamily("dup_gauge", "h")
+	a.With().Set(4)
+	if got := b.With().Value(); got != 4 {
+		t.Errorf("re-registered gauge family does not share children: got %v", got)
+	}
+}
