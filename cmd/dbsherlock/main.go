@@ -20,10 +20,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"dbsherlock"
 	"dbsherlock/internal/plot"
@@ -34,18 +37,22 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C cancels the in-flight diagnosis instead of killing the
+	// process mid-write; the engine returns context.Canceled promptly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "plot":
 		err = runPlot(os.Args[2:])
 	case "detect":
-		err = runDetect(os.Args[2:])
+		err = runDetect(ctx, os.Args[2:])
 	case "explain":
-		err = runExplain(os.Args[2:])
+		err = runExplain(ctx, os.Args[2:])
 	case "learn":
-		err = runLearn(os.Args[2:])
+		err = runLearn(ctx, os.Args[2:])
 	case "diagnose":
-		err = runDiagnose(os.Args[2:])
+		err = runDiagnose(ctx, os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -107,7 +114,7 @@ func runPlot(args []string) error {
 	return nil
 }
 
-func runDetect(args []string) error {
+func runDetect(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV dataset")
 	if err := fs.Parse(args); err != nil {
@@ -121,7 +128,7 @@ func runDetect(args []string) error {
 		return err
 	}
 	a := dbsherlock.MustNew()
-	res, err := a.Detect(ds)
+	res, err := a.DetectContext(ctx, ds)
 	if err != nil {
 		return err
 	}
@@ -162,7 +169,7 @@ func summarizeRuns(idx []int) string {
 	return strings.Join(parts, ", ")
 }
 
-func runExplain(args []string) error {
+func runExplain(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV dataset")
 	from := fs.Int("from", -1, "abnormal region start (row index, inclusive)")
@@ -193,7 +200,7 @@ func runExplain(args []string) error {
 	var abnormal *dbsherlock.Region
 	switch {
 	case *auto:
-		res, err := a.Detect(ds)
+		res, err := a.DetectContext(ctx, ds)
 		if err != nil {
 			return err
 		}
@@ -208,10 +215,11 @@ func runExplain(args []string) error {
 		return fmt.Errorf("explain: specify -from/-to or -auto")
 	}
 
-	expl, err := a.Explain(ds, abnormal, nil)
+	res, err := a.Diagnose(ctx, dbsherlock.DiagnoseRequest{Dataset: ds, Abnormal: abnormal})
 	if err != nil {
 		return err
 	}
+	expl := res.Explanation
 	fmt.Printf("%d explanatory predicates:\n", len(expl.Predicates))
 	for _, p := range expl.Predicates {
 		fmt.Printf("  %s\n", p)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -62,7 +63,7 @@ func TestLearnDiagnoseRoundTrip(t *testing.T) {
 	}
 	f.Close()
 
-	if err := runLearn([]string{
+	if err := runLearn(context.Background(), []string{
 		"-in", csvPath, "-from", "120", "-to", "180",
 		"-cause", "Lock Contention", "-remedy", "spread the district",
 		"-models", modelPath,
@@ -72,13 +73,13 @@ func TestLearnDiagnoseRoundTrip(t *testing.T) {
 	if _, err := os.Stat(modelPath); err != nil {
 		t.Fatalf("model store not written: %v", err)
 	}
-	if err := runDiagnose([]string{
+	if err := runDiagnose(context.Background(), []string{
 		"-in", csvPath, "-from", "120", "-to", "180", "-models", modelPath,
 	}); err != nil {
 		t.Fatalf("diagnose: %v", err)
 	}
 	// Diagnosing against an empty store must fail clearly.
-	if err := runDiagnose([]string{
+	if err := runDiagnose(context.Background(), []string{
 		"-in", csvPath, "-from", "120", "-to", "180",
 		"-models", filepath.Join(dir, "missing.json"),
 	}); err == nil {
@@ -87,7 +88,7 @@ func TestLearnDiagnoseRoundTrip(t *testing.T) {
 }
 
 func TestLearnValidation(t *testing.T) {
-	if err := runLearn([]string{"-in", "x.csv"}); err == nil {
+	if err := runLearn(context.Background(), []string{"-in", "x.csv"}); err == nil {
 		t.Error("learn without -cause/-from/-to: want error")
 	}
 }
@@ -127,16 +128,16 @@ func TestRunPlotAndDetectAndExplain(t *testing.T) {
 	if err := runPlot([]string{"-in", trace, "-attr", "ghost"}); err == nil {
 		t.Error("plot with missing attr: want error")
 	}
-	if err := runDetect([]string{"-in", trace}); err != nil {
+	if err := runDetect(context.Background(), []string{"-in", trace}); err != nil {
 		t.Errorf("detect: %v", err)
 	}
-	if err := runExplain([]string{"-in", trace, "-from", "100", "-to", "150", "-rules"}); err != nil {
+	if err := runExplain(context.Background(), []string{"-in", trace, "-from", "100", "-to", "150", "-rules"}); err != nil {
 		t.Errorf("explain: %v", err)
 	}
-	if err := runExplain([]string{"-in", trace}); err == nil {
+	if err := runExplain(context.Background(), []string{"-in", trace}); err == nil {
 		t.Error("explain without region: want error")
 	}
-	if err := runExplain([]string{"-in", trace, "-auto"}); err != nil {
+	if err := runExplain(context.Background(), []string{"-in", trace, "-auto"}); err != nil {
 		// Auto-detection can legitimately find nothing on a short trace;
 		// only a hard failure is a bug.
 		t.Logf("explain -auto: %v (acceptable on short traces)", err)
@@ -147,13 +148,13 @@ func TestRunCommandsRequireInput(t *testing.T) {
 	if err := runPlot(nil); err == nil {
 		t.Error("plot without -in: want error")
 	}
-	if err := runDetect(nil); err == nil {
+	if err := runDetect(context.Background(), nil); err == nil {
 		t.Error("detect without -in: want error")
 	}
-	if err := runExplain(nil); err == nil {
+	if err := runExplain(context.Background(), nil); err == nil {
 		t.Error("explain without -in: want error")
 	}
-	if err := runDiagnose(nil); err == nil {
+	if err := runDiagnose(context.Background(), nil); err == nil {
 		t.Error("diagnose without -in: want error")
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,7 +37,7 @@ func saveModels(a *dbsherlock.Analyzer, path string) error {
 
 // runLearn implements `dbsherlock learn`: diagnose an anomaly, label it
 // with the confirmed cause, and persist the (merged) causal model.
-func runLearn(args []string) error {
+func runLearn(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("learn", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV dataset")
 	from := fs.Int("from", -1, "abnormal region start (row index, inclusive)")
@@ -63,7 +64,7 @@ func runLearn(args []string) error {
 		return err
 	}
 	abnormal := dbsherlock.RegionFromRange(ds.Rows(), *from, *to)
-	model, err := a.LearnCause(*cause, ds, abnormal, nil)
+	model, err := a.LearnCauseContext(ctx, *cause, ds, abnormal, nil)
 	if err != nil {
 		return err
 	}
@@ -82,7 +83,7 @@ func runLearn(args []string) error {
 
 // runDiagnose implements `dbsherlock diagnose`: rank the stored causal
 // models against an anomaly and print causes plus recommended actions.
-func runDiagnose(args []string) error {
+func runDiagnose(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
 	in := fs.String("in", "", "input CSV dataset")
 	from := fs.Int("from", -1, "abnormal region start (row index, inclusive)")
@@ -135,10 +136,11 @@ func runDiagnose(args []string) error {
 		return fmt.Errorf("diagnose: specify -from/-to or -auto")
 	}
 
-	ranked, err := a.RankAll(ds, abnormal, nil)
+	dres, err := a.Diagnose(ctx, dbsherlock.DiagnoseRequest{Dataset: ds, Abnormal: abnormal})
 	if err != nil {
 		return err
 	}
+	ranked := dres.AllCauses
 	fmt.Println("likely causes:")
 	shown := ranked
 	if len(shown) > *top {

@@ -17,8 +17,17 @@
 // every /v1/explain response, -pprof mounts net/http/pprof under
 // /debug/pprof/, and -max-upload caps dataset upload bodies.
 //
+// Request-lifecycle flags: -max-inflight turns on admission control for
+// the compute endpoints (excess load is shed with 429 + Retry-After),
+// -timeout bounds each compute request with a deadline the diagnosis
+// engine honors mid-flight, -max-datasets caps the in-memory dataset
+// registry (oldest evicted first), and -drain bounds how long a
+// SIGINT/SIGTERM shutdown waits for in-flight requests.
+//
 // The model store (if given) is loaded at startup and written back on
-// SIGINT/SIGTERM shutdown.
+// SIGINT/SIGTERM shutdown. Shutdown is graceful: the listener closes,
+// in-flight requests drain (up to -drain), logs flush, and the process
+// exits 0.
 package main
 
 import (
@@ -42,15 +51,19 @@ import (
 
 // config collects the daemon's flag values.
 type config struct {
-	addr      string
-	models    string
-	theta     float64
-	workers   int
-	logLevel  string
-	logFormat string
-	trace     bool
-	pprof     bool
-	maxUpload int64
+	addr        string
+	models      string
+	theta       float64
+	workers     int
+	logLevel    string
+	logFormat   string
+	trace       bool
+	pprof       bool
+	maxUpload   int64
+	maxInflight int
+	maxDatasets int
+	timeout     time.Duration
+	drain       time.Duration
 }
 
 func main() {
@@ -64,6 +77,10 @@ func main() {
 	flag.BoolVar(&cfg.trace, "trace", false, "attach per-stage diagnosis traces to /v1/explain responses")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Int64Var(&cfg.maxUpload, "max-upload", server.DefaultMaxUploadBytes, "maximum dataset upload body size in bytes")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "admission control: max concurrent compute requests (0 = unlimited)")
+	flag.IntVar(&cfg.maxDatasets, "max-datasets", 0, "max uploaded datasets held in memory, oldest evicted (0 = unlimited)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "per-request deadline for compute endpoints (0 = none)")
+	flag.DurationVar(&cfg.drain, "drain", 5*time.Second, "graceful-shutdown drain window for in-flight requests")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		log.Fatal(err)
@@ -104,10 +121,30 @@ func run(cfg config) error {
 	if cfg.pprof {
 		serverOpts = append(serverOpts, server.WithPprof())
 	}
+	if cfg.maxInflight > 0 {
+		serverOpts = append(serverOpts, server.WithMaxInflight(cfg.maxInflight))
+	}
+	if cfg.maxDatasets > 0 {
+		serverOpts = append(serverOpts, server.WithMaxDatasets(cfg.maxDatasets))
+	}
+	if cfg.timeout > 0 {
+		serverOpts = append(serverOpts, server.WithTimeout(cfg.timeout))
+	}
+	// Write/idle timeouts protect the daemon from slow or dead clients;
+	// the write timeout leaves headroom beyond the compute deadline so a
+	// slow diagnosis is cut off by its own context, not by a mid-response
+	// connection reset.
+	writeTimeout := 2 * time.Minute
+	if cfg.timeout > 0 && cfg.timeout+30*time.Second > writeTimeout {
+		writeTimeout = cfg.timeout + 30*time.Second
+	}
 	srv := &http.Server{
 		Addr:              cfg.addr,
 		Handler:           server.New(analyzer, serverOpts...),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
@@ -115,7 +152,9 @@ func run(cfg config) error {
 		slog.String("addr", cfg.addr),
 		slog.String("model_store", storeName(cfg.models)),
 		slog.Bool("tracing", cfg.trace),
-		slog.Bool("pprof", cfg.pprof))
+		slog.Bool("pprof", cfg.pprof),
+		slog.Int("max_inflight", cfg.maxInflight),
+		slog.Duration("timeout", cfg.timeout))
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -126,10 +165,15 @@ func run(cfg config) error {
 		logger.Info("shutting down", slog.String("signal", sig.String()))
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Graceful drain: stop accepting, let in-flight requests finish
+	// within the drain window, then force-close whatever is left so the
+	// process still exits cleanly under a wedged client.
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		return err
+		logger.Warn("drain window expired, closing remaining connections",
+			slog.Duration("drain", cfg.drain), slog.Any("err", err))
+		_ = srv.Close()
 	}
 	if cfg.models != "" {
 		if err := saveStore(analyzer, cfg.models); err != nil {
@@ -137,6 +181,7 @@ func run(cfg config) error {
 		}
 		logger.Info("model store saved", slog.String("path", cfg.models))
 	}
+	logger.Info("dbsherlockd stopped")
 	return nil
 }
 

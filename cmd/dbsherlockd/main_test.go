@@ -1,0 +1,263 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"dbsherlock"
+)
+
+// buildDaemon compiles dbsherlockd once per test binary.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dbsherlockd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr reserves a listen address. The port is released just before
+// the daemon starts, so a clash is possible but vanishingly unlikely.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+}
+
+// TestGracefulShutdownDrainsInflight is the end-to-end lifecycle test:
+// kill -TERM while a diagnosis is in flight; the daemon must let it
+// finish (200 to the client) and exit 0.
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real daemon")
+	}
+	bin := buildDaemon(t)
+	addr := freeAddr(t)
+	base := "http://" + addr
+
+	var logBuf bytes.Buffer
+	cmd := exec.Command(bin, "-addr", addr, "-drain", "30s", "-log-format", "json")
+	cmd.Stderr = &logBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	waitHealthy(t, base)
+
+	// Upload a long trace so the explain has real work in flight.
+	cfg := dbsherlock.DefaultTestbed()
+	cfg.Seed = 9
+	ds, _, err := dbsherlock.Simulate(cfg, 0, 1800, []dbsherlock.Injection{
+		{Kind: dbsherlock.LockContention, Start: 600, Duration: 600},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := dbsherlock.WriteCSV(&csv, ds); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/datasets", "text/csv", &csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d", resp.StatusCode)
+	}
+
+	// Fire the explain, then SIGTERM while it runs.
+	explainDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/explain", "application/json",
+			strings.NewReader(`{"dataset":"ds-1","from":600,"to":1200}`))
+		if err != nil {
+			explainDone <- -1
+			return
+		}
+		defer resp.Body.Close()
+		explainDone <- resp.StatusCode
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	if code := <-explainDone; code != http.StatusOK {
+		t.Errorf("in-flight explain finished with %d, want 200 (drained)", code)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("daemon exit: %v (want 0)\nlogs:\n%s", err, logBuf.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	for _, want := range []string{"shutting down", "dbsherlockd stopped"} {
+		if !strings.Contains(logBuf.String(), want) {
+			t.Errorf("shutdown log missing %q:\n%s", want, logBuf.String())
+		}
+	}
+}
+
+// TestLifecycleFlagsAccepted boots the daemon with every lifecycle flag
+// set and checks admission control is actually wired: a saturated
+// compute endpoint sheds with 429.
+func TestLifecycleFlagsAccepted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real daemon")
+	}
+	bin := buildDaemon(t)
+	addr := freeAddr(t)
+	base := "http://" + addr
+
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-max-inflight", "1",
+		"-max-datasets", "4",
+		"-timeout", "30s",
+		"-drain", "5s")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	waitHealthy(t, base)
+
+	cfg := dbsherlock.DefaultTestbed()
+	cfg.Seed = 10
+	ds, _, err := dbsherlock.Simulate(cfg, 0, 1800, []dbsherlock.Injection{
+		{Kind: dbsherlock.LockContention, Start: 600, Duration: 600},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := dbsherlock.WriteCSV(&csv, ds); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/datasets", "text/csv", &csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Pin the single inflight slot deterministically: an admitted explain
+	// blocks reading its trickled request body until we finish it. The
+	// diagnosis itself runs in single-digit milliseconds, so a plain
+	// burst cannot reliably observe saturation end to end.
+	pr, pw := io.Pipe()
+	pinned := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/explain", "application/json", pr)
+		if err != nil {
+			pinned <- -1
+			return
+		}
+		defer resp.Body.Close()
+		pinned <- resp.StatusCode
+	}()
+	waitMetric(t, base, `dbsherlock_http_inflight{endpoint="POST /v1/explain"} 1`)
+
+	// Queue depth equals capacity (1), so a burst of 4 sheds at least 2.
+	codes := make(chan int, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			resp, err := http.Post(base+"/v1/explain", "application/json",
+				strings.NewReader(`{"dataset":"ds-1","from":600,"to":1200}`))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			defer resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	waitMetric(t, base, `dbsherlock_http_rejected_total{endpoint="POST /v1/explain"}`)
+
+	// Complete the pinned request; everything still queued drains.
+	if _, err := pw.Write([]byte(`{"dataset":"ds-1","from":600,"to":1200}`)); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if code := <-pinned; code != http.StatusOK {
+		t.Errorf("pinned explain status = %d, want 200", code)
+	}
+	var ok2, shed int
+	for i := 0; i < 4; i++ {
+		switch <-codes {
+		case http.StatusOK:
+			ok2++
+		case http.StatusTooManyRequests:
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Error("capacity-1 burst shed nothing; admission control not wired")
+	}
+	if ok2+shed != 4 {
+		t.Errorf("ok = %d, shed = %d; burst requests went missing", ok2, shed)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit: %v (want 0)", err)
+	}
+}
+
+// waitMetric polls /metrics until a line with the given prefix appears.
+func waitMetric(t *testing.T, base, prefix string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/metrics")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			for _, line := range strings.Split(string(body), "\n") {
+				if strings.HasPrefix(line, prefix) {
+					return
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("metric %q never appeared", prefix)
+}

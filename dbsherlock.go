@@ -6,15 +6,16 @@
 // and fed back, with ranked human-readable causes backed by causal
 // models.
 //
-// Typical use:
+// Typical use (Diagnose is the context-first entry point; the legacy
+// Explain/RankAll methods remain as thin wrappers):
 //
 //	a := dbsherlock.New()
-//	expl, err := a.Explain(ds, abnormalRegion, nil)
-//	// ... the DBA inspects expl.Predicates, identifies the cause ...
+//	res, err := a.Diagnose(ctx, dbsherlock.DiagnoseRequest{Dataset: ds, Abnormal: abnormalRegion})
+//	// ... the DBA inspects res.Explanation.Predicates, identifies the cause ...
 //	a.LearnCause("Network Congestion", ds, abnormalRegion, nil)
 //	// future anomalies now rank "Network Congestion" by confidence:
-//	expl, err = a.Explain(ds2, abnormal2, nil)
-//	for _, c := range expl.Causes { fmt.Println(c.Cause, c.Confidence) }
+//	res, err = a.Diagnose(ctx, dbsherlock.DiagnoseRequest{Dataset: ds2, Abnormal: abnormal2})
+//	for _, c := range res.Explanation.Causes { fmt.Println(c.Cause, c.Confidence) }
 //
 // The package also ships the synthetic OLTP testbed used by the
 // reproduction's experiments (see Simulate), an automatic anomaly
@@ -23,10 +24,12 @@
 package dbsherlock
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"dbsherlock/internal/causal"
 	"dbsherlock/internal/core"
@@ -218,25 +221,107 @@ func resolveRegions(ds *Dataset, abnormal, normal *Region) (*Region, *Region, er
 	return abnormal, normal, nil
 }
 
+// DiagnoseRequest is the input of Diagnose, the context-first entry
+// point of the diagnosis engine.
+type DiagnoseRequest struct {
+	// Dataset is the statistics table to diagnose. Required.
+	Dataset *Dataset
+	// Abnormal selects the anomalous rows. Required and non-empty.
+	Abnormal *Region
+	// Normal selects the comparison rows; nil means every row outside
+	// Abnormal (the paper's convention).
+	Normal *Region
+	// Trace forces a per-stage diagnosis trace for this call, regardless
+	// of the WithTracing option.
+	Trace bool
+	// Timeout, when positive, bounds this call: the engine returns
+	// context.DeadlineExceeded once it expires, even if the parent
+	// context has no deadline.
+	Timeout time.Duration
+}
+
+// DiagnoseResult is the output of Diagnose: the full explanation (the
+// legacy Explain result), the complete model ranking (the legacy
+// RankAll result), and the trace snapshot when tracing was requested.
+type DiagnoseResult struct {
+	// Explanation carries the generated predicates, their
+	// separation-power ranking, pruned secondary symptoms, and the causes
+	// whose confidence clears lambda.
+	Explanation *Explanation
+	// AllCauses ranks every known causal model by confidence without
+	// applying the lambda threshold (RankAll semantics), so callers can
+	// inspect margins.
+	AllCauses []RankedCause
+	// Trace is the per-stage diagnosis trace, non-nil only when tracing
+	// was requested (DiagnoseRequest.Trace or WithTracing).
+	Trace *TraceSnapshot
+}
+
+// Diagnose runs one full diagnosis under a context: it generates
+// predicates with high separation power (Algorithm 1), prunes secondary
+// symptoms if domain knowledge is installed, and ranks every known
+// causal model by confidence (Equation 3). It subsumes the legacy
+// Explain, ExplainTraced, RankAll, and RankAllTraced methods, which
+// remain as thin wrappers.
+//
+// Cancellation is cooperative and prompt: the engine checks ctx between
+// per-attribute and per-model work items and returns ctx.Err() without
+// finishing the pass. An uncancelled call produces output byte-identical
+// to the legacy API.
+func (a *Analyzer) Diagnose(ctx context.Context, req DiagnoseRequest) (*DiagnoseResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if req.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		defer cancel()
+	}
+	var tr *obs.Trace
+	if req.Trace || a.tracing {
+		tr = obs.NewTrace(core.ResolveWorkers(a.params.Workers))
+	}
+	expl, ranked, err := a.explainCtx(ctx, req.Dataset, req.Abnormal, req.Normal, tr)
+	if err != nil {
+		return nil, err
+	}
+	if ranked == nil {
+		// Empty model repository: explainCtx skipped ranking. RankAll
+		// returns an empty, non-nil slice in that case; match it exactly.
+		ranked = []RankedCause{}
+	}
+	res := &DiagnoseResult{Explanation: expl, AllCauses: ranked}
+	if tr != nil {
+		expl.Trace = tr.Snapshot()
+		res.Trace = expl.Trace
+	}
+	return res, nil
+}
+
 // Explain diagnoses a user-perceived anomaly: it generates predicates
 // with high separation power (Algorithm 1), prunes secondary symptoms
 // if domain knowledge is installed, and ranks every known causal model
 // by confidence (Equation 3), returning those above lambda. With
 // WithTracing enabled the returned Explanation carries a per-stage
 // trace snapshot.
+//
+// Explain is a thin wrapper around Diagnose with a background context;
+// use Diagnose when the call should honor cancellation or a deadline.
 func (a *Analyzer) Explain(ds *Dataset, abnormal, normal *Region) (*Explanation, error) {
 	if a.tracing {
 		return a.ExplainTraced(ds, abnormal, normal)
 	}
-	return a.explain(ds, abnormal, normal, nil)
+	expl, _, err := a.explainCtx(context.Background(), ds, abnormal, normal, nil)
+	return expl, err
 }
 
 // ExplainTraced is Explain with tracing forced on for this call,
 // regardless of the WithTracing option. The returned Explanation's
-// Trace field is always populated on success.
+// Trace field is always populated on success. It is equivalent to
+// Diagnose with DiagnoseRequest.Trace set.
 func (a *Analyzer) ExplainTraced(ds *Dataset, abnormal, normal *Region) (*Explanation, error) {
 	tr := obs.NewTrace(core.ResolveWorkers(a.params.Workers))
-	expl, err := a.explain(ds, abnormal, normal, tr)
+	expl, _, err := a.explainCtx(context.Background(), ds, abnormal, normal, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -244,16 +329,25 @@ func (a *Analyzer) ExplainTraced(ds *Dataset, abnormal, normal *Region) (*Explan
 	return expl, nil
 }
 
-func (a *Analyzer) explain(ds *Dataset, abnormal, normal *Region, tr *obs.Trace) (*Explanation, error) {
+// explainCtx is the shared diagnosis engine behind Diagnose, Explain,
+// and ExplainTraced. It returns the explanation plus, when the model
+// repository is non-empty, the full confidence ranking the lambda filter
+// was derived from (nil otherwise), so Diagnose gets RankAll's output
+// without ranking twice. ctx errors are returned unwrapped so callers
+// can match them with errors.Is.
+func (a *Analyzer) explainCtx(ctx context.Context, ds *Dataset, abnormal, normal *Region, tr *obs.Trace) (*Explanation, []RankedCause, error) {
 	abnormal, normal, err := resolveRegions(ds, abnormal, normal)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	params := a.params
 	params.Trace = tr
-	preds, err := core.Generate(ds, abnormal, normal, params)
+	preds, err := core.GenerateCtx(ctx, ds, abnormal, normal, params)
 	if err != nil {
-		return nil, fmt.Errorf("dbsherlock: %w", err)
+		if ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
+		return nil, nil, fmt.Errorf("dbsherlock: %w", err)
 	}
 	expl := &Explanation{Predicates: preds}
 	if a.knowledge != nil {
@@ -264,29 +358,43 @@ func (a *Analyzer) explain(ds *Dataset, abnormal, normal *Region, tr *obs.Trace)
 	}
 	start := tr.Start()
 	expl.Ranked = make([]ScoredPredicate, len(expl.Predicates))
-	core.ForEach(len(expl.Predicates), core.ResolveWorkers(params.Workers), func(i int) {
+	if err := core.ForEachCtx(ctx, len(expl.Predicates), core.ResolveWorkers(params.Workers), func(i int) {
 		p := expl.Predicates[i]
 		expl.Ranked[i] = ScoredPredicate{
 			Predicate:       p,
 			SeparationPower: core.SeparationPower(p, ds, abnormal, normal),
 		}
-	})
+	}); err != nil {
+		return nil, nil, err
+	}
 	sort.SliceStable(expl.Ranked, func(i, j int) bool {
 		return expl.Ranked[i].SeparationPower > expl.Ranked[j].SeparationPower
 	})
 	tr.EndStage(obs.StageScore, start)
+	var ranked []RankedCause
 	if repo := a.repository(); repo.Len() > 0 {
-		expl.Causes = repo.Diagnose(ds, abnormal, normal, params, a.lambda)
+		ranked, err = repo.RankCtx(ctx, ds, abnormal, normal, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		expl.Causes = causal.FilterByLambda(ranked, a.lambda)
 	}
-	return expl, nil
+	return expl, ranked, nil
 }
 
 // LearnCause incorporates user feedback: it generates predicates for
 // the diagnosed anomaly, labels them with the confirmed cause, and adds
 // the resulting causal model to the repository (merging with any
 // existing model of the same cause, Section 6.2). The new or merged
-// model is returned.
+// model is returned. It is LearnCauseContext with a background context.
 func (a *Analyzer) LearnCause(cause string, ds *Dataset, abnormal, normal *Region) (*CausalModel, error) {
+	return a.LearnCauseContext(context.Background(), cause, ds, abnormal, normal)
+}
+
+// LearnCauseContext is LearnCause under a context: predicate generation
+// checks ctx between attributes and returns ctx.Err() promptly once it
+// fires, leaving the model repository untouched.
+func (a *Analyzer) LearnCauseContext(ctx context.Context, cause string, ds *Dataset, abnormal, normal *Region) (*CausalModel, error) {
 	if cause == "" {
 		return nil, errors.New("dbsherlock: cause must be non-empty")
 	}
@@ -294,8 +402,11 @@ func (a *Analyzer) LearnCause(cause string, ds *Dataset, abnormal, normal *Regio
 	if err != nil {
 		return nil, err
 	}
-	preds, err := core.Generate(ds, abnormal, normal, a.params)
+	preds, err := core.GenerateCtx(ctx, ds, abnormal, normal, a.params)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("dbsherlock: %w", err)
 	}
 	if a.knowledge != nil {
@@ -322,12 +433,20 @@ func (a *Analyzer) Causes() []string { return a.repository().Causes() }
 
 // RankAll computes every known model's confidence for the given anomaly
 // without applying the lambda threshold (useful for inspecting margins).
+// It is RankAllContext with a background context; Diagnose returns the
+// same ranking in DiagnoseResult.AllCauses.
 func (a *Analyzer) RankAll(ds *Dataset, abnormal, normal *Region) ([]RankedCause, error) {
+	return a.RankAllContext(context.Background(), ds, abnormal, normal)
+}
+
+// RankAllContext is RankAll under a context: model scoring checks ctx
+// between models and returns ctx.Err() promptly once it fires.
+func (a *Analyzer) RankAllContext(ctx context.Context, ds *Dataset, abnormal, normal *Region) ([]RankedCause, error) {
 	abnormal, normal, err := resolveRegions(ds, abnormal, normal)
 	if err != nil {
 		return nil, err
 	}
-	return a.repository().Rank(ds, abnormal, normal, a.params), nil
+	return a.repository().RankCtx(ctx, ds, abnormal, normal, a.params)
 }
 
 // RankAllTraced is RankAll with a per-stage trace of the ranking pass
@@ -358,11 +477,25 @@ type DetectResult struct {
 // attributes with abrupt sustained changes are selected by potential
 // power, rows are clustered with DBSCAN, and small clusters are flagged
 // as the anomaly. Use it when the user cannot pinpoint the anomaly
-// visually; feed the result's Abnormal region to Explain.
+// visually; feed the result's Abnormal region to Diagnose. It is
+// DetectContext with a background context.
 func (a *Analyzer) Detect(ds *Dataset) (*DetectResult, error) {
+	return a.DetectContext(context.Background(), ds)
+}
+
+// DetectContext is Detect under a context: the per-attribute
+// potential-power passes and the clustering stages check ctx and return
+// ctx.Err() promptly once it fires.
+func (a *Analyzer) DetectContext(ctx context.Context, ds *Dataset) (*DetectResult, error) {
 	if ds == nil {
 		return nil, errors.New("dbsherlock: nil dataset")
 	}
-	res := detect.Detect(ds, a.detectP)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := detect.DetectCtx(ctx, ds, a.detectP)
+	if err != nil {
+		return nil, err
+	}
 	return &DetectResult{Abnormal: res.Abnormal, SelectedAttrs: res.SelectedAttrs}, nil
 }

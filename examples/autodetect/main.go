@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,8 +24,9 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	analyzer := dbsherlock.MustNew()
-	res, err := analyzer.Detect(ds)
+	res, err := analyzer.DetectContext(ctx, ds)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,10 +40,11 @@ func main() {
 	fmt.Printf("overlap with ground truth: %d/%d rows\n", res.Abnormal.Overlap(truth), truth.Count())
 	fmt.Printf("%d attributes showed potential power above the threshold\n", len(res.SelectedAttrs))
 
-	expl, err := analyzer.Explain(ds, res.Abnormal, nil)
+	diag, err := analyzer.Diagnose(ctx, dbsherlock.DiagnoseRequest{Dataset: ds, Abnormal: res.Abnormal})
 	if err != nil {
 		log.Fatal(err)
 	}
+	expl := diag.Explanation
 	fmt.Printf("\nexplanation of the detected region (%d predicates):\n", len(expl.Predicates))
 	for i, p := range expl.Predicates {
 		if i == 12 {

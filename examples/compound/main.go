@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,12 +45,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	ranked, err := analyzer.RankAll(ds, abnormal, nil)
+	res, err := analyzer.Diagnose(context.Background(), dbsherlock.DiagnoseRequest{
+		Dataset: ds, Abnormal: abnormal,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("diagnosis of the compound incident (top-3 causes shown, as in the paper):")
-	for i, c := range ranked {
+	for i, c := range res.AllCauses {
 		if i == 3 {
 			break
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,10 +40,13 @@ func main() {
 	// Phase 2 — a new incident arrives: DBSherlock ranks the causes.
 	fmt.Println("\nPhase 2: diagnosing a fresh incident (actual cause: Network Congestion)")
 	ds, abnormal := simulate(dbsherlock.NetworkCongestion, 999)
-	expl, err := analyzer.Explain(ds, abnormal, nil)
+	res, err := analyzer.Diagnose(context.Background(), dbsherlock.DiagnoseRequest{
+		Dataset: ds, Abnormal: abnormal,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	expl := res.Explanation
 	if len(expl.Causes) == 0 {
 		fmt.Println("no cause cleared the confidence threshold; predicates only:")
 		for _, p := range expl.Predicates {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,14 +27,16 @@ func main() {
 	withRules := dbsherlock.MustNew(
 		dbsherlock.WithDomainKnowledge(dbsherlock.MySQLLinuxRules()))
 
-	pe, err := plain.Explain(ds, abnormal, nil)
+	ctx := context.Background()
+	pres, err := plain.Diagnose(ctx, dbsherlock.DiagnoseRequest{Dataset: ds, Abnormal: abnormal})
 	if err != nil {
 		log.Fatal(err)
 	}
-	re, err := withRules.Explain(ds, abnormal, nil)
+	rres, err := withRules.Diagnose(ctx, dbsherlock.DiagnoseRequest{Dataset: ds, Abnormal: abnormal})
 	if err != nil {
 		log.Fatal(err)
 	}
+	pe, re := pres.Explanation, rres.Explanation
 
 	fmt.Printf("without domain knowledge: %d predicates\n", len(pe.Predicates))
 	fmt.Printf("with domain knowledge:    %d predicates, %d pruned\n\n",

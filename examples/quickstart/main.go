@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,12 +31,16 @@ func main() {
 	abnormal := dbsherlock.RegionFromRange(ds.Rows(), 100, 160)
 	_ = truth // the ground truth equals the selection in this demo
 
-	// 3. Explain.
+	// 3. Diagnose (the context-first API: pass a cancellable context or
+	// a per-call Timeout in production).
 	analyzer := dbsherlock.MustNew()
-	expl, err := analyzer.Explain(ds, abnormal, nil)
+	res, err := analyzer.Diagnose(context.Background(), dbsherlock.DiagnoseRequest{
+		Dataset: ds, Abnormal: abnormal,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	expl := res.Explanation
 	fmt.Printf("\nDBSherlock generated %d predicates:\n", len(expl.Predicates))
 	for _, p := range expl.Predicates {
 		fmt.Printf("  %s\n", p)

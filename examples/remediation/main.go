@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -40,10 +41,13 @@ func main() {
 
 	// A new spike hits at 3am. Diagnose and recommend.
 	ds, abnormal := simulate(dbsherlock.WorkloadSpike, 77)
-	expl, err := restarted.Explain(ds, abnormal, nil)
+	res, err := restarted.Diagnose(context.Background(), dbsherlock.DiagnoseRequest{
+		Dataset: ds, Abnormal: abnormal,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	expl := res.Explanation
 	if len(expl.Causes) == 0 {
 		log.Fatal("no cause diagnosed")
 	}

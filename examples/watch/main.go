@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"dbsherlock"
 )
@@ -45,11 +47,16 @@ func main() {
 	}, func(a dbsherlock.MonitorAlert) {
 		fmt.Printf("ALERT: anomaly over t=[%d, %d) (%d keyed attributes)\n",
 			a.FromTime, a.ToTime, len(a.SelectedAttrs))
-		expl, err := analyzer.Explain(a.Window, a.Region, nil)
+		// Bound each on-alert diagnosis so a slow one cannot stall the
+		// ingest loop indefinitely.
+		res, err := analyzer.Diagnose(context.Background(), dbsherlock.DiagnoseRequest{
+			Dataset: a.Window, Abnormal: a.Region, Timeout: 5 * time.Second,
+		})
 		if err != nil {
 			log.Printf("  diagnosis failed: %v", err)
 			return
 		}
+		expl := res.Explanation
 		if len(expl.Causes) > 0 {
 			fmt.Printf("  diagnosis: %s (%.0f%% confidence)\n",
 				expl.Causes[0].Cause, 100*expl.Causes[0].Confidence)

@@ -1,6 +1,7 @@
 package dbsherlock
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -99,11 +100,28 @@ func NewPerfAugurDetector(indicator string) Detector {
 // DetectUsing finds the abnormal region with a caller-chosen detector.
 // ok is false when the detector finds nothing actionable.
 func (a *Analyzer) DetectUsing(ds *Dataset, d Detector) (region *Region, ok bool, err error) {
+	return a.DetectUsingContext(context.Background(), ds, d)
+}
+
+// DetectUsingContext is DetectUsing under a context. Detectors that
+// implement the ctx-aware extension (the DBSCAN detector) honor
+// cancellation mid-scan; for the cheap ones the context is checked
+// before the scan starts.
+func (a *Analyzer) DetectUsingContext(ctx context.Context, ds *Dataset, d Detector) (region *Region, ok bool, err error) {
 	if ds == nil {
 		return nil, false, errors.New("dbsherlock: nil dataset")
 	}
 	if d == nil {
 		return nil, false, errors.New("dbsherlock: nil detector")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cd, isCtx := d.(detect.CtxDetector); isCtx {
+		return cd.FindRegionCtx(ctx, ds)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
 	}
 	region, ok = d.FindRegion(ds)
 	return region, ok, nil

@@ -1,6 +1,7 @@
 package causal
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -128,9 +129,24 @@ func (r *Repository) Rank(ds *metrics.Dataset, abnormal, normal *metrics.Region,
 	return r.RankEval(core.NewEvaluator(ds, abnormal, normal, p))
 }
 
+// RankCtx is Rank with cooperative cancellation: scoring stops between
+// models once ctx fires and ctx.Err() is returned with a nil slice. An
+// uncancelled call is byte-identical to Rank.
+func (r *Repository) RankCtx(ctx context.Context, ds *metrics.Dataset, abnormal, normal *metrics.Region, p core.Params) ([]RankedCause, error) {
+	return r.RankEvalCtx(ctx, core.NewEvaluator(ds, abnormal, normal, p))
+}
+
 // RankEval is Rank against a prepared evaluator (shared partition-space
 // cache across all models).
 func (r *Repository) RankEval(ev *core.Evaluator) []RankedCause {
+	out, _ := r.RankEvalCtx(context.Background(), ev)
+	return out
+}
+
+// RankEvalCtx is RankEval with the cancellation contract of RankCtx:
+// ctx is checked between the per-attribute cache warm-up items and
+// between model scores.
+func (r *Repository) RankEvalCtx(ctx context.Context, ev *core.Evaluator) ([]RankedCause, error) {
 	tr := ev.Params().Trace
 	order, models := r.snapshot()
 	workers := core.ResolveWorkers(ev.Params().Workers)
@@ -144,18 +160,23 @@ func (r *Repository) RankEval(ev *core.Evaluator) []RankedCause {
 				attrs = append(attrs, p.Attr)
 			}
 		}
-		ev.Prepare(attrs, workers)
+		if err := ev.PrepareCtx(ctx, attrs, workers); err != nil {
+			return nil, err
+		}
 		tr.EndStage(obs.StagePrepare, start)
 	}
 	start := tr.Start()
 	out := make([]RankedCause, len(models))
-	core.ForEach(len(models), workers, func(i int) {
+	err := core.ForEachCtx(ctx, len(models), workers, func(i int) {
 		out[i] = RankedCause{
 			Cause:      order[i],
 			Confidence: models[i].ConfidenceEval(ev),
 			Model:      models[i],
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Confidence != out[j].Confidence {
 			return out[i].Confidence > out[j].Confidence
@@ -164,7 +185,7 @@ func (r *Repository) RankEval(ev *core.Evaluator) []RankedCause {
 	})
 	tr.EndStage(obs.StageRank, start)
 	tr.Count(obs.CounterModelsRanked, len(models))
-	return out
+	return out, nil
 }
 
 // Diagnose returns the causes whose confidence exceeds lambda, in
@@ -172,7 +193,12 @@ func (r *Repository) RankEval(ev *core.Evaluator) []RankedCause {
 // Section 6). With no qualifying model the caller should fall back to
 // raw predicates.
 func (r *Repository) Diagnose(ds *metrics.Dataset, abnormal, normal *metrics.Region, p core.Params, lambda float64) []RankedCause {
-	ranked := r.Rank(ds, abnormal, normal, p)
+	return FilterByLambda(r.Rank(ds, abnormal, normal, p), lambda)
+}
+
+// FilterByLambda keeps the causes whose confidence exceeds lambda,
+// preserving order. The result never aliases ranked's backing array.
+func FilterByLambda(ranked []RankedCause, lambda float64) []RankedCause {
 	out := ranked[:0:0]
 	for _, rc := range ranked {
 		if rc.Confidence > lambda {

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// The ctx-aware pool must cost nothing on the Background fast path
+// (ctx.Done() == nil delegates straight to ForEachWorker) and only a
+// per-item channel poll when the context is actually cancellable.
+
+func benchWork(counter *atomic.Int64) func(int) {
+	return func(int) { counter.Add(1) }
+}
+
+func BenchmarkForEachCtxPlain(b *testing.B) {
+	var n atomic.Int64
+	fn := benchWork(&n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ForEach(1000, 4, fn)
+	}
+}
+
+func BenchmarkForEachCtxBackground(b *testing.B) {
+	var n atomic.Int64
+	fn := benchWork(&n)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ForEachCtx(ctx, 1000, 4, fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForEachCtxCancellable(b *testing.B) {
+	var n atomic.Int64
+	fn := benchWork(&n)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ForEachCtx(ctx, 1000, 4, fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

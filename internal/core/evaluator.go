@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"dbsherlock/internal/metrics"
@@ -47,6 +48,14 @@ func (e *Evaluator) Params() Params { return e.p }
 // Duplicate and unknown names are fine (built once / skipped), so
 // callers can pass the raw attribute list of a model set.
 func (e *Evaluator) Prepare(attrs []string, workers int) {
+	_ = e.PrepareCtx(context.Background(), attrs, workers)
+}
+
+// PrepareCtx is Prepare with cooperative cancellation: construction is
+// abandoned between attributes once ctx fires and ctx.Err() is
+// returned. The cache stays consistent either way — every space that
+// finished building remains valid and reusable.
+func (e *Evaluator) PrepareCtx(ctx context.Context, attrs []string, workers int) error {
 	seen := make(map[string]bool, len(attrs))
 	todo := attrs[:0:0]
 	for _, a := range attrs {
@@ -60,7 +69,7 @@ func (e *Evaluator) Prepare(attrs []string, workers int) {
 	for i := range scratches {
 		scratches[i] = getScratch()
 	}
-	ForEachWorker(len(todo), resolved, func(w, i int) {
+	err := ForEachWorkerCtx(ctx, len(todo), resolved, func(w, i int) {
 		col, ok := e.ds.Column(todo[i])
 		if !ok {
 			return
@@ -74,6 +83,7 @@ func (e *Evaluator) Prepare(attrs []string, workers int) {
 	for _, sc := range scratches {
 		putScratch(sc)
 	}
+	return err
 }
 
 // Separation computes the partition-space separation of one predicate,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -69,6 +70,15 @@ func (p Params) Validate() error {
 // pool sized by p.Workers; results are collected by attribute index, so
 // the output is byte-identical to a sequential run.
 func Generate(ds *metrics.Dataset, abnormal, normal *metrics.Region, p Params) ([]Predicate, error) {
+	return GenerateCtx(context.Background(), ds, abnormal, normal, p)
+}
+
+// GenerateCtx is Generate with cooperative cancellation: the
+// per-attribute fan-out checks ctx between attributes and returns
+// ctx.Err() promptly once it fires, discarding partial results. An
+// uncancelled call is byte-identical to Generate (a non-cancellable ctx
+// costs nothing on the hot path).
+func GenerateCtx(ctx context.Context, ds *metrics.Dataset, abnormal, normal *metrics.Region, p Params) ([]Predicate, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -98,7 +108,7 @@ func Generate(ds *metrics.Dataset, abnormal, normal *metrics.Region, p Params) (
 	for i := range scratches {
 		scratches[i] = getScratch()
 	}
-	ForEachWorker(ds.NumAttrs(), workers, func(w, i int) {
+	err := ForEachWorkerCtx(ctx, ds.NumAttrs(), workers, func(w, i int) {
 		col := ds.ColumnAt(i)
 		switch col.Attr.Type {
 		case metrics.Numeric:
@@ -109,6 +119,9 @@ func Generate(ds *metrics.Dataset, abnormal, normal *metrics.Region, p Params) (
 	})
 	for _, sc := range scratches {
 		putScratch(sc)
+	}
+	if err != nil {
+		return nil, err
 	}
 	var out []Predicate
 	for _, c := range results {

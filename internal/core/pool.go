@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -72,4 +73,59 @@ func ForEachWorker(n, workers int, fn func(worker, i int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: cancellation is
+// checked between work items, and the first ctx error observed is
+// returned after every in-flight fn call has finished. On cancellation
+// some indices never run, so the caller must discard partial results
+// when err != nil. A ctx that can never be cancelled (ctx.Done() == nil,
+// e.g. context.Background()) takes the exact ForEach fast path: zero
+// extra allocations, zero per-item overhead.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(int)) error {
+	return ForEachWorkerCtx(ctx, n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorkerCtx is ForEachWorker with the cancellation contract of
+// ForEachCtx.
+func ForEachWorkerCtx(ctx context.Context, n, workers int, fn func(worker, i int)) error {
+	done := ctx.Done()
+	if done == nil {
+		ForEachWorker(n, workers, fn)
+		return nil
+	}
+	workers = EffectiveWorkers(n, workers)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+			fn(0, i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
 }

@@ -6,6 +6,7 @@
 package detect
 
 import (
+	"context"
 	"math"
 
 	"dbsherlock/internal/dbscan"
@@ -69,15 +70,32 @@ type Result struct {
 // Detect finds anomalous rows of the dataset. It returns an empty region
 // when no attribute shows potential (a flat, healthy trace).
 func Detect(ds *metrics.Dataset, p Params) Result {
+	res, _ := DetectCtx(context.Background(), ds, p)
+	return res
+}
+
+// DetectCtx is Detect with cooperative cancellation: ctx is checked
+// between the per-attribute potential-power passes and between the
+// clustering stages, returning ctx.Err() promptly once it fires. An
+// uncancelled call is byte-identical to Detect.
+func DetectCtx(ctx context.Context, ds *metrics.Dataset, p Params) (Result, error) {
+	done := ctx.Done()
 	rows := ds.Rows()
 	res := Result{Abnormal: metrics.NewRegion(rows)}
 	if rows == 0 {
-		return res
+		return res, nil
 	}
 
 	// Select attributes with an abrupt sustained change (Equation 4).
 	var cols [][]float64
 	for i := 0; i < ds.NumAttrs(); i++ {
+		if done != nil {
+			select {
+			case <-done:
+				return res, ctx.Err()
+			default:
+			}
+		}
 		col := ds.ColumnAt(i)
 		if col.Attr.Type != metrics.Numeric {
 			continue
@@ -88,7 +106,7 @@ func Detect(ds *metrics.Dataset, p Params) Result {
 		}
 	}
 	if len(cols) == 0 {
-		return res
+		return res, nil
 	}
 
 	points := make([]dbscan.Point, rows)
@@ -102,6 +120,13 @@ func Detect(ds *metrics.Dataset, p Params) Result {
 			pt[c] = v
 		}
 		points[i] = pt
+	}
+	if done != nil {
+		select {
+		case <-done:
+			return res, ctx.Err()
+		default:
+		}
 	}
 
 	// eps from the k-dist list with k = minPts (Section 7). The paper
@@ -118,9 +143,16 @@ func Detect(ds *metrics.Dataset, p Params) Result {
 	if eps <= 0 {
 		// Degenerate geometry (all selected attributes constant over the
 		// selected rows); nothing separates.
-		return res
+		return res, nil
 	}
 	res.Epsilon = eps
+	if done != nil {
+		select {
+		case <-done:
+			return res, ctx.Err()
+		default:
+		}
+	}
 
 	labels := dbscan.Cluster(points, eps, p.MinPts)
 	sizes := dbscan.Sizes(labels)
@@ -130,5 +162,5 @@ func Detect(ds *metrics.Dataset, p Params) Result {
 			res.Abnormal.Add(i)
 		}
 	}
-	return res
+	return res, nil
 }

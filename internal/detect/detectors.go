@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -29,6 +30,16 @@ type ViewDetector interface {
 	FindRegionView(w metrics.WindowView) (*metrics.Region, bool)
 }
 
+// CtxDetector is an optional Detector extension: detectors whose scan
+// is expensive enough to honor cancellation mid-flight. Callers that
+// hold a context should prefer FindRegionCtx when available.
+type CtxDetector interface {
+	Detector
+	// FindRegionCtx is FindRegion under a context; it returns ctx.Err()
+	// once the context fires.
+	FindRegionCtx(ctx context.Context, ds *metrics.Dataset) (*metrics.Region, bool, error)
+}
+
 // DBSCANDetector is the paper's own algorithm (Section 7): potential
 // power selection plus DBSCAN clustering.
 type DBSCANDetector struct {
@@ -45,6 +56,16 @@ func (DBSCANDetector) Name() string { return "dbscan" }
 func (d DBSCANDetector) FindRegion(ds *metrics.Dataset) (*metrics.Region, bool) {
 	res := Detect(ds, d.Params)
 	return res.Abnormal, !res.Abnormal.Empty()
+}
+
+// FindRegionCtx implements CtxDetector: the per-attribute scan honors
+// cancellation.
+func (d DBSCANDetector) FindRegionCtx(ctx context.Context, ds *metrics.Dataset) (*metrics.Region, bool, error) {
+	res, err := DetectCtx(ctx, ds, d.Params)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Abnormal, !res.Abnormal.Empty(), nil
 }
 
 // ThresholdDetector flags rows whose indicator deviates from the trace's

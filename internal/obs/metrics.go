@@ -55,6 +55,21 @@ func (g *Gauge) Set(v float64) {
 	g.bits.Store(math.Float64bits(v))
 }
 
+// Add applies a delta (possibly negative) atomically via a CAS loop
+// over the float bits, so concurrent Adds never lose updates.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the last value set (zero initially).
 func (g *Gauge) Value() float64 {
 	if g == nil {

@@ -126,9 +126,15 @@ func Recover(logger *slog.Logger, next http.Handler) http.Handler {
 				"stack", string(debug.Stack()),
 			)
 			if sw.status == 0 {
+				// Same envelope shape as the server's writeError, duplicated
+				// here so obs stays dependency-free.
 				w.Header().Set("Content-Type", "application/json")
 				w.WriteHeader(http.StatusInternalServerError)
-				_ = json.NewEncoder(w).Encode(map[string]string{"error": "internal server error"})
+				_ = json.NewEncoder(w).Encode(map[string]map[string]string{"error": {
+					"code":       "internal",
+					"message":    "internal server error",
+					"request_id": RequestIDFrom(r.Context()),
+				}})
 			}
 		}()
 		next.ServeHTTP(sw, r)

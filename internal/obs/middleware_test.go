@@ -55,12 +55,12 @@ func TestRecoverReturns500JSON(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500", rec.Code)
 	}
-	var body map[string]string
+	var body map[string]map[string]string
 	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
 		t.Fatalf("500 body is not JSON: %v (%q)", err, rec.Body.String())
 	}
-	if body["error"] == "" {
-		t.Errorf("500 body missing error field: %v", body)
+	if body["error"]["code"] != "internal" || body["error"]["message"] == "" {
+		t.Errorf("500 body missing error envelope: %v", body)
 	}
 	if !strings.Contains(logBuf.String(), "kaboom") {
 		t.Error("panic value not logged")

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"dbsherlock/internal/obs"
+)
+
+// errOverloaded is returned by semaphore.Acquire when both the inflight
+// slots and the bounded wait queue are full: the server is shedding
+// load and the client should retry later.
+var errOverloaded = errors.New("server overloaded, retry later")
+
+// waiter is one queued Acquire call. ready is closed by a releaser when
+// the waiter's slots have been granted; granted disambiguates the race
+// between a grant and a context cancellation.
+type waiter struct {
+	n       int64
+	ready   chan struct{}
+	granted bool
+}
+
+// semaphore is a weighted semaphore with a bounded FIFO wait queue,
+// built on the stdlib only (the module deliberately has no external
+// dependencies, so golang.org/x/sync is out of reach). Unlike
+// x/sync/semaphore it rejects instead of blocking once the queue is
+// full — admission control wants to shed load, not build an unbounded
+// backlog of goroutines.
+type semaphore struct {
+	mu       sync.Mutex
+	capacity int64
+	inUse    int64
+	queue    []*waiter
+	maxQueue int
+}
+
+// newSemaphore returns a semaphore with the given slot capacity and
+// wait-queue depth. queueDepth 0 means reject immediately at capacity.
+func newSemaphore(capacity int64, queueDepth int) *semaphore {
+	return &semaphore{capacity: capacity, maxQueue: queueDepth}
+}
+
+// Acquire obtains n slots, waiting in the bounded queue if the
+// semaphore is at capacity. It returns errOverloaded when the queue is
+// full, or ctx.Err() if the context is done first.
+func (s *semaphore) Acquire(ctx context.Context, n int64) error {
+	s.mu.Lock()
+	if s.inUse+n <= s.capacity && len(s.queue) == 0 {
+		s.inUse += n
+		s.mu.Unlock()
+		return nil
+	}
+	if len(s.queue) >= s.maxQueue {
+		s.mu.Unlock()
+		return errOverloaded
+	}
+	w := &waiter{n: n, ready: make(chan struct{})}
+	s.queue = append(s.queue, w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.granted {
+			// Release lost the race: the slots are ours, hand them back so
+			// they are not leaked. Release them inline (we already hold the
+			// lock) by reusing the grant path.
+			s.inUse -= w.n
+			s.grantLocked()
+			s.mu.Unlock()
+			return ctx.Err()
+		}
+		// Remove ourselves from the queue.
+		for i, q := range s.queue {
+			if q == w {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns n slots and wakes as many queued waiters as now fit.
+func (s *semaphore) Release(n int64) {
+	s.mu.Lock()
+	s.inUse -= n
+	if s.inUse < 0 {
+		s.inUse = 0
+	}
+	s.grantLocked()
+	s.mu.Unlock()
+}
+
+// grantLocked pops queued waiters in FIFO order while their weights
+// fit. Callers must hold s.mu.
+func (s *semaphore) grantLocked() {
+	for len(s.queue) > 0 {
+		w := s.queue[0]
+		if s.inUse+w.n > s.capacity {
+			return
+		}
+		s.inUse += w.n
+		w.granted = true
+		close(w.ready)
+		s.queue = s.queue[1:]
+	}
+}
+
+// gate wraps a compute-heavy handler with admission control: acquire a
+// slot (bounded wait), run, release. At saturation the request is shed
+// with 429 + Retry-After and the rejected counter increments; a client
+// that disconnects while queued frees its queue entry immediately.
+func (s *Server) gate(endpoint string, weight int64, next http.HandlerFunc) http.HandlerFunc {
+	if s.sem == nil {
+		return next
+	}
+	inflight := s.httpInflight.With("endpoint", endpoint)
+	rejected := s.httpRejected.With("endpoint", endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := s.sem.Acquire(r.Context(), weight); err != nil {
+			if errors.Is(err, errOverloaded) {
+				rejected.Inc()
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+				writeError(w, r, http.StatusTooManyRequests, CodeOverloaded, err)
+				return
+			}
+			// The client went away (or its deadline expired) while queued;
+			// nobody is listening for a body.
+			s.logger.Debug("request cancelled while queued",
+				"endpoint", endpoint,
+				"err", err,
+				"request_id", obs.RequestIDFrom(r.Context()))
+			return
+		}
+		inflight.Add(float64(weight))
+		defer func() {
+			inflight.Add(-float64(weight))
+			s.sem.Release(weight)
+		}()
+		next(w, r)
+	}
+}
+
+// retryAfterSeconds is the Retry-After hint on 429 responses. Diagnosis
+// calls finish in well under a second on the paper-scale datasets, so a
+// one-second backoff is enough to drain a full queue.
+const retryAfterSeconds = 1

@@ -1,0 +1,473 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dbsherlock"
+)
+
+// --- semaphore unit tests -------------------------------------------
+
+func TestSemaphoreBasicAcquireRelease(t *testing.T) {
+	s := newSemaphore(2, 2)
+	ctx := context.Background()
+	if err := s.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Release(1)
+	s.Release(1)
+	if s.inUse != 0 {
+		t.Errorf("inUse = %d after full release", s.inUse)
+	}
+}
+
+func TestSemaphoreRejectsWhenQueueFull(t *testing.T) {
+	s := newSemaphore(1, 1)
+	ctx := context.Background()
+	if err := s.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the single queue slot with a blocked waiter.
+	waiterIn := make(chan error, 1)
+	go func() { waiterIn <- s.Acquire(ctx, 1) }()
+	// Wait for the waiter to be queued.
+	for {
+		s.mu.Lock()
+		n := len(s.queue)
+		s.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The next acquire finds queue full: rejected immediately.
+	if err := s.Acquire(ctx, 1); !errors.Is(err, errOverloaded) {
+		t.Fatalf("err = %v, want errOverloaded", err)
+	}
+	// Releasing hands the slot to the queued waiter.
+	s.Release(1)
+	if err := <-waiterIn; err != nil {
+		t.Fatalf("queued waiter got %v", err)
+	}
+	s.Release(1)
+}
+
+func TestSemaphoreQueueIsFIFO(t *testing.T) {
+	s := newSemaphore(1, 4)
+	ctx := context.Background()
+	if err := s.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		// Queue strictly one at a time so arrival order is deterministic.
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.Acquire(ctx, 1); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			s.Release(1)
+		}(i)
+		for {
+			s.mu.Lock()
+			n := len(s.queue)
+			s.mu.Unlock()
+			if n == i+1 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	s.Release(1)
+	wg.Wait()
+	if fmt.Sprint(order) != "[0 1 2]" {
+		t.Errorf("wakeup order = %v, want FIFO", order)
+	}
+}
+
+func TestSemaphoreCancelWhileQueued(t *testing.T) {
+	s := newSemaphore(1, 2)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Acquire(ctx, 1) }()
+	for {
+		s.mu.Lock()
+		n := len(s.queue)
+		s.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	s.mu.Lock()
+	qlen := len(s.queue)
+	s.mu.Unlock()
+	if qlen != 0 {
+		t.Errorf("cancelled waiter left in queue (len %d)", qlen)
+	}
+	// The held slot is still accounted for; release and reuse.
+	s.Release(1)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Release(1)
+}
+
+// TestSemaphoreCancelGrantRaceLeaksNoSlots hammers the cancel-vs-grant
+// race: a waiter whose context fires just as Release grants it must put
+// the slots back. Run with -race.
+func TestSemaphoreCancelGrantRaceLeaksNoSlots(t *testing.T) {
+	s := newSemaphore(1, 8)
+	for i := 0; i < 200; i++ {
+		if err := s.Acquire(context.Background(), 1); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		errCh := make(chan error, 1)
+		go func() { errCh <- s.Acquire(ctx, 1) }()
+		for {
+			s.mu.Lock()
+			n := len(s.queue)
+			s.mu.Unlock()
+			if n == 1 {
+				break
+			}
+		}
+		// Fire both sides of the race concurrently.
+		go cancel()
+		s.Release(1)
+		if err := <-errCh; err == nil {
+			s.Release(1) // the waiter won: give its slot back
+		}
+		cancel()
+	}
+	// After every iteration all slots must be free again.
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("slots leaked across the race: %v", err)
+	}
+	s.Release(1)
+}
+
+// --- HTTP admission-control tests -----------------------------------
+
+// blockingHandler parks requests until released, exposing how many are
+// inside at once. It stands in for a slow diagnosis so saturation tests
+// don't depend on compute timing.
+type blockingHandler struct {
+	entered atomic.Int64
+	release chan struct{}
+}
+
+func (b *blockingHandler) handle(w http.ResponseWriter, _ *http.Request) {
+	b.entered.Add(1)
+	<-b.release
+	w.WriteHeader(http.StatusOK)
+}
+
+// TestGateShedsLoadAtSaturation: with capacity 2 (and a 2-deep queue),
+// 16 concurrent requests produce exactly 4 successes and 12 rejections
+// carrying 429, Retry-After, the overloaded error code, and counted by
+// dbsherlock_http_rejected_total.
+func TestGateShedsLoadAtSaturation(t *testing.T) {
+	srv := New(dbsherlock.MustNew(), WithMaxInflight(2))
+	block := &blockingHandler{release: make(chan struct{})}
+	srv.mux.Handle("POST /test/block", srv.gate("POST /test/block", 1, block.handle))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const n = 16
+	codes := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/test/block", "application/json", strings.NewReader("{}"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+				var e errorResponse
+				if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+					t.Errorf("429 body: %v", err)
+				} else if e.Error.Code != CodeOverloaded {
+					t.Errorf("429 code = %q, want %q", e.Error.Code, CodeOverloaded)
+				}
+			}
+			codes <- resp.StatusCode
+		}()
+	}
+
+	// Wait until 2 requests run, 2 queue, and the other 12 are rejected.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rejected := srv.httpRejected.With("endpoint", "POST /test/block").Value()
+		if block.entered.Load() == 2 && rejected == 12 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("saturation not reached: entered=%d rejected=%v",
+				block.entered.Load(), rejected)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.httpInflight.With("endpoint", "POST /test/block").Value(); got != 2 {
+		t.Errorf("inflight gauge = %v, want 2", got)
+	}
+	close(block.release)
+	wg.Wait()
+	close(codes)
+
+	var ok2, shed int
+	for c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok2++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Errorf("unexpected status %d", c)
+		}
+	}
+	if ok2 != 4 || shed != 12 {
+		t.Errorf("ok = %d, shed = %d; want 4 and 12", ok2, shed)
+	}
+	if got := srv.httpInflight.With("endpoint", "POST /test/block").Value(); got != 0 {
+		t.Errorf("inflight gauge = %v after drain, want 0", got)
+	}
+}
+
+// TestGateClientDisconnectFreesSlot: a client that gives up while
+// queued releases its queue entry, so a later request is admitted
+// rather than rejected.
+func TestGateClientDisconnectFreesSlot(t *testing.T) {
+	srv := New(dbsherlock.MustNew(), WithMaxInflight(1))
+	block := &blockingHandler{release: make(chan struct{})}
+	srv.mux.Handle("POST /test/block", srv.gate("POST /test/block", 1, block.handle))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Occupy the only slot.
+	go func() {
+		resp, err := http.Post(ts.URL+"/test/block", "application/json", nil)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	for block.entered.Load() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue a request with a short client-side timeout, then let it give up.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/test/block", nil)
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("queued request should have timed out client-side")
+	}
+	// Its queue slot must be free again: the next request queues (not
+	// rejected) and completes once the blocker releases.
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/test/block", "application/json", nil)
+		if err != nil {
+			done <- -1
+			return
+		}
+		defer resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	time.Sleep(20 * time.Millisecond) // give it time to queue
+	close(block.release)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("follow-up status = %d, want 200 (queue slot not reclaimed)", code)
+	}
+}
+
+// TestExplainSaturationUnderRace drives the real /v1/explain endpoint
+// at saturation and checks no goroutines leak once the dust settles.
+func TestExplainSaturationUnderRace(t *testing.T) {
+	srv := New(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithMaxInflight(2))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	id := uploadTrace(t, ts, dbsherlock.LockContention, 1)
+	before := runtime.NumGoroutine()
+
+	from, to := 120, 180
+	const n = 16
+	var ok2, shed, other atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/explain", explainRequest{Dataset: id, From: &from, To: &to})
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok2.Add(1)
+			case http.StatusTooManyRequests:
+				shed.Add(1)
+			default:
+				other.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if other.Load() != 0 {
+		t.Errorf("%d requests returned unexpected statuses", other.Load())
+	}
+	if ok2.Load() == 0 {
+		t.Error("no explain succeeded under saturation")
+	}
+	// With 16 bursts against capacity 2 + queue 2 at least some load
+	// must shed unless every explain finished absurdly fast.
+	t.Logf("ok=%d shed=%d", ok2.Load(), shed.Load())
+
+	// No goroutine leak: the pool drains back to the baseline (allow
+	// slack for the test server's own keep-alive workers).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRequestTimeoutReturns503: a WithTimeout shorter than the
+// diagnosis surfaces as 503 with code deadline_exceeded.
+func TestRequestTimeoutReturns503(t *testing.T) {
+	srv := New(dbsherlock.MustNew(), WithTimeout(time.Nanosecond))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	id := uploadTrace(t, ts, dbsherlock.LockContention, 2)
+
+	from, to := 120, 180
+	resp := postJSON(t, ts.URL+"/v1/explain", explainRequest{Dataset: id, From: &from, To: &to})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error.Code != CodeDeadlineExceeded {
+		t.Errorf("code = %q, want %q", e.Error.Code, CodeDeadlineExceeded)
+	}
+	if e.Error.RequestID == "" {
+		t.Error("error envelope missing request_id")
+	}
+}
+
+// --- dataset lifecycle ----------------------------------------------
+
+func TestDeleteDataset(t *testing.T) {
+	ts, _ := newTestServer(t)
+	id := uploadTrace(t, ts, dbsherlock.LockContention, 3)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/datasets/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[map[string]string](t, resp, http.StatusOK)
+	if out["deleted"] != id {
+		t.Errorf("deleted = %q, want %q", out["deleted"], id)
+	}
+
+	// Gone from the listing and from explain resolution.
+	resp, err = http.Get(ts.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list := decode[[]datasetInfo](t, resp, http.StatusOK); len(list) != 0 {
+		t.Errorf("datasets after delete = %v", list)
+	}
+	from, to := 120, 180
+	resp = postJSON(t, ts.URL+"/v1/explain", explainRequest{Dataset: id, From: &from, To: &to})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("explain on deleted dataset: status = %d, want 404", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error.Code != CodeDatasetNotFound {
+		t.Errorf("code = %q, want %q", e.Error.Code, CodeDatasetNotFound)
+	}
+
+	// Deleting again is a 404.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/datasets/"+id, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("second delete status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestMaxDatasetsEvictsOldest(t *testing.T) {
+	srv := New(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithMaxDatasets(2))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	id1 := uploadTrace(t, ts, dbsherlock.LockContention, 4)
+	id2 := uploadTrace(t, ts, dbsherlock.LockContention, 5)
+	id3 := uploadTrace(t, ts, dbsherlock.LockContention, 6)
+
+	resp, err := http.Get(ts.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decode[[]datasetInfo](t, resp, http.StatusOK)
+	ids := map[string]bool{}
+	for _, d := range list {
+		ids[d.ID] = true
+	}
+	if len(list) != 2 || ids[id1] || !ids[id2] || !ids[id3] {
+		t.Errorf("after eviction: %v (want %s evicted, %s and %s kept)", list, id1, id2, id3)
+	}
+}

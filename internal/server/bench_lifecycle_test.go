@@ -1,0 +1,109 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dbsherlock"
+)
+
+// benchServer boots a test server with one uploaded trace and returns
+// the ready-to-send explain body.
+func benchServer(b *testing.B, opts ...Option) (*httptest.Server, []byte) {
+	b.Helper()
+	srv := New(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), opts...)
+	ts := httptest.NewServer(srv)
+	b.Cleanup(ts.Close)
+
+	cfg := dbsherlock.DefaultTestbed()
+	cfg.Seed = 1
+	ds, _, err := dbsherlock.Simulate(cfg, 0, 190, []dbsherlock.Injection{
+		{Kind: dbsherlock.LockContention, Start: 120, Duration: 60},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := dbsherlock.WriteCSV(&csv, ds); err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/datasets", "text/csv", &csv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+
+	from, to := 120, 180
+	body, err := json.Marshal(explainRequest{Dataset: "ds-1", From: &from, To: &to})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ts, body
+}
+
+func benchExplain(b *testing.B, ts *httptest.Server, body []byte) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/explain", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkExplainEndpointBaseline is end-to-end /v1/explain without
+// admission control — the PR 4 configuration.
+func BenchmarkExplainEndpointBaseline(b *testing.B) {
+	ts, body := benchServer(b)
+	benchExplain(b, ts, body)
+}
+
+// BenchmarkExplainEndpointAdmission is the same request through the
+// admission gate (uncontended) with a per-request deadline armed — the
+// lifecycle overhead budget is <2% over the baseline.
+func BenchmarkExplainEndpointAdmission(b *testing.B) {
+	ts, body := benchServer(b, WithMaxInflight(8), WithTimeout(30e9))
+	benchExplain(b, ts, body)
+}
+
+// BenchmarkSemaphoreUncontended measures the gate's fast path in
+// isolation: one mutexed acquire/release pair with no queue activity.
+func BenchmarkSemaphoreUncontended(b *testing.B) {
+	s := newSemaphore(8, 8)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Acquire(ctx, 1); err != nil {
+			b.Fatal(err)
+		}
+		s.Release(1)
+	}
+}
+
+// BenchmarkSemaphoreParallel hammers the semaphore from all procs at
+// once — the saturation-adjacent regime where the mutex is hot.
+func BenchmarkSemaphoreParallel(b *testing.B) {
+	s := newSemaphore(int64(8), 1024)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := s.Acquire(ctx, 1); err == nil {
+				s.Release(1)
+			}
+		}
+	})
+}

@@ -5,25 +5,35 @@
 //
 // Endpoints (all JSON unless noted):
 //
-//	GET  /healthz                    liveness
-//	GET  /metrics                    Prometheus text exposition (per-endpoint counters + latency histograms)
-//	GET  /debug/pprof/               net/http/pprof (only with WithPprof)
-//	POST /v1/datasets                upload a CSV dataset -> {"id": ...}
-//	GET  /v1/datasets                list uploaded datasets
-//	POST /v1/detect                  {"dataset","detector"} -> abnormal rows
-//	POST /v1/explain                 {"dataset","from","to"|"auto",...} -> predicates + causes (+"trace")
-//	POST /v1/learn                   {"dataset","from","to","cause","remedy"} -> model summary
-//	GET  /v1/causes                  list learned causes
-//	GET  /v1/models                  export the model store (SaveModels JSON)
-//	PUT  /v1/models                  replace the model store (LoadModels JSON)
+//	GET    /healthz                  liveness
+//	GET    /metrics                  Prometheus text exposition (per-endpoint counters + latency histograms)
+//	GET    /debug/pprof/             net/http/pprof (only with WithPprof)
+//	POST   /v1/datasets              upload a CSV dataset -> {"id": ...}
+//	GET    /v1/datasets              list uploaded datasets
+//	DELETE /v1/datasets/{id}         drop an uploaded dataset
+//	POST   /v1/detect                {"dataset","detector"} -> abnormal rows
+//	POST   /v1/explain               {"dataset","from","to"|"auto",...} -> predicates + causes (+"trace")
+//	POST   /v1/learn                 {"dataset","from","to","cause","remedy"} -> model summary
+//	GET    /v1/causes                list learned causes
+//	GET    /v1/models                export the model store (SaveModels JSON)
+//	PUT    /v1/models                replace the model store (LoadModels JSON)
 //
 // Every handler is wrapped in the observability middleware chain
 // (request-ID injection, panic recovery, structured access logging,
 // per-endpoint request counters and latency histograms — see
-// internal/obs).
+// internal/obs). Errors use one envelope shape with stable codes:
+// {"error":{"code":"dataset_not_found","message":"...","request_id":"..."}}.
+//
+// The compute endpoints (/v1/explain, /v1/detect, /v1/learn) are guarded
+// by admission control when WithMaxInflight is set: a weighted semaphore
+// with a small bounded wait queue sheds excess load with 429 +
+// Retry-After instead of queueing unboundedly, and WithTimeout bounds
+// each admitted request with a deadline the diagnosis engine honors
+// mid-flight (context cancellation between work items).
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +41,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 
 	"dbsherlock"
 	"dbsherlock/internal/obs"
@@ -50,16 +61,23 @@ type Server struct {
 	mu       sync.RWMutex
 	analyzer *dbsherlock.Analyzer
 	datasets map[string]*dbsherlock.Dataset
+	dsOrder  []string // upload order, oldest first (eviction order)
 	nextID   int
 	mux      *http.ServeMux
 	handler  http.Handler
 
-	logger    *slog.Logger
-	registry  *obs.Registry
-	httpReqs  *obs.CounterFamily
-	httpLat   *obs.HistogramFamily
-	maxUpload int64
-	pprof     bool
+	logger       *slog.Logger
+	registry     *obs.Registry
+	httpReqs     *obs.CounterFamily
+	httpLat      *obs.HistogramFamily
+	httpInflight *obs.GaugeFamily
+	httpRejected *obs.CounterFamily
+	maxUpload    int64
+	maxDatasets  int
+	pprof        bool
+
+	sem     *semaphore    // nil: admission control off
+	timeout time.Duration // 0: no per-request deadline
 }
 
 // Option configures a Server.
@@ -105,6 +123,41 @@ func WithMaxUploadBytes(n int64) Option {
 	}
 }
 
+// WithMaxInflight turns on admission control for the compute endpoints
+// (/v1/explain, /v1/detect, /v1/learn): at most n requests run at once,
+// up to n more wait in a bounded FIFO queue, and everything beyond that
+// is shed with 429 + Retry-After. n <= 0 leaves admission control off.
+func WithMaxInflight(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.sem = newSemaphore(int64(n), n)
+		}
+	}
+}
+
+// WithTimeout bounds each compute request with a deadline; the
+// diagnosis engine checks it between work items, so an expired request
+// stops burning CPU mid-flight and returns 503 with code
+// deadline_exceeded. d <= 0 means no deadline.
+func WithTimeout(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.timeout = d
+		}
+	}
+}
+
+// WithMaxDatasets caps the number of uploaded datasets held in memory;
+// when a new upload would exceed the cap the oldest dataset is evicted.
+// n <= 0 means unlimited.
+func WithMaxDatasets(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxDatasets = n
+		}
+	}
+}
+
 // New builds a server around the analyzer.
 func New(analyzer *dbsherlock.Analyzer, opts ...Option) *Server {
 	s := &Server{
@@ -124,13 +177,20 @@ func New(analyzer *dbsherlock.Analyzer, opts ...Option) *Server {
 	s.httpLat = s.registry.NewHistogramFamily(
 		"dbsherlock_http_request_duration_seconds",
 		"HTTP request latency in seconds, by endpoint.", nil)
+	s.httpInflight = s.registry.NewGaugeFamily(
+		"dbsherlock_http_inflight",
+		"Admitted requests currently executing, by endpoint.")
+	s.httpRejected = s.registry.NewCounterFamily(
+		"dbsherlock_http_rejected_total",
+		"Requests shed by admission control (429), by endpoint.")
 
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("POST /v1/datasets", s.handleUpload)
 	s.handle("GET /v1/datasets", s.handleListDatasets)
-	s.handle("POST /v1/detect", s.handleDetect)
-	s.handle("POST /v1/explain", s.handleExplain)
-	s.handle("POST /v1/learn", s.handleLearn)
+	s.handle("DELETE /v1/datasets/{id}", s.handleDeleteDataset)
+	s.handle("POST /v1/detect", s.gate("POST /v1/detect", 1, s.handleDetect))
+	s.handle("POST /v1/explain", s.gate("POST /v1/explain", 1, s.handleExplain))
+	s.handle("POST /v1/learn", s.gate("POST /v1/learn", 1, s.handleLearn))
 	s.handle("GET /v1/causes", s.handleCauses)
 	s.handle("GET /v1/models", s.handleExportModels)
 	s.handle("PUT /v1/models", s.handleImportModels)
@@ -157,18 +217,30 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// requestCtx derives the handler context: the request's own (so a
+// client disconnect cancels the work) plus the configured per-request
+// deadline, if any.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout > 0 {
+		return context.WithTimeout(r.Context(), s.timeout)
+	}
+	return r.Context(), func() {}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+// writeComputeError maps an error from the diagnosis engine to the
+// envelope: an expired deadline becomes 503 deadline_exceeded, a client
+// that already went away gets nothing (there is nobody to read it), and
+// anything else is a caller mistake (bad region, empty dataset, ...).
+func writeComputeError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, r, http.StatusServiceUnavailable, CodeDeadlineExceeded,
+			errors.New("request deadline exceeded during diagnosis"))
+	case errors.Is(err, context.Canceled):
+		// Client disconnected mid-computation; drop the response.
+	default:
+		writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, err)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -182,21 +254,63 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			writeError(w, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
 				fmt.Errorf("upload exceeds the %d-byte limit", tooLarge.Limit))
 			return
 		}
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("ds-%d", s.nextID)
 	s.datasets[id] = ds
+	s.dsOrder = append(s.dsOrder, id)
+	var evicted []string
+	if s.maxDatasets > 0 {
+		for len(s.dsOrder) > s.maxDatasets {
+			oldest := s.dsOrder[0]
+			s.dsOrder = s.dsOrder[1:]
+			delete(s.datasets, oldest)
+			evicted = append(evicted, oldest)
+		}
+	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, map[string]any{
+	for _, old := range evicted {
+		s.logger.Info("dataset evicted",
+			"id", old,
+			"max_datasets", s.maxDatasets,
+			"request_id", obs.RequestIDFrom(r.Context()))
+	}
+	resp := map[string]any{
 		"id": id, "rows": ds.Rows(), "attributes": ds.NumAttrs(),
-	})
+	}
+	if len(evicted) > 0 {
+		resp["evicted"] = evicted
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.datasets[id]
+	if ok {
+		delete(s.datasets, id)
+		for i, d := range s.dsOrder {
+			if d == id {
+				s.dsOrder = append(s.dsOrder[:i], s.dsOrder[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, r, http.StatusNotFound, CodeDatasetNotFound,
+			fmt.Errorf("unknown dataset %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
 }
 
 type datasetInfo struct {
@@ -240,22 +354,28 @@ type rowRange struct {
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	var req detectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	ds, err := s.dataset(req.Dataset)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, r, http.StatusNotFound, CodeDatasetNotFound, err)
 		return
 	}
 	det, err := detectorByName(req.Detector)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, CodeUnknownDetector, err)
 		return
 	}
-	region, ok, err := s.analyzer.DetectUsing(ds, det)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	region, ok, err := s.analyzer.DetectUsingContext(ctx, ds, det)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeComputeError(w, r, err)
+			return
+		}
+		writeError(w, r, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	resp := map[string]any{"found": ok, "detector": det.Name()}
@@ -330,9 +450,9 @@ func (s *Server) rulesAnalyzer() (*dbsherlock.Analyzer, error) {
 
 // resolveRegion extracts the abnormal region from a request, running
 // detection if auto is set.
-func (s *Server) resolveRegion(ds *dbsherlock.Dataset, from, to *int, auto bool) (*dbsherlock.Region, error) {
+func (s *Server) resolveRegion(ctx context.Context, ds *dbsherlock.Dataset, from, to *int, auto bool) (*dbsherlock.Region, error) {
 	if auto {
-		res, err := s.analyzer.Detect(ds)
+		res, err := s.analyzer.DetectContext(ctx, ds)
 		if err != nil {
 			return nil, err
 		}
@@ -350,17 +470,23 @@ func (s *Server) resolveRegion(ds *dbsherlock.Dataset, from, to *int, auto bool)
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req explainRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	ds, err := s.dataset(req.Dataset)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, r, http.StatusNotFound, CodeDatasetNotFound, err)
 		return
 	}
-	region, err := s.resolveRegion(ds, req.From, req.To, req.Auto)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	region, err := s.resolveRegion(ctx, ds, req.From, req.To, req.Auto)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeComputeError(w, r, err)
+			return
+		}
+		writeError(w, r, http.StatusBadRequest, CodeInvalidRegion, err)
 		return
 	}
 
@@ -368,24 +494,22 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if req.Rules {
 		withRules, err := s.rulesAnalyzer()
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, r, http.StatusInternalServerError, CodeInternal, err)
 			return
 		}
 		analyzer = withRules
 	}
-	var expl *dbsherlock.Explanation
-	if req.Trace {
-		expl, err = analyzer.ExplainTraced(ds, region, nil)
-	} else {
-		expl, err = analyzer.Explain(ds, region, nil)
-	}
+	res, err := analyzer.Diagnose(ctx, dbsherlock.DiagnoseRequest{
+		Dataset: ds, Abnormal: region, Trace: req.Trace,
+	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeComputeError(w, r, err)
 		return
 	}
+	expl := res.Explanation
 	if req.Rules {
 		// Causes still come from the shared model store.
-		ranked, err := s.analyzer.RankAll(ds, region, nil)
+		ranked, err := s.analyzer.RankAllContext(ctx, ds, region, nil)
 		if err == nil {
 			expl.Causes = nil
 			for _, c := range ranked {
@@ -422,31 +546,33 @@ type learnRequest struct {
 func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	var req learnRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	if req.Cause == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("cause is required"))
+		writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("cause is required"))
 		return
 	}
 	ds, err := s.dataset(req.Dataset)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, r, http.StatusNotFound, CodeDatasetNotFound, err)
 		return
 	}
-	region, err := s.resolveRegion(ds, req.From, req.To, false)
+	region, err := s.resolveRegion(r.Context(), ds, req.From, req.To, false)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, CodeInvalidRegion, err)
 		return
 	}
-	model, err := s.analyzer.LearnCause(req.Cause, ds, region, nil)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	model, err := s.analyzer.LearnCauseContext(ctx, req.Cause, ds, region, nil)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeComputeError(w, r, err)
 		return
 	}
 	if req.Remedy != "" {
 		if err := s.analyzer.RecordRemediation(req.Cause, req.Remedy); err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, r, http.StatusInternalServerError, CodeInternal, err)
 			return
 		}
 	}
@@ -503,7 +629,7 @@ func (s *Server) handleExportModels(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleImportModels(w http.ResponseWriter, r *http.Request) {
 	if err := s.analyzer.LoadModels(r.Body); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"causes": len(s.analyzer.Causes())})

@@ -17,8 +17,12 @@ import (
 	"dbsherlock/internal/obs"
 )
 
-// expositionLine matches one Prometheus text-format sample line.
-var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$`)
+// expositionLine matches one Prometheus text-format sample line. Label
+// values are quoted strings and may contain any character (notably the
+// braces in route patterns like /v1/datasets/{id}), so the value part
+// is matched by quote-delimited tokens, not by "no closing brace".
+var expositionLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*",?)*\})? [^ ]+$`)
 
 // scrapeMetrics fetches /metrics and sanity-parses the exposition
 // format: every non-comment, non-blank line must be a sample.
@@ -192,12 +196,12 @@ func TestPanicRecoveryReturns500JSON(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500", resp.StatusCode)
 	}
-	var body map[string]string
+	var body errorResponse
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatalf("500 body is not JSON: %v", err)
 	}
-	if body["error"] == "" {
-		t.Errorf("500 body = %v, want an error field", body)
+	if body.Error.Code != CodeInternal || body.Error.Message == "" {
+		t.Errorf("500 body = %+v, want the internal error envelope", body)
 	}
 	if !strings.Contains(logBuf.String(), "test panic") {
 		t.Error("panic not logged")
@@ -244,12 +248,15 @@ func TestUploadTooLargeReturns413(t *testing.T) {
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status = %d, want 413", resp.StatusCode)
 	}
-	var body map[string]string
+	var body errorResponse
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatalf("413 body is not JSON: %v", err)
 	}
-	if !strings.Contains(body["error"], "limit") {
-		t.Errorf("413 error = %q, want a limit message", body["error"])
+	if body.Error.Code != CodePayloadTooLarge {
+		t.Errorf("413 code = %q, want %q", body.Error.Code, CodePayloadTooLarge)
+	}
+	if !strings.Contains(body.Error.Message, "limit") {
+		t.Errorf("413 error = %q, want a limit message", body.Error.Message)
 	}
 }
 

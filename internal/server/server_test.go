@@ -76,7 +76,7 @@ func decode[T any](t *testing.T, resp *http.Response, wantStatus int) T {
 	if resp.StatusCode != wantStatus {
 		var e errorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		t.Fatalf("status = %d (want %d): %s", resp.StatusCode, wantStatus, e.Error)
+		t.Fatalf("status = %d (want %d): %s: %s", resp.StatusCode, wantStatus, e.Error.Code, e.Error.Message)
 	}
 	var out T
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
