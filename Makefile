@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet lint build test race alloc-gate bench-smoke fuzz-smoke bench-parallel bench-obs bench-alloc bench-detect bench-lifecycle
+.PHONY: ci fmt-check vet lint build test race alloc-gate bench-smoke fuzz-smoke bench-parallel bench-obs bench-alloc bench-detect bench-lifecycle bench-store
 
 ci: fmt-check vet lint build race alloc-gate bench-smoke
 
@@ -56,14 +56,16 @@ alloc-gate:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...
 
-# Short fuzz campaigns over the CSV parser, the model-merge rule, and
-# the region iterator round-trip.
+# Short fuzz campaigns over the CSV parser, the model-merge rule, the
+# region iterator round-trip, and the store's on-disk decoders.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=10s ./internal/collector/
 	$(GO) test -run='^$$' -fuzz=FuzzMergePredicates -fuzztime=10s ./internal/causal/
 	$(GO) test -run='^$$' -fuzz=FuzzMergeCategorical -fuzztime=10s ./internal/causal/
 	$(GO) test -run='^$$' -fuzz=FuzzRegionRoundTrip -fuzztime=10s ./internal/metrics/
 	$(GO) test -run='^$$' -fuzz=FuzzGridClusterEquivalence -fuzztime=10s ./internal/dbscan/
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/store/
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/store/
 
 # Regenerate the numbers behind BENCH_parallel.json (sequential vs
 # parallel Explain/Rank at 1/4/8 workers, small and large datasets).
@@ -100,3 +102,12 @@ bench-detect:
 bench-lifecycle:
 	$(GO) test -bench 'BenchmarkExplainEndpoint|BenchmarkSemaphore' -benchtime=100x -count=5 -benchmem -run='^$$' ./internal/server/
 	$(GO) test -bench 'BenchmarkForEachCtx' -benchtime=200x -count=5 -benchmem -run='^$$' ./internal/core/
+
+# Regenerate the numbers behind BENCH_store.json: committed append
+# latency (fsync on/off) vs the in-memory baseline, cold-start replay
+# time vs log size (and vs a compacted snapshot), and the end-to-end
+# /v1/learn durability overhead against the in-memory store (the <10%
+# acceptance budget; commit the medians across the 5 repetitions).
+bench-store:
+	$(GO) test -bench 'BenchmarkDurableAppend|BenchmarkMemoryPut|BenchmarkDurableReplay' -benchtime=100x -count=5 -benchmem -run='^$$' ./internal/store/
+	$(GO) test -bench 'BenchmarkLearnEndpoint' -benchtime=30x -count=5 -benchmem -run='^$$' ./internal/server/

@@ -68,8 +68,8 @@ func usage() {
   plot     -in file.csv [-attr name] [-width N] [-height N]
   detect   -in file.csv
   explain  -in file.csv (-from N -to N | -auto) [-theta F] [-rules]
-  learn    -in file.csv -from N -to N -cause NAME [-remedy TEXT] [-models FILE]
-  diagnose -in file.csv (-from N -to N | -auto [-detector NAME]) [-models FILE] [-top K]`)
+  learn    -in file.csv -from N -to N -cause NAME [-remedy TEXT] [-models FILE | -data-dir DIR [-tenant T]]
+  diagnose -in file.csv (-from N -to N | -auto [-detector NAME]) [-models FILE | -data-dir DIR [-tenant T]] [-top K]`)
 }
 
 func loadDataset(path string) (*dbsherlock.Dataset, error) {

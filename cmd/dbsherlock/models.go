@@ -9,7 +9,26 @@ import (
 	"os"
 
 	"dbsherlock"
+	"dbsherlock/internal/store"
 )
+
+// openTenantBank opens the durable store at dir and hydrates a model
+// bank with the tenant's persisted models. The caller owns the store
+// and must Close it (learn commits the updated model back first).
+func openTenantBank(dir, tenant string) (*store.Durable, *dbsherlock.ModelBank, error) {
+	if err := store.ValidTenant(tenant); err != nil {
+		return nil, nil, err
+	}
+	st, err := store.OpenDurable(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open data dir: %w", err)
+	}
+	bank := dbsherlock.NewModelBank()
+	for _, m := range st.Models(tenant) {
+		bank.Set(m)
+	}
+	return st, bank, nil
+}
 
 // loadModels populates the analyzer from a model-store file, treating a
 // missing file as an empty store.
@@ -43,7 +62,9 @@ func runLearn(ctx context.Context, args []string) error {
 	from := fs.Int("from", -1, "abnormal region start (row index, inclusive)")
 	to := fs.Int("to", -1, "abnormal region end (row index, exclusive)")
 	cause := fs.String("cause", "", "the diagnosed root cause")
-	models := fs.String("models", "models.json", "model store file")
+	models := fs.String("models", "models.json", "model store file (ignored with -data-dir)")
+	dataDir := fs.String("data-dir", "", "durable store directory (WAL + snapshots); overrides -models")
+	tenant := fs.String("tenant", store.DefaultTenant, "tenant namespace inside -data-dir")
 	remedy := fs.String("remedy", "", "optional: the corrective action taken")
 	theta := fs.Float64("theta", 0.05, "normalized difference threshold (low: models will merge)")
 	if err := fs.Parse(args); err != nil {
@@ -60,7 +81,16 @@ func runLearn(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := loadModels(a, *models); err != nil {
+	var durable *store.Durable
+	if *dataDir != "" {
+		st, bank, err := openTenantBank(*dataDir, *tenant)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		durable = st
+		a = a.WithModelBank(bank)
+	} else if err := loadModels(a, *models); err != nil {
 		return err
 	}
 	abnormal := dbsherlock.RegionFromRange(ds.Rows(), *from, *to)
@@ -73,11 +103,22 @@ func runLearn(ctx context.Context, args []string) error {
 			return err
 		}
 	}
-	if err := saveModels(a, *models); err != nil {
+	where := *models
+	if durable != nil {
+		// Commit the merged model (with any remediation) to the log; the
+		// bank's entry is the canonical post-merge state.
+		if err := durable.PutModel(*tenant, a.ModelBank().Model(*cause)); err != nil {
+			return fmt.Errorf("persist model: %w", err)
+		}
+		if err := durable.Close(); err != nil {
+			return fmt.Errorf("close data dir: %w", err)
+		}
+		where = fmt.Sprintf("%s, tenant %s", *dataDir, *tenant)
+	} else if err := saveModels(a, *models); err != nil {
 		return err
 	}
 	fmt.Printf("learned %q: model now merged from %d diagnoses, %d predicates (store: %s)\n",
-		*cause, model.Merged, len(model.Predicates), *models)
+		*cause, model.Merged, len(model.Predicates), where)
 	return nil
 }
 
@@ -90,7 +131,9 @@ func runDiagnose(ctx context.Context, args []string) error {
 	to := fs.Int("to", -1, "abnormal region end (row index, exclusive)")
 	auto := fs.Bool("auto", false, "detect the abnormal region automatically")
 	detector := fs.String("detector", "dbscan", "detector for -auto: dbscan, threshold, perfaugur")
-	models := fs.String("models", "models.json", "model store file")
+	models := fs.String("models", "models.json", "model store file (ignored with -data-dir)")
+	dataDir := fs.String("data-dir", "", "durable store directory (WAL + snapshots); overrides -models")
+	tenant := fs.String("tenant", store.DefaultTenant, "tenant namespace inside -data-dir")
 	top := fs.Int("top", 3, "number of causes to show")
 	recommend := fs.Bool("recommend", true, "print recommended corrective actions")
 	if err := fs.Parse(args); err != nil {
@@ -107,11 +150,24 @@ func runDiagnose(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := loadModels(a, *models); err != nil {
+	source := fmt.Sprintf("model store %q", *models)
+	if *dataDir != "" {
+		st, bank, err := openTenantBank(*dataDir, *tenant)
+		if err != nil {
+			return err
+		}
+		// Diagnose only reads; close the log as soon as the bank is
+		// hydrated so a concurrent daemon restart is not blocked.
+		if err := st.Close(); err != nil {
+			return fmt.Errorf("close data dir: %w", err)
+		}
+		a = a.WithModelBank(bank)
+		source = fmt.Sprintf("data dir %q, tenant %s", *dataDir, *tenant)
+	} else if err := loadModels(a, *models); err != nil {
 		return err
 	}
 	if len(a.Causes()) == 0 {
-		return fmt.Errorf("diagnose: model store %q has no causal models (use `dbsherlock learn` first)", *models)
+		return fmt.Errorf("diagnose: %s has no causal models (use `dbsherlock learn` first)", source)
 	}
 
 	var abnormal *dbsherlock.Region

@@ -24,10 +24,17 @@
 // registry (oldest evicted first), and -drain bounds how long a
 // SIGINT/SIGTERM shutdown waits for in-flight requests.
 //
-// The model store (if given) is loaded at startup and written back on
-// SIGINT/SIGTERM shutdown. Shutdown is graceful: the listener closes,
-// in-flight requests drain (up to -drain), logs flush, and the process
-// exits 0.
+// Persistence flags: -data-dir opens a durable store (write-ahead log +
+// snapshots) in the given directory; every dataset upload, learned
+// model, and model import is committed there and replayed on restart.
+// -tenant-default names the tenant unlabelled requests (no
+// X-DBSherlock-Tenant header) belong to. Without -data-dir all state is
+// in-memory and lost on exit.
+//
+// The legacy -models file (if given) is loaded at startup and written
+// back on SIGINT/SIGTERM shutdown. Shutdown is graceful: the listener
+// closes, in-flight requests drain (up to -drain), the durable store is
+// flushed and closed, logs flush, and the process exits 0.
 package main
 
 import (
@@ -47,6 +54,7 @@ import (
 	"dbsherlock"
 	"dbsherlock/internal/obs"
 	"dbsherlock/internal/server"
+	"dbsherlock/internal/store"
 )
 
 // config collects the daemon's flag values.
@@ -64,6 +72,8 @@ type config struct {
 	maxDatasets int
 	timeout     time.Duration
 	drain       time.Duration
+	dataDir     string
+	tenant      string
 }
 
 func main() {
@@ -81,6 +91,8 @@ func main() {
 	flag.IntVar(&cfg.maxDatasets, "max-datasets", 0, "max uploaded datasets held in memory, oldest evicted (0 = unlimited)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "per-request deadline for compute endpoints (0 = none)")
 	flag.DurationVar(&cfg.drain, "drain", 5*time.Second, "graceful-shutdown drain window for in-flight requests")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable store directory (WAL + snapshots); empty = in-memory only")
+	flag.StringVar(&cfg.tenant, "tenant-default", store.DefaultTenant, "tenant that requests without an X-DBSherlock-Tenant header belong to")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		log.Fatal(err)
@@ -113,10 +125,26 @@ func run(cfg config) error {
 			return fmt.Errorf("load models: %w", err)
 		}
 	}
+	if err := store.ValidTenant(cfg.tenant); err != nil {
+		return fmt.Errorf("invalid -tenant-default %q: %w", cfg.tenant, err)
+	}
+	var st store.Store
+	if cfg.dataDir != "" {
+		durable, err := store.OpenDurable(cfg.dataDir)
+		if err != nil {
+			return fmt.Errorf("open data dir: %w", err)
+		}
+		st = durable
+	} else {
+		st = store.NewMemory()
+	}
+	defer st.Close()
 
 	serverOpts := []server.Option{
 		server.WithLogger(logger),
 		server.WithMaxUploadBytes(cfg.maxUpload),
+		server.WithStore(st),
+		server.WithDefaultTenant(cfg.tenant),
 	}
 	if cfg.pprof {
 		serverOpts = append(serverOpts, server.WithPprof())
@@ -151,6 +179,8 @@ func run(cfg config) error {
 	logger.Info("dbsherlockd listening",
 		slog.String("addr", cfg.addr),
 		slog.String("model_store", storeName(cfg.models)),
+		slog.String("data_dir", storeName(cfg.dataDir)),
+		slog.String("tenant_default", cfg.tenant),
 		slog.Bool("tracing", cfg.trace),
 		slog.Bool("pprof", cfg.pprof),
 		slog.Int("max_inflight", cfg.maxInflight),
@@ -180,6 +210,14 @@ func run(cfg config) error {
 			return fmt.Errorf("save models: %w", err)
 		}
 		logger.Info("model store saved", slog.String("path", cfg.models))
+	}
+	// Flush and close the durable log before reporting a clean stop; a
+	// failed final sync must fail the process, not vanish into a defer.
+	if err := st.Close(); err != nil {
+		return fmt.Errorf("close store: %w", err)
+	}
+	if cfg.dataDir != "" {
+		logger.Info("durable store closed", slog.String("data_dir", cfg.dataDir))
 	}
 	logger.Info("dbsherlockd stopped")
 	return nil

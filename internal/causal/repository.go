@@ -61,6 +61,60 @@ func (r *Repository) Add(m *Model) error {
 	return nil
 }
 
+// Set stores m (cloned) as the entry for m.Cause, replacing any
+// existing model without merging. It is the hydration and rollback
+// primitive for store-backed banks: Add merges, Set overwrites.
+func (r *Repository) Set(m *Model) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[m.Cause]; !ok {
+		r.order = append(r.order, m.Cause)
+	}
+	r.models[m.Cause] = m.Clone()
+}
+
+// Remove deletes the model for a cause and reports whether it existed.
+func (r *Repository) Remove(cause string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.models[cause]; !ok {
+		return false
+	}
+	delete(r.models, cause)
+	for i, c := range r.order {
+		if c == cause {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// ReplaceAll swaps the entire contents for the given models (cloned,
+// in order; a duplicated cause keeps the later model). Unlike building
+// a fresh Repository it preserves the receiver's identity, so handles
+// held by derived analyzers keep working across a model import.
+func (r *Repository) ReplaceAll(models []*Model) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.models = make(map[string]*Model, len(models))
+	r.order = r.order[:0]
+	for _, m := range models {
+		if _, dup := r.models[m.Cause]; !dup {
+			r.order = append(r.order, m.Cause)
+		}
+		r.models[m.Cause] = m.Clone()
+	}
+}
+
+// Models returns the stored models in insertion order. The returned
+// pointers are the immutable stored snapshots, safe to read but not to
+// mutate.
+func (r *Repository) Models() []*Model {
+	_, models := r.snapshot()
+	return models
+}
+
 // AddRemediation records a corrective action for a stored cause and
 // reports whether the cause is known. Stored models are immutable, so
 // the entry is replaced copy-on-write; readers holding the old pointer

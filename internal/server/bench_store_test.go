@@ -1,0 +1,101 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dbsherlock"
+	"dbsherlock/internal/store"
+)
+
+// benchLearnServer boots a server on the given store with one uploaded
+// 1800 s synthetic TPC-C trace (the lifecycle tests' workload) and
+// returns the ready-to-send learn body. Every /v1/learn iteration
+// re-diagnoses the 600-row region and commits the merged model, so the
+// durable-vs-memory delta is the full write-path overhead: encode, WAL
+// append, fsync.
+func benchLearnServer(b *testing.B, st store.Store) (*httptest.Server, []byte) {
+	b.Helper()
+	srv := New(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithStore(st))
+	ts := httptest.NewServer(srv)
+	b.Cleanup(ts.Close)
+
+	cfg := dbsherlock.DefaultTestbed()
+	cfg.Seed = 1
+	ds, _, err := dbsherlock.Simulate(cfg, 0, 1800, []dbsherlock.Injection{
+		{Kind: dbsherlock.LockContention, Start: 600, Duration: 600},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := dbsherlock.WriteCSV(&csv, ds); err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/datasets", "text/csv", &csv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b.Fatalf("upload status %d", resp.StatusCode)
+	}
+	return ts, []byte(`{"dataset":"ds-1","from":600,"to":1200,"cause":"Lock Contention"}`)
+}
+
+func benchLearn(b *testing.B, ts *httptest.Server, body []byte) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/learn", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkLearnEndpointMemory is end-to-end POST /v1/learn against the
+// in-memory store — the baseline for the durability budget.
+func BenchmarkLearnEndpointMemory(b *testing.B) {
+	ts, body := benchLearnServer(b, store.NewMemory())
+	benchLearn(b, ts, body)
+}
+
+// BenchmarkLearnEndpointDurable is the same request with every learned
+// model committed to the WAL and fdatasync'd before the 200 is sent.
+// The <10% overhead budget covers the store code path (encode, frame,
+// clone, write — compare BenchmarkLearnEndpointDurableNoSync); the one
+// device flush per commit on top of it is the disk's constant, not the
+// store's (see BENCH_store.json for the split on the CI disk).
+func BenchmarkLearnEndpointDurable(b *testing.B) {
+	d, err := store.OpenDurable(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { d.Close() })
+	ts, body := benchLearnServer(b, d)
+	benchLearn(b, ts, body)
+}
+
+// BenchmarkLearnEndpointDurableNoSync isolates the store code path from
+// the device flush: identical WAL append with the per-commit fdatasync
+// disabled. The delta to Memory is what the store abstraction itself
+// costs; the delta to Durable is one flush.
+func BenchmarkLearnEndpointDurableNoSync(b *testing.B) {
+	d, err := store.OpenDurable(b.TempDir(), store.WithSyncWrites(false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { d.Close() })
+	ts, body := benchLearnServer(b, d)
+	benchLearn(b, ts, body)
+}

@@ -33,6 +33,14 @@ const (
 	// CodeDeadlineExceeded means the per-request deadline expired while
 	// the diagnosis was still running.
 	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeInvalidTenant means the X-DBSherlock-Tenant header is not a
+	// valid tenant name (letters, digits, '.', '_', '-'; max 128 bytes).
+	CodeInvalidTenant ErrorCode = "invalid_tenant"
+	// CodeStoreUnavailable means the persistent store refused the write
+	// (failed log append or lost data directory). The request's change
+	// was rolled back rather than kept memory-only; retry once the
+	// store recovers.
+	CodeStoreUnavailable ErrorCode = "store_unavailable"
 	// CodeInternal is an unexpected server-side failure.
 	CodeInternal ErrorCode = "internal"
 )

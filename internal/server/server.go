@@ -18,6 +18,16 @@
 //	GET    /v1/models                export the model store (SaveModels JSON)
 //	PUT    /v1/models                replace the model store (LoadModels JSON)
 //
+// Every request is scoped to a tenant namespace via the
+// X-DBSherlock-Tenant header (absent = the configured default tenant):
+// datasets and learned causal models live per tenant, so one daemon can
+// serve many users or databases and tenant A's models never influence
+// tenant B's ranking. With WithStore the namespaces are backed by a
+// persistent store (internal/store) and survive restarts; uploads,
+// learns, and model imports that the store refuses are rolled back and
+// answered with 503 store_unavailable instead of being kept
+// memory-only.
+//
 // Every handler is wrapped in the observability middleware chain
 // (request-ID injection, panic recovery, structured access logging,
 // per-endpoint request counters and latency histograms — see
@@ -44,27 +54,39 @@ import (
 	"time"
 
 	"dbsherlock"
+	"dbsherlock/internal/causal"
 	"dbsherlock/internal/obs"
+	"dbsherlock/internal/store"
 )
 
 // DefaultMaxUploadBytes caps POST /v1/datasets request bodies (64 MiB);
 // override with WithMaxUploadBytes.
 const DefaultMaxUploadBytes = 64 << 20
 
-// Server is the HTTP façade around one Analyzer. It is safe for
-// concurrent use: the dataset registry is guarded by an RWMutex, and the
-// Analyzer itself is safe for concurrent use, so overlapping requests —
-// including expensive /v1/explain calls — run in parallel instead of
-// being serialized behind one lock. Datasets are immutable once
-// uploaded, so handlers only hold the registry lock for the map lookup.
+// TenantHeader is the request header selecting the tenant namespace; an
+// absent header means the server's default tenant.
+const TenantHeader = "X-DBSherlock-Tenant"
+
+// Server is the HTTP façade around one Analyzer and one tenant-scoped
+// Store. It is safe for concurrent use: the store and the per-tenant
+// model banks are internally synchronized, and the Analyzer itself is
+// safe for concurrent use, so overlapping requests — including
+// expensive /v1/explain calls — run in parallel instead of being
+// serialized behind one lock. Datasets are immutable once uploaded, so
+// handlers resolve them once and use them lock-free.
 type Server struct {
-	mu       sync.RWMutex
 	analyzer *dbsherlock.Analyzer
-	datasets map[string]*dbsherlock.Dataset
-	dsOrder  []string // upload order, oldest first (eviction order)
-	nextID   int
+	store    store.Store
+	tenant   string // default tenant for requests without the header
 	mux      *http.ServeMux
 	handler  http.Handler
+
+	// mu guards banks; the banks themselves are concurrency-safe. The
+	// default tenant's bank is the analyzer's own, so single-tenant
+	// embedders that talk to the Analyzer directly see the same models
+	// the server serves.
+	mu    sync.RWMutex
+	banks map[string]*dbsherlock.ModelBank
 
 	logger       *slog.Logger
 	registry     *obs.Registry
@@ -147,9 +169,9 @@ func WithTimeout(d time.Duration) Option {
 	}
 }
 
-// WithMaxDatasets caps the number of uploaded datasets held in memory;
-// when a new upload would exceed the cap the oldest dataset is evicted.
-// n <= 0 means unlimited.
+// WithMaxDatasets caps the number of uploaded datasets held per tenant;
+// when a new upload would exceed the cap the tenant's oldest dataset is
+// evicted. n <= 0 means unlimited.
 func WithMaxDatasets(n int) Option {
 	return func(s *Server) {
 		if n > 0 {
@@ -158,11 +180,35 @@ func WithMaxDatasets(n int) Option {
 	}
 }
 
+// WithStore backs the server's datasets and model banks with st
+// (typically a store.Durable, so both survive restarts). The default is
+// a fresh in-memory store with the pre-refactor semantics. The server
+// does not close the store; the owner does, after draining.
+func WithStore(st store.Store) Option {
+	return func(s *Server) {
+		if st != nil {
+			s.store = st
+		}
+	}
+}
+
+// WithDefaultTenant sets the namespace used by requests without an
+// X-DBSherlock-Tenant header. Default: "default". The name must satisfy
+// store.ValidTenant; an invalid one is ignored.
+func WithDefaultTenant(tenant string) Option {
+	return func(s *Server) {
+		if store.ValidTenant(tenant) == nil {
+			s.tenant = tenant
+		}
+	}
+}
+
 // New builds a server around the analyzer.
 func New(analyzer *dbsherlock.Analyzer, opts ...Option) *Server {
 	s := &Server{
 		analyzer:  analyzer,
-		datasets:  make(map[string]*dbsherlock.Dataset),
+		tenant:    store.DefaultTenant,
+		banks:     make(map[string]*dbsherlock.ModelBank),
 		mux:       http.NewServeMux(),
 		logger:    obs.DiscardLogger(),
 		registry:  obs.NewRegistry(),
@@ -171,6 +217,12 @@ func New(analyzer *dbsherlock.Analyzer, opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.store == nil {
+		s.store = store.NewMemory()
+	}
+	// The default tenant's bank is the analyzer's own repository.
+	s.banks[s.tenant] = analyzer.ModelBank()
+	s.hydrateBanks()
 	s.httpReqs = s.registry.NewCounterFamily(
 		"dbsherlock_http_requests_total",
 		"HTTP requests served, by endpoint and status code.")
@@ -206,6 +258,88 @@ func New(analyzer *dbsherlock.Analyzer, opts ...Option) *Server {
 	// writes; the request ID is injected first so both see it.
 	s.handler = obs.RequestID(obs.AccessLog(s.logger, obs.Recover(s.logger, s.mux)))
 	return s
+}
+
+// hydrateBanks loads every tenant's persisted models into live banks
+// and persists any model the analyzer was pre-loaded with (e.g. the
+// daemon's -models file) that the store does not know yet. On a cause
+// known to both, the store wins: it is the durable record.
+func (s *Server) hydrateBanks() {
+	for _, tenant := range s.store.Tenants() {
+		bank := s.bankFor(tenant)
+		for _, m := range s.store.Models(tenant) {
+			bank.Set(m)
+		}
+	}
+	stored := make(map[string]bool)
+	for _, m := range s.store.Models(s.tenant) {
+		stored[m.Cause] = true
+	}
+	for _, m := range s.banks[s.tenant].Models() {
+		if stored[m.Cause] {
+			continue
+		}
+		if err := s.store.PutModel(s.tenant, m); err != nil {
+			s.logger.Error("persisting pre-loaded model failed",
+				"cause", m.Cause, "tenant", s.tenant, "err", err)
+		}
+	}
+}
+
+// tenantFrom resolves the request's tenant namespace.
+func (s *Server) tenantFrom(r *http.Request) (string, error) {
+	t := r.Header.Get(TenantHeader)
+	if t == "" {
+		return s.tenant, nil
+	}
+	if err := store.ValidTenant(t); err != nil {
+		return "", err
+	}
+	return t, nil
+}
+
+// bankFor returns (creating if needed) a tenant's model bank.
+func (s *Server) bankFor(tenant string) *dbsherlock.ModelBank {
+	s.mu.RLock()
+	b, ok := s.banks[tenant]
+	s.mu.RUnlock()
+	if ok {
+		return b
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.banks[tenant]; ok {
+		return b
+	}
+	b = dbsherlock.NewModelBank()
+	s.banks[tenant] = b
+	return b
+}
+
+// analyzerFor returns the analyzer view that ranks and learns against
+// the tenant's bank. The default tenant gets the shared analyzer
+// itself.
+func (s *Server) analyzerFor(tenant string) *dbsherlock.Analyzer {
+	if tenant == s.tenant {
+		return s.analyzer
+	}
+	return s.analyzer.WithModelBank(s.bankFor(tenant))
+}
+
+// writeTenantError rejects a request with an unusable tenant header.
+func writeTenantError(w http.ResponseWriter, r *http.Request, err error) {
+	writeError(w, r, http.StatusBadRequest, CodeInvalidTenant, err)
+}
+
+// writeStoreError maps a persistent-store write failure: an unavailable
+// or closed store is a 503 the client should retry later; anything else
+// is unexpected.
+func writeStoreError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, store.ErrUnavailable) || errors.Is(err, store.ErrClosed) {
+		writeError(w, r, http.StatusServiceUnavailable, CodeStoreUnavailable, err)
+		return
+	}
+	writeError(w, r, http.StatusInternalServerError, CodeInternal, err)
 }
 
 // handle registers a handler wrapped with the per-endpoint counter and
@@ -248,6 +382,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	tenant, err := s.tenantFrom(r)
+	if err != nil {
+		writeTenantError(w, r, err)
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
 	defer body.Close()
 	ds, err := dbsherlock.ReadCSV(body)
@@ -261,24 +400,30 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
-	s.mu.Lock()
-	s.nextID++
-	id := fmt.Sprintf("ds-%d", s.nextID)
-	s.datasets[id] = ds
-	s.dsOrder = append(s.dsOrder, id)
+	id, err := s.store.PutDataset(tenant, ds)
+	if err != nil {
+		writeStoreError(w, r, err)
+		return
+	}
+	// Eviction policy lives here, mechanism in the store: drop the
+	// tenant's oldest datasets until it is back under the cap.
 	var evicted []string
 	if s.maxDatasets > 0 {
-		for len(s.dsOrder) > s.maxDatasets {
-			oldest := s.dsOrder[0]
-			s.dsOrder = s.dsOrder[1:]
-			delete(s.datasets, oldest)
+		for infos := s.store.Datasets(tenant); len(infos) > s.maxDatasets; infos = infos[1:] {
+			oldest := infos[0].ID
+			if _, err := s.store.DeleteDataset(tenant, oldest); err != nil {
+				s.logger.Error("dataset eviction failed",
+					"id", oldest, "tenant", tenant, "err", err,
+					"request_id", obs.RequestIDFrom(r.Context()))
+				break
+			}
 			evicted = append(evicted, oldest)
 		}
 	}
-	s.mu.Unlock()
 	for _, old := range evicted {
 		s.logger.Info("dataset evicted",
 			"id", old,
+			"tenant", tenant,
 			"max_datasets", s.maxDatasets,
 			"request_id", obs.RequestIDFrom(r.Context()))
 	}
@@ -292,19 +437,17 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	s.mu.Lock()
-	_, ok := s.datasets[id]
-	if ok {
-		delete(s.datasets, id)
-		for i, d := range s.dsOrder {
-			if d == id {
-				s.dsOrder = append(s.dsOrder[:i], s.dsOrder[i+1:]...)
-				break
-			}
-		}
+	tenant, err := s.tenantFrom(r)
+	if err != nil {
+		writeTenantError(w, r, err)
+		return
 	}
-	s.mu.Unlock()
+	id := r.PathValue("id")
+	ok, err := s.store.DeleteDataset(tenant, id)
+	if err != nil {
+		writeStoreError(w, r, err)
+		return
+	}
 	if !ok {
 		writeError(w, r, http.StatusNotFound, CodeDatasetNotFound,
 			fmt.Errorf("unknown dataset %q", id))
@@ -319,22 +462,24 @@ type datasetInfo struct {
 	Attributes int    `json:"attributes"`
 }
 
-func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	out := make([]datasetInfo, 0, len(s.datasets))
-	for id, ds := range s.datasets {
-		out = append(out, datasetInfo{ID: id, Rows: ds.Rows(), Attributes: ds.NumAttrs()})
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	tenant, err := s.tenantFrom(r)
+	if err != nil {
+		writeTenantError(w, r, err)
+		return
 	}
-	s.mu.RUnlock()
+	infos := s.store.Datasets(tenant)
+	out := make([]datasetInfo, 0, len(infos))
+	for _, info := range infos {
+		out = append(out, datasetInfo{ID: info.ID, Rows: info.Rows, Attributes: info.Attributes})
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// dataset resolves an id. Datasets are immutable after upload, so the
-// returned pointer is safe to use after the lock is released.
-func (s *Server) dataset(id string) (*dbsherlock.Dataset, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ds, ok := s.datasets[id]
+// dataset resolves an id within a tenant. Datasets are immutable after
+// upload, so the returned pointer stays valid without a lock.
+func (s *Server) dataset(tenant, id string) (*dbsherlock.Dataset, error) {
+	ds, ok := s.store.GetDataset(tenant, id)
 	if !ok {
 		return nil, fmt.Errorf("unknown dataset %q", id)
 	}
@@ -352,12 +497,17 @@ type rowRange struct {
 }
 
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	tenant, err := s.tenantFrom(r)
+	if err != nil {
+		writeTenantError(w, r, err)
+		return
+	}
 	var req detectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
-	ds, err := s.dataset(req.Dataset)
+	ds, err := s.dataset(tenant, req.Dataset)
 	if err != nil {
 		writeError(w, r, http.StatusNotFound, CodeDatasetNotFound, err)
 		return
@@ -468,12 +618,17 @@ func (s *Server) resolveRegion(ctx context.Context, ds *dbsherlock.Dataset, from
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	tenant, err := s.tenantFrom(r)
+	if err != nil {
+		writeTenantError(w, r, err)
+		return
+	}
 	var req explainRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
-	ds, err := s.dataset(req.Dataset)
+	ds, err := s.dataset(tenant, req.Dataset)
 	if err != nil {
 		writeError(w, r, http.StatusNotFound, CodeDatasetNotFound, err)
 		return
@@ -490,7 +645,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	analyzer := s.analyzer
+	analyzer := s.analyzerFor(tenant)
 	if req.Rules {
 		withRules, err := s.rulesAnalyzer()
 		if err != nil {
@@ -508,8 +663,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	expl := res.Explanation
 	if req.Rules {
-		// Causes still come from the shared model store.
-		ranked, err := s.analyzer.RankAllContext(ctx, ds, region, nil)
+		// Causes still come from the tenant's model bank.
+		ranked, err := s.analyzerFor(tenant).RankAllContext(ctx, ds, region, nil)
 		if err == nil {
 			expl.Causes = nil
 			for _, c := range ranked {
@@ -544,6 +699,11 @@ type learnRequest struct {
 }
 
 func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
+	tenant, err := s.tenantFrom(r)
+	if err != nil {
+		writeTenantError(w, r, err)
+		return
+	}
 	var req learnRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, err)
@@ -553,7 +713,7 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("cause is required"))
 		return
 	}
-	ds, err := s.dataset(req.Dataset)
+	ds, err := s.dataset(tenant, req.Dataset)
 	if err != nil {
 		writeError(w, r, http.StatusNotFound, CodeDatasetNotFound, err)
 		return
@@ -565,20 +725,54 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	model, err := s.analyzer.LearnCauseContext(ctx, req.Cause, ds, region, nil)
+	bank := s.bankFor(tenant)
+	analyzer := s.analyzerFor(tenant)
+	// Snapshot the pre-learn model so a refused persist can be rolled
+	// back: a model the store will not hold must not keep ranking.
+	prev := bank.Model(req.Cause)
+	model, err := analyzer.LearnCauseContext(ctx, req.Cause, ds, region, nil)
 	if err != nil {
 		writeComputeError(w, r, err)
 		return
 	}
+	if err := s.persistModel(tenant, bank, req.Cause, prev); err != nil {
+		writeStoreError(w, r, err)
+		return
+	}
 	if req.Remedy != "" {
-		if err := s.analyzer.RecordRemediation(req.Cause, req.Remedy); err != nil {
+		if err := analyzer.RecordRemediation(req.Cause, req.Remedy); err != nil {
 			writeError(w, r, http.StatusInternalServerError, CodeInternal, err)
+			return
+		}
+		// The remediation changed the stored model; persist it too,
+		// rolling back to the remediation-free model if refused.
+		if err := s.persistModel(tenant, bank, req.Cause, model); err != nil {
+			writeStoreError(w, r, err)
 			return
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"cause": model.Cause, "merged": model.Merged, "predicates": len(model.Predicates),
 	})
+}
+
+// persistModel writes the bank's current model for cause to the store.
+// If the store refuses, the bank is rolled back to prev (removed when
+// prev is nil) so memory never serves models that are not durable.
+func (s *Server) persistModel(tenant string, bank *dbsherlock.ModelBank, cause string, prev *dbsherlock.CausalModel) error {
+	m := bank.Model(cause)
+	if m == nil {
+		return fmt.Errorf("model %q disappeared before persist", cause)
+	}
+	if err := s.store.PutModel(tenant, m); err != nil {
+		if prev != nil {
+			bank.Set(prev)
+		} else {
+			bank.Remove(cause)
+		}
+		return err
+	}
+	return nil
 }
 
 type causeInfo struct {
@@ -588,10 +782,16 @@ type causeInfo struct {
 	Remediations []string `json:"remediations,omitempty"`
 }
 
-func (s *Server) handleCauses(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleCauses(w http.ResponseWriter, r *http.Request) {
+	tenant, err := s.tenantFrom(r)
+	if err != nil {
+		writeTenantError(w, r, err)
+		return
+	}
+	bank := s.bankFor(tenant)
 	out := make([]causeInfo, 0)
-	for _, cause := range s.analyzer.Causes() {
-		m := s.analyzer.Model(cause)
+	for _, cause := range bank.Causes() {
+		m := bank.Model(cause)
 		if m == nil {
 			// A concurrent PUT /v1/models replaced the store between the
 			// cause listing and the model lookup.
@@ -612,9 +812,14 @@ func (s *Server) handleCauses(w http.ResponseWriter, _ *http.Request) {
 const exportErrorTrailer = "X-DBSherlock-Export-Error"
 
 func (s *Server) handleExportModels(w http.ResponseWriter, r *http.Request) {
+	tenant, err := s.tenantFrom(r)
+	if err != nil {
+		writeTenantError(w, r, err)
+		return
+	}
 	w.Header().Set("Trailer", exportErrorTrailer)
 	w.Header().Set("Content-Type", "application/json")
-	if err := s.analyzer.SaveModels(w); err != nil {
+	if err := s.bankFor(tenant).Save(w); err != nil {
 		// The status line is already out, so the error cannot become a
 		// 500. Log it, record it in the declared trailer, and abort the
 		// response so the connection closes without the terminating
@@ -628,9 +833,24 @@ func (s *Server) handleExportModels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleImportModels(w http.ResponseWriter, r *http.Request) {
-	if err := s.analyzer.LoadModels(r.Body); err != nil {
+	tenant, err := s.tenantFrom(r)
+	if err != nil {
+		writeTenantError(w, r, err)
+		return
+	}
+	repo, err := causal.LoadRepository(r.Body)
+	if err != nil {
 		writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"causes": len(s.analyzer.Causes())})
+	models := repo.Models()
+	// Persist first, install second: an import the store refuses never
+	// reaches the live bank.
+	if err := s.store.ReplaceModels(tenant, models); err != nil {
+		writeStoreError(w, r, err)
+		return
+	}
+	bank := s.bankFor(tenant)
+	bank.ReplaceAll(models)
+	writeJSON(w, http.StatusOK, map[string]any{"causes": len(bank.Causes())})
 }

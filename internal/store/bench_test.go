@@ -1,0 +1,137 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkDurableAppend measures the latency of one committed write —
+// encode, frame, append, fsync — for the two payload shapes the server
+// produces: a per-second statistics dataset and a merged causal model.
+// The fsync dominates; sync=off isolates the encoding and framing cost.
+func BenchmarkDurableAppend(b *testing.B) {
+	for _, sync := range []bool{true, false} {
+		for _, shape := range []struct {
+			name string
+			rows int
+		}{
+			{"dataset_60rows", 60},
+			{"dataset_600rows", 600},
+		} {
+			b.Run(fmt.Sprintf("%s/sync=%v", shape.name, sync), func(b *testing.B) {
+				d, err := OpenDurable(b.TempDir(), WithSyncWrites(sync))
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer d.Close()
+				ds := testDataset(b, shape.rows, 7)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := d.PutDataset(DefaultTenant, ds); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("model/sync=%v", sync), func(b *testing.B) {
+			d, err := OpenDurable(b.TempDir(), WithSyncWrites(sync))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			m := testModel("lock contention", 3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := d.PutModel(DefaultTenant, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMemoryPut is the in-memory baseline for the same writes: the
+// gap to BenchmarkDurableAppend is the price of durability.
+func BenchmarkMemoryPut(b *testing.B) {
+	m := NewMemory()
+	ds := testDataset(b, 60, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PutDataset(DefaultTenant, ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDurableReplay measures cold-start time as a function of log
+// size: a directory with n committed records (no snapshot — compaction
+// disabled via a huge threshold) is reopened per iteration. Replay cost
+// should grow linearly with the record count; compaction exists to keep
+// n small in practice.
+func BenchmarkDurableReplay(b *testing.B) {
+	for _, n := range []int{100, 1000, 4000} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			d, err := OpenDurable(dir, WithCompactEvery(1<<40), WithSyncWrites(false))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ds := testDataset(b, 10, 3)
+			for i := 0; i < n; i++ {
+				if _, err := d.PutDataset(DefaultTenant, ds); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := d.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, err := OpenDurable(dir, WithCompactEvery(1<<40))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := d.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDurableReplaySnapshot is the same cold start after Compact:
+// the WAL is folded into one snapshot read regardless of history length.
+func BenchmarkDurableReplaySnapshot(b *testing.B) {
+	dir := b.TempDir()
+	d, err := OpenDurable(dir, WithCompactEvery(1<<40), WithSyncWrites(false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := testDataset(b, 10, 3)
+	for i := 0; i < 4000; i++ {
+		if _, err := d.PutDataset(DefaultTenant, ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := d.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := OpenDurable(dir, WithCompactEvery(1<<40))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

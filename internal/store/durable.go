@@ -1,0 +1,440 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"strings"
+	"sync"
+
+	"dbsherlock/internal/causal"
+	"dbsherlock/internal/metrics"
+)
+
+// File names inside the data directory. There is exactly one current
+// WAL and at most one current snapshot; *.tmp files are in-flight
+// compaction output, ignored and removed on open.
+const (
+	walName  = "wal"
+	snapName = "snapshot"
+	tmpExt   = ".tmp"
+)
+
+// DefaultCompactBytes is the WAL size that triggers snapshot
+// compaction.
+const DefaultCompactBytes = 4 << 20
+
+// Durable is the persistent Store backend: a Memory store as the
+// materialized state plus a write-ahead log. Every mutation is
+// CRC-framed, appended, and fsync'd before it is applied and
+// acknowledged, so an acknowledged write survives a power cut and an
+// unacknowledged one disappears cleanly at replay (the torn tail is
+// truncated). When the log outgrows the compaction threshold the full
+// state is written to an atomically renamed snapshot and the log is
+// restarted; replay skips records the snapshot already covers.
+//
+// A Durable is safe for concurrent use: reads go straight to the
+// materialized state, writes serialize on the log. After a log failure
+// that cannot be rolled back, reads keep working and every write
+// returns an error wrapping ErrUnavailable — the store refuses to let
+// memory diverge silently from disk.
+type Durable struct {
+	mu           sync.Mutex
+	fs           FS
+	dir          string
+	mem          *Memory
+	wal          File
+	walSize      int64
+	seq          uint64
+	syncWrites   bool
+	compactBytes int64
+	failed       error // first unrecoverable log error; nil while healthy
+	closed       bool
+}
+
+var _ Store = (*Durable)(nil)
+
+// DurableOption configures OpenDurable.
+type DurableOption func(*Durable)
+
+// WithFS substitutes the filesystem (the crash battery injects a
+// FailFS). Default: the real one.
+func WithFS(fsys FS) DurableOption {
+	return func(d *Durable) { d.fs = fsys }
+}
+
+// WithCompactEvery sets the WAL size in bytes that triggers snapshot
+// compaction; n <= 0 keeps the default (4 MiB).
+func WithCompactEvery(n int64) DurableOption {
+	return func(d *Durable) {
+		if n > 0 {
+			d.compactBytes = n
+		}
+	}
+}
+
+// WithSyncWrites toggles the per-commit fsync. Leaving it on (the
+// default) is the durability contract; turning it off trades the
+// crash guarantee for throughput (benchmarks, bulk loads) — Close
+// still syncs.
+func WithSyncWrites(on bool) DurableOption {
+	return func(d *Durable) { d.syncWrites = on }
+}
+
+// OpenDurable opens (creating if needed) a durable store rooted at
+// dir: it loads the newest snapshot, replays the intact prefix of the
+// WAL over it, truncates any torn tail, and is then ready to serve.
+func OpenDurable(dir string, opts ...DurableOption) (*Durable, error) {
+	d := &Durable{
+		fs:           OSFS{},
+		dir:          dir,
+		mem:          NewMemory(),
+		syncWrites:   true,
+		compactBytes: DefaultCompactBytes,
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	if err := d.fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create data dir: %w", err)
+	}
+	d.removeTemps()
+
+	// Snapshot first: it defines the floor sequence number.
+	var snapSeq uint64
+	snapData, err := d.readFile(d.path(snapName))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// First boot, or compaction has never run.
+	case err != nil:
+		return nil, fmt.Errorf("store: read snapshot: %w", err)
+	default:
+		mem, seq, err := decodeSnapshot(snapData)
+		if err != nil {
+			return nil, fmt.Errorf("store: %s is corrupt: %w", d.path(snapName), err)
+		}
+		d.mem, snapSeq = mem, seq
+	}
+	d.seq = snapSeq
+
+	// Replay the WAL's intact prefix and truncate anything torn.
+	walData, err := d.readFile(d.path(walName))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: read wal: %w", err)
+	}
+	recs, goodSize, err := replayWAL(walData)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if rec.seq <= snapSeq {
+			continue // already folded into the snapshot
+		}
+		rec.op.apply(d.mem)
+		d.seq = rec.seq
+	}
+	if goodSize < int64(len(walMagic)) {
+		// Missing file, or a crash mid-creation tore the header: start a
+		// fresh log.
+		if err := d.writeFileSync(d.path(walName), walMagic); err != nil {
+			return nil, fmt.Errorf("store: initialize wal: %w", err)
+		}
+		goodSize = int64(len(walMagic))
+	} else if goodSize < int64(len(walData)) {
+		if err := d.truncateSync(d.path(walName), goodSize); err != nil {
+			return nil, fmt.Errorf("store: truncate torn wal tail: %w", err)
+		}
+	}
+	wal, err := d.fs.OpenFile(d.path(walName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal for append: %w", err)
+	}
+	d.wal = wal
+	d.walSize = goodSize
+	return d, nil
+}
+
+func (d *Durable) path(name string) string { return path.Join(d.dir, name) }
+
+// removeTemps clears in-flight compaction leftovers; best-effort.
+func (d *Durable) removeTemps() {
+	entries, err := d.fs.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), tmpExt) {
+			_ = d.fs.Remove(d.path(e.Name()))
+		}
+	}
+}
+
+func (d *Durable) readFile(name string) ([]byte, error) {
+	f, err := d.fs.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// writeFileSync (re)creates a file with the given contents, fsync'd.
+func (d *Durable) writeFileSync(name string, data []byte) error {
+	f, err := d.fs.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (d *Durable) truncateSync(name string, size int64) error {
+	f, err := d.fs.OpenFile(name, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// commit is the single write path: frame the op under the next
+// sequence number, append, fsync, and only then apply it to the
+// materialized state. The op is therefore either durable and visible,
+// or neither.
+func (d *Durable) commit(o *op) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.writableLocked(); err != nil {
+		return err
+	}
+	return d.commitLocked(o)
+}
+
+func (d *Durable) writableLocked() error {
+	if d.closed {
+		return ErrClosed
+	}
+	if d.failed != nil {
+		return fmt.Errorf("%w: log failed earlier: %v", ErrUnavailable, d.failed)
+	}
+	return nil
+}
+
+func (d *Durable) commitLocked(o *op) error {
+	frame := encodeWALRecord(d.seq+1, o)
+	if _, err := d.wal.Write(frame); err != nil {
+		return d.rollbackAppend(err)
+	}
+	if d.syncWrites {
+		if err := d.wal.Sync(); err != nil {
+			return d.rollbackAppend(err)
+		}
+	}
+	d.seq++
+	d.walSize += int64(len(frame))
+	o.apply(d.mem)
+	if d.walSize >= d.compactBytes {
+		// Compaction failure is not a commit failure: the record above
+		// is durable. compactLocked marks the store failed only when it
+		// cannot keep appending to a healthy log.
+		_ = d.compactLocked()
+	}
+	return nil
+}
+
+// rollbackAppend tries to cut the log back to the last committed
+// record after a failed append. If the rollback itself fails the log
+// position is unknowable and the store stops accepting writes.
+func (d *Durable) rollbackAppend(cause error) error {
+	if err := d.wal.Truncate(d.walSize); err != nil {
+		d.failed = fmt.Errorf("append failed (%v) and rollback truncate failed (%v)", cause, err)
+	} else if err := d.wal.Sync(); err != nil {
+		d.failed = fmt.Errorf("append failed (%v) and rollback sync failed (%v)", cause, err)
+	}
+	return fmt.Errorf("%w: append: %v", ErrUnavailable, cause)
+}
+
+// Compact forces snapshot compaction regardless of the WAL size.
+func (d *Durable) Compact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.writableLocked(); err != nil {
+		return err
+	}
+	return d.compactLocked()
+}
+
+// compactLocked writes the snapshot, then restarts the WAL:
+//
+//  1. encode the full state at the current sequence number into
+//     snapshot.tmp, fsync, rename over the snapshot, fsync the dir;
+//  2. create a fresh header-only wal.tmp, fsync, rename over the wal,
+//     fsync the dir, and swing the append handle to the new file.
+//
+// The snapshot must be durable before the log restarts — a crash
+// between the two renames leaves the new snapshot with the old log,
+// which replay handles by skipping records the snapshot covers. A
+// failure in step 1, or in step 2 before the rename, just keeps the
+// old (correct) log; only losing the append handle marks the store
+// failed.
+func (d *Durable) compactLocked() error {
+	img := encodeSnapshot(d.seq, encodeState(d.mem))
+	snapTmp := d.path(snapName + tmpExt)
+	if err := d.writeFileSync(snapTmp, img); err != nil {
+		_ = d.fs.Remove(snapTmp)
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := d.fs.Rename(snapTmp, d.path(snapName)); err != nil {
+		_ = d.fs.Remove(snapTmp)
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	if err := d.fs.SyncDir(d.dir); err != nil {
+		return fmt.Errorf("store: sync data dir: %w", err)
+	}
+
+	walTmp := d.path(walName + tmpExt)
+	if err := d.writeFileSync(walTmp, walMagic); err != nil {
+		_ = d.fs.Remove(walTmp)
+		return fmt.Errorf("store: restart wal: %w", err)
+	}
+	if err := d.fs.Rename(walTmp, d.path(walName)); err != nil {
+		_ = d.fs.Remove(walTmp)
+		return fmt.Errorf("store: restart wal: %w", err)
+	}
+	if err := d.fs.SyncDir(d.dir); err != nil {
+		return fmt.Errorf("store: sync data dir: %w", err)
+	}
+	fresh, err := d.fs.OpenFile(d.path(walName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The old handle points at the replaced (unlinked) file; nothing
+		// appended there would ever be replayed. Refuse further writes.
+		d.failed = fmt.Errorf("reopen wal after compaction: %v", err)
+		return fmt.Errorf("%w: %v", ErrUnavailable, d.failed)
+	}
+	old := d.wal
+	d.wal = fresh
+	d.walSize = int64(len(walMagic))
+	_ = old.Close()
+	return nil
+}
+
+// PutDataset implements Store.
+func (d *Durable) PutDataset(tenant string, ds *metrics.Dataset) (string, error) {
+	if err := ValidTenant(tenant); err != nil {
+		return "", err
+	}
+	if ds == nil {
+		return "", fmt.Errorf("store: nil dataset")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.writableLocked(); err != nil {
+		return "", err
+	}
+	// The id is derived inside the same critical section that commits
+	// the record, so concurrent uploads cannot collide.
+	id := d.mem.peekDatasetID(tenant)
+	if err := d.commitLocked(&op{kind: opPutDataset, tenant: tenant, id: id, ds: ds}); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// GetDataset implements Store.
+func (d *Durable) GetDataset(tenant, id string) (*metrics.Dataset, bool) {
+	return d.mem.GetDataset(tenant, id)
+}
+
+// Datasets implements Store.
+func (d *Durable) Datasets(tenant string) []DatasetInfo { return d.mem.Datasets(tenant) }
+
+// DeleteDataset implements Store.
+func (d *Durable) DeleteDataset(tenant, id string) (bool, error) {
+	if err := ValidTenant(tenant); err != nil {
+		return false, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.writableLocked(); err != nil {
+		return false, err
+	}
+	// Existence is checked inside the critical section so a concurrent
+	// delete cannot double-log the op.
+	if _, ok := d.mem.GetDataset(tenant, id); !ok {
+		return false, nil
+	}
+	if err := d.commitLocked(&op{kind: opDeleteDataset, tenant: tenant, id: id}); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// PutModel implements Store.
+func (d *Durable) PutModel(tenant string, m *causal.Model) error {
+	if err := ValidTenant(tenant); err != nil {
+		return err
+	}
+	if err := validateModel(m); err != nil {
+		return err
+	}
+	return d.commit(&op{kind: opPutModel, tenant: tenant, model: m.Clone()})
+}
+
+// Models implements Store.
+func (d *Durable) Models(tenant string) []*causal.Model { return d.mem.Models(tenant) }
+
+// ReplaceModels implements Store.
+func (d *Durable) ReplaceModels(tenant string, models []*causal.Model) error {
+	if err := ValidTenant(tenant); err != nil {
+		return err
+	}
+	cp := make([]*causal.Model, len(models))
+	for i, m := range models {
+		if err := validateModel(m); err != nil {
+			return err
+		}
+		cp[i] = m.Clone()
+	}
+	return d.commit(&op{kind: opReplaceModels, tenant: tenant, models: cp})
+}
+
+// Tenants implements Store.
+func (d *Durable) Tenants() []string { return d.mem.Tenants() }
+
+// Close implements Store: flush the log and release the handle. The
+// store is unusable afterwards.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if d.wal == nil {
+		return nil
+	}
+	var err error
+	if d.failed == nil && !d.syncWrites {
+		err = d.wal.Sync()
+	}
+	if cerr := d.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

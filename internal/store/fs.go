@@ -1,0 +1,92 @@
+package store
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS is the slice of filesystem behavior the durable backend needs. It
+// exists so the crash battery can substitute a failpoint filesystem
+// (failfs.go) that injects short writes, I/O errors, and simulated
+// power cuts at arbitrary byte offsets; production uses OSFS.
+type FS interface {
+	// OpenFile opens with os.OpenFile semantics for the flags the
+	// backend uses: O_RDONLY, O_RDWR, O_CREATE, O_TRUNC, O_APPEND.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]fs.DirEntry, error)
+	MkdirAll(path string, perm fs.FileMode) error
+	// SyncDir fsyncs a directory, making renames and creates in it
+	// durable against power loss.
+	SyncDir(name string) error
+}
+
+// File is the open-file surface the backend uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage. The WAL calls it
+	// once per committed record (see DESIGN.md §13 for the contract).
+	Sync() error
+	Truncate(size int64) error
+	// Size returns the current file length.
+	Size() (int64, error)
+}
+
+// OSFS is the production FS, a thin veneer over package os.
+type OSFS struct{}
+
+var _ FS = OSFS{}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Sync implements File via datasync (fdatasync on Linux): the WAL and
+// snapshot writers only need the data and the size-extending metadata
+// flushed, not timestamps, which saves a journal write per commit.
+// POSIX guarantees fdatasync persists all metadata needed to retrieve
+// the written data, so crash safety is unchanged.
+func (f osFile) Sync() error { return datasync(f.File) }
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(name string) error {
+	d, err := os.Open(filepath.Clean(name))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package store
+
+import "os"
+
+// datasync falls back to a full fsync where fdatasync(2) is not
+// available.
+func datasync(f *os.File) error { return f.Sync() }

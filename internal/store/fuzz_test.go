@@ -1,0 +1,123 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Fuzz targets for the two decode surfaces that face disk bytes. The
+// contract under corruption — truncated files, flipped bits, hostile
+// lengths — is: error or clean prefix recovery, never a panic, never a
+// giant allocation, and never garbage admitted past validation.
+
+// seedWALImages builds a few valid WAL images (empty, records only,
+// records after compaction-sized payloads) to anchor the corpus.
+func seedWALImages() [][]byte {
+	rng := rand.New(rand.NewSource(42))
+	var out [][]byte
+
+	out = append(out, append([]byte(nil), walMagic...))
+
+	img := append([]byte(nil), walMagic...)
+	seq := uint64(0)
+	for _, o := range genOps(rng, 6) {
+		if o.kind == opPutDataset {
+			o.id = "ds-1"
+		}
+		if o.kind == opDeleteDataset {
+			continue
+		}
+		seq++
+		img = append(img, encodeWALRecord(seq, o)...)
+	}
+	out = append(out, img)
+	return out
+}
+
+func FuzzWALReplay(f *testing.F) {
+	for _, img := range seedWALImages() {
+		f.Add(img)
+		// Truncations and a bit flip of each seed give the mutator
+		// realistic torn/corrupt starting points.
+		if len(img) > 12 {
+			f.Add(img[:len(img)-5])
+			flipped := append([]byte(nil), img...)
+			flipped[len(flipped)/2] ^= 0x10
+			f.Add(flipped)
+		}
+	}
+	f.Add([]byte("DBSHWAL1"))
+	f.Add([]byte("DBSHSNP1 wrong file kind"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, goodSize, err := replayWAL(data)
+		if err != nil {
+			return
+		}
+		if goodSize < 0 || goodSize > int64(len(data)) {
+			t.Fatalf("goodSize %d outside [0, %d]", goodSize, len(data))
+		}
+		if len(recs) > 0 && goodSize < int64(len(walMagic)) {
+			t.Fatalf("%d records decoded from a file shorter than the header", len(recs))
+		}
+		// Whatever replayed must apply cleanly and re-encode: the ops
+		// passed the same validation the write path uses.
+		m := NewMemory()
+		var lastSeq uint64
+		for _, r := range recs {
+			if r.seq <= lastSeq {
+				t.Fatalf("replay returned non-monotonic seq %d after %d", r.seq, lastSeq)
+			}
+			lastSeq = r.seq
+			r.op.apply(m)
+		}
+		state := encodeState(m)
+		if _, err := decodeState(state); err != nil {
+			t.Fatalf("replayed state does not round-trip: %v", err)
+		}
+		// Replay is a prefix: truncating to goodSize must reproduce it.
+		recs2, goodSize2, err := replayWAL(data[:goodSize])
+		if err != nil || goodSize2 != goodSize || len(recs2) != len(recs) {
+			t.Fatalf("replay of truncated-to-good file differs: %d/%d recs, size %d/%d, err %v",
+				len(recs2), len(recs), goodSize2, goodSize, err)
+		}
+	})
+}
+
+func FuzzSnapshotDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMemory()
+	for _, o := range genOps(rng, 8) {
+		if o.kind == opPutDataset {
+			o.id = m.peekDatasetID(o.tenant)
+		}
+		o.apply(m)
+	}
+	f.Add(encodeSnapshot(12, encodeState(m)))
+	f.Add(encodeSnapshot(0, encodeState(NewMemory())))
+	f.Add([]byte("DBSHSNP1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mem, seq, err := decodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally valid: every model passes
+		// validation (checked inside decode) and the state re-encodes to
+		// a decodable image with the same sequence floor.
+		img := encodeSnapshot(seq, encodeState(mem))
+		mem2, seq2, err := decodeSnapshot(img)
+		if err != nil {
+			t.Fatalf("accepted snapshot does not round-trip: %v", err)
+		}
+		if seq2 != seq {
+			t.Fatalf("sequence floor changed across round trip: %d != %d", seq2, seq)
+		}
+		if !bytes.Equal(encodeState(mem2), encodeState(mem)) {
+			t.Fatal("state changed across round trip")
+		}
+	})
+}

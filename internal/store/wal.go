@@ -1,0 +1,154 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk framing. The WAL is a magic header followed by CRC-framed
+// records; the snapshot is a magic header followed by one CRC-framed
+// payload. Frames are
+//
+//	u32 length | u32 crc32c(payload) | payload
+//
+// and a WAL payload is
+//
+//	u64 seq | op bytes (codec.go)
+//
+// Replay accepts the longest prefix of intact frames: a torn length
+// word, a length running past EOF, or a CRC mismatch ends replay at
+// the last good record (the file is truncated back to it), which is
+// exactly the prefix-consistency the crash battery asserts. A frame
+// whose CRC passes but whose op fails to decode is reported as an
+// error instead — that is real corruption, not a torn tail.
+
+var (
+	walMagic  = []byte("DBSHWAL1")
+	snapMagic = []byte("DBSHSNP1")
+)
+
+const frameHeaderSize = 8 // u32 length + u32 crc
+
+// maxFrameSize rejects absurd length words before any allocation
+// happens (a frame longer than this is corruption regardless of file
+// size: uploads are capped far below it).
+const maxFrameSize = 1 << 30
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one CRC-framed payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// nextFrame parses the frame starting at off. ok is false when the
+// bytes from off on do not contain one intact frame (torn tail);
+// payload aliases data.
+func nextFrame(data []byte, off int) (payload []byte, next int, ok bool) {
+	if off+frameHeaderSize > len(data) {
+		return nil, off, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	crc := binary.LittleEndian.Uint32(data[off+4:])
+	if n > maxFrameSize || off+frameHeaderSize+n > len(data) {
+		return nil, off, false
+	}
+	payload = data[off+frameHeaderSize : off+frameHeaderSize+n]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, off, false
+	}
+	return payload, off + frameHeaderSize + n, true
+}
+
+// walRecord is one decoded WAL entry.
+type walRecord struct {
+	seq uint64
+	op  *op
+}
+
+// encodeWALRecord builds the full frame for an op at a sequence number.
+func encodeWALRecord(seq uint64, o *op) []byte {
+	payload := make([]byte, 0, 8+64)
+	payload = binary.LittleEndian.AppendUint64(payload, seq)
+	payload = append(payload, encodeOp(o)...)
+	return appendFrame(nil, payload)
+}
+
+// replayWAL parses a complete WAL image (header included). It returns
+// the decoded records of the intact prefix and the byte offset the
+// file should be truncated to (== len(data) when the file is fully
+// intact). A file shorter than the header is treated as empty — the
+// torn result of a crash during creation. A present-but-wrong magic is
+// an error: that is not our file, and truncating it would destroy
+// someone's data.
+func replayWAL(data []byte) (recs []walRecord, goodSize int64, err error) {
+	if len(data) < len(walMagic) {
+		return nil, 0, nil
+	}
+	if string(data[:len(walMagic)]) != string(walMagic) {
+		return nil, 0, fmt.Errorf("store: wal has unknown magic %q", data[:len(walMagic)])
+	}
+	off := len(walMagic)
+	var lastSeq uint64
+	for {
+		payload, next, ok := nextFrame(data, off)
+		if !ok {
+			return recs, int64(off), nil
+		}
+		if len(payload) < 8 {
+			return nil, 0, fmt.Errorf("store: wal record at offset %d shorter than its sequence number", off)
+		}
+		seq := binary.LittleEndian.Uint64(payload)
+		if seq == 0 || (len(recs) > 0 && seq <= lastSeq) {
+			return nil, 0, fmt.Errorf("store: wal sequence went backwards at offset %d (%d after %d)", off, seq, lastSeq)
+		}
+		o, err := decodeOp(payload[8:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: wal record at offset %d (seq %d): %w", off, seq, err)
+		}
+		recs = append(recs, walRecord{seq: seq, op: o})
+		lastSeq = seq
+		off = next
+	}
+}
+
+// encodeSnapshot builds the full snapshot file image for a state at a
+// sequence number.
+func encodeSnapshot(lastSeq uint64, state []byte) []byte {
+	payload := make([]byte, 0, 8+len(state))
+	payload = binary.LittleEndian.AppendUint64(payload, lastSeq)
+	payload = append(payload, state...)
+	out := make([]byte, 0, len(snapMagic)+frameHeaderSize+len(payload))
+	out = append(out, snapMagic...)
+	return appendFrame(out, payload)
+}
+
+// decodeSnapshot parses a snapshot file image into the state it holds
+// and the sequence number it covers. Unlike the WAL there is no torn
+// tail to tolerate: snapshots are written to a temp file, fsync'd, and
+// atomically renamed into place, so anything invalid here is real
+// corruption and an error.
+func decodeSnapshot(data []byte) (*Memory, uint64, error) {
+	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != string(snapMagic) {
+		return nil, 0, fmt.Errorf("store: snapshot missing magic")
+	}
+	payload, next, ok := nextFrame(data, len(snapMagic))
+	if !ok {
+		return nil, 0, fmt.Errorf("store: snapshot frame corrupt")
+	}
+	if next != len(data) {
+		return nil, 0, fmt.Errorf("store: %d trailing bytes after snapshot frame", len(data)-next)
+	}
+	if len(payload) < 8 {
+		return nil, 0, fmt.Errorf("store: snapshot payload shorter than its sequence number")
+	}
+	lastSeq := binary.LittleEndian.Uint64(payload)
+	mem, err := decodeState(payload[8:])
+	if err != nil {
+		return nil, 0, err
+	}
+	return mem, lastSeq, nil
+}
