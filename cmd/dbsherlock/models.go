@@ -15,11 +15,19 @@ import (
 // openTenantBank opens the durable store at dir and hydrates a model
 // bank with the tenant's persisted models. The caller owns the store
 // and must Close it (learn commits the updated model back first).
-func openTenantBank(dir, tenant string) (*store.Durable, *dbsherlock.ModelBank, error) {
+// readOnly opens take a shared directory lock and never modify the
+// files, so diagnose cannot disturb a daemon's log; a read-write open
+// takes the exclusive lock and fails fast while a daemon owns the
+// directory instead of interleaving appends with it.
+func openTenantBank(dir, tenant string, readOnly bool) (*store.Durable, *dbsherlock.ModelBank, error) {
 	if err := store.ValidTenant(tenant); err != nil {
 		return nil, nil, err
 	}
-	st, err := store.OpenDurable(dir)
+	open := store.OpenDurable
+	if readOnly {
+		open = store.OpenDurableReadOnly
+	}
+	st, err := open(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("open data dir: %w", err)
 	}
@@ -83,7 +91,7 @@ func runLearn(ctx context.Context, args []string) error {
 	}
 	var durable *store.Durable
 	if *dataDir != "" {
-		st, bank, err := openTenantBank(*dataDir, *tenant)
+		st, bank, err := openTenantBank(*dataDir, *tenant, false)
 		if err != nil {
 			return err
 		}
@@ -152,12 +160,16 @@ func runDiagnose(ctx context.Context, args []string) error {
 	}
 	source := fmt.Sprintf("model store %q", *models)
 	if *dataDir != "" {
-		st, bank, err := openTenantBank(*dataDir, *tenant)
+		// Read-only: a shared lock, no truncation, no WAL handle — a live
+		// daemon's directory is never modified (a running daemon holds the
+		// exclusive lock, so this fails fast instead of reading its
+		// in-flight append).
+		st, bank, err := openTenantBank(*dataDir, *tenant, true)
 		if err != nil {
 			return err
 		}
-		// Diagnose only reads; close the log as soon as the bank is
-		// hydrated so a concurrent daemon restart is not blocked.
+		// The bank is hydrated; release the shared lock so a daemon can
+		// start while the diagnosis runs.
 		if err := st.Close(); err != nil {
 			return fmt.Errorf("close data dir: %w", err)
 		}

@@ -166,9 +166,13 @@ func run(cfg config) error {
 	if cfg.timeout > 0 && cfg.timeout+30*time.Second > writeTimeout {
 		writeTimeout = cfg.timeout + 30*time.Second
 	}
+	handler, err := server.New(analyzer, serverOpts...)
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           server.New(analyzer, serverOpts...),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 		WriteTimeout:      writeTimeout,

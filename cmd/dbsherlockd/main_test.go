@@ -209,7 +209,7 @@ func TestLifecycleFlagsAccepted(t *testing.T) {
 			codes <- resp.StatusCode
 		}()
 	}
-	waitMetric(t, base, `dbsherlock_http_rejected_total{endpoint="POST /v1/explain"}`)
+	waitMetricNonzero(t, base, `dbsherlock_http_rejected_total{endpoint="POST /v1/explain"}`)
 
 	// Complete the pinned request; everything still queued drains.
 	if _, err := pw.Write([]byte(`{"dataset":"ds-1","from":600,"to":1200}`)); err != nil {
@@ -260,4 +260,30 @@ func waitMetric(t *testing.T, base, prefix string) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatalf("metric %q never appeared", prefix)
+}
+
+// waitMetricNonzero polls /metrics until a line with the given prefix
+// reports a nonzero value. Labeled series are materialized at route
+// registration, so a bare presence check on a counter succeeds before
+// anything has actually been counted.
+func waitMetricNonzero(t *testing.T, base, prefix string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/metrics")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			for _, line := range strings.Split(string(body), "\n") {
+				if !strings.HasPrefix(line, prefix) {
+					continue
+				}
+				if v := strings.TrimSpace(strings.TrimPrefix(line, prefix)); v != "" && v != "0" {
+					return
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("metric %q never became nonzero", prefix)
 }

@@ -198,7 +198,7 @@ func (b *blockingHandler) handle(w http.ResponseWriter, _ *http.Request) {
 // carrying 429, Retry-After, the overloaded error code, and counted by
 // dbsherlock_http_rejected_total.
 func TestGateShedsLoadAtSaturation(t *testing.T) {
-	srv := New(dbsherlock.MustNew(), WithMaxInflight(2))
+	srv := MustNew(dbsherlock.MustNew(), WithMaxInflight(2))
 	block := &blockingHandler{release: make(chan struct{})}
 	srv.mux.Handle("POST /test/block", srv.gate("POST /test/block", 1, block.handle))
 	ts := httptest.NewServer(srv)
@@ -275,7 +275,7 @@ func TestGateShedsLoadAtSaturation(t *testing.T) {
 // queued releases its queue entry, so a later request is admitted
 // rather than rejected.
 func TestGateClientDisconnectFreesSlot(t *testing.T) {
-	srv := New(dbsherlock.MustNew(), WithMaxInflight(1))
+	srv := MustNew(dbsherlock.MustNew(), WithMaxInflight(1))
 	block := &blockingHandler{release: make(chan struct{})}
 	srv.mux.Handle("POST /test/block", srv.gate("POST /test/block", 1, block.handle))
 	ts := httptest.NewServer(srv)
@@ -321,7 +321,7 @@ func TestGateClientDisconnectFreesSlot(t *testing.T) {
 // TestExplainSaturationUnderRace drives the real /v1/explain endpoint
 // at saturation and checks no goroutines leak once the dust settles.
 func TestExplainSaturationUnderRace(t *testing.T) {
-	srv := New(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithMaxInflight(2))
+	srv := MustNew(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithMaxInflight(2))
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	id := uploadTrace(t, ts, dbsherlock.LockContention, 1)
@@ -376,7 +376,7 @@ func TestExplainSaturationUnderRace(t *testing.T) {
 // TestRequestTimeoutReturns503: a WithTimeout shorter than the
 // diagnosis surfaces as 503 with code deadline_exceeded.
 func TestRequestTimeoutReturns503(t *testing.T) {
-	srv := New(dbsherlock.MustNew(), WithTimeout(time.Nanosecond))
+	srv := MustNew(dbsherlock.MustNew(), WithTimeout(time.Nanosecond))
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	id := uploadTrace(t, ts, dbsherlock.LockContention, 2)
@@ -450,7 +450,7 @@ func TestDeleteDataset(t *testing.T) {
 }
 
 func TestMaxDatasetsEvictsOldest(t *testing.T) {
-	srv := New(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithMaxDatasets(2))
+	srv := MustNew(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithMaxDatasets(2))
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 

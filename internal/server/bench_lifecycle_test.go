@@ -16,7 +16,7 @@ import (
 // the ready-to-send explain body.
 func benchServer(b *testing.B, opts ...Option) (*httptest.Server, []byte) {
 	b.Helper()
-	srv := New(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), opts...)
+	srv := MustNew(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), opts...)
 	ts := httptest.NewServer(srv)
 	b.Cleanup(ts.Close)
 

@@ -19,7 +19,7 @@ import (
 // append, fsync.
 func benchLearnServer(b *testing.B, st store.Store) (*httptest.Server, []byte) {
 	b.Helper()
-	srv := New(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithStore(st))
+	srv := MustNew(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithStore(st))
 	ts := httptest.NewServer(srv)
 	b.Cleanup(ts.Close)
 

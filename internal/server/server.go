@@ -25,8 +25,10 @@
 // tenant B's ranking. With WithStore the namespaces are backed by a
 // persistent store (internal/store) and survive restarts; uploads,
 // learns, and model imports that the store refuses are rolled back and
-// answered with 503 store_unavailable instead of being kept
-// memory-only.
+// answered with 503 store_unavailable (or 413 payload_too_large when
+// the record exceeds the store's frame limit) instead of being kept
+// memory-only. Dataset uploads and model imports share the -max-upload
+// body cap.
 //
 // Every handler is wrapped in the observability middleware chain
 // (request-ID injection, panic recovery, structured access logging,
@@ -87,6 +89,11 @@ type Server struct {
 	// the server serves.
 	mu    sync.RWMutex
 	banks map[string]*dbsherlock.ModelBank
+
+	// causeMu guards causeLocks, the keyed mutexes that serialize the
+	// learn→persist→rollback sequence per (tenant, cause).
+	causeMu    sync.Mutex
+	causeLocks map[string]*sync.Mutex
 
 	logger       *slog.Logger
 	registry     *obs.Registry
@@ -203,16 +210,21 @@ func WithDefaultTenant(tenant string) Option {
 	}
 }
 
-// New builds a server around the analyzer.
-func New(analyzer *dbsherlock.Analyzer, opts ...Option) *Server {
+// New builds a server around the analyzer. It fails when the store
+// cannot hydrate — in particular when a model the analyzer was
+// pre-loaded with (the daemon's -models file) cannot be persisted:
+// serving a model that would vanish on restart is the one state a
+// successful response must never represent.
+func New(analyzer *dbsherlock.Analyzer, opts ...Option) (*Server, error) {
 	s := &Server{
-		analyzer:  analyzer,
-		tenant:    store.DefaultTenant,
-		banks:     make(map[string]*dbsherlock.ModelBank),
-		mux:       http.NewServeMux(),
-		logger:    obs.DiscardLogger(),
-		registry:  obs.NewRegistry(),
-		maxUpload: DefaultMaxUploadBytes,
+		analyzer:   analyzer,
+		tenant:     store.DefaultTenant,
+		banks:      make(map[string]*dbsherlock.ModelBank),
+		causeLocks: make(map[string]*sync.Mutex),
+		mux:        http.NewServeMux(),
+		logger:     obs.DiscardLogger(),
+		registry:   obs.NewRegistry(),
+		maxUpload:  DefaultMaxUploadBytes,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -222,7 +234,9 @@ func New(analyzer *dbsherlock.Analyzer, opts ...Option) *Server {
 	}
 	// The default tenant's bank is the analyzer's own repository.
 	s.banks[s.tenant] = analyzer.ModelBank()
-	s.hydrateBanks()
+	if err := s.hydrateBanks(); err != nil {
+		return nil, err
+	}
 	s.httpReqs = s.registry.NewCounterFamily(
 		"dbsherlock_http_requests_total",
 		"HTTP requests served, by endpoint and status code.")
@@ -257,14 +271,26 @@ func New(analyzer *dbsherlock.Analyzer, opts ...Option) *Server {
 	// Recovery sits innermost so the access log still records the 500 it
 	// writes; the request ID is injected first so both see it.
 	s.handler = obs.RequestID(obs.AccessLog(s.logger, obs.Recover(s.logger, s.mux)))
+	return s, nil
+}
+
+// MustNew is New panicking on error, for callers whose store cannot
+// fail hydration (in-memory stores, tests).
+func MustNew(analyzer *dbsherlock.Analyzer, opts ...Option) *Server {
+	s, err := New(analyzer, opts...)
+	if err != nil {
+		panic(err)
+	}
 	return s
 }
 
 // hydrateBanks loads every tenant's persisted models into live banks
 // and persists any model the analyzer was pre-loaded with (e.g. the
 // daemon's -models file) that the store does not know yet. On a cause
-// known to both, the store wins: it is the durable record.
-func (s *Server) hydrateBanks() {
+// known to both, the store wins: it is the durable record. A persist
+// failure is fatal — continuing would serve models that are not
+// durable and silently vanish on restart.
+func (s *Server) hydrateBanks() error {
 	for _, tenant := range s.store.Tenants() {
 		bank := s.bankFor(tenant)
 		for _, m := range s.store.Models(tenant) {
@@ -280,10 +306,11 @@ func (s *Server) hydrateBanks() {
 			continue
 		}
 		if err := s.store.PutModel(s.tenant, m); err != nil {
-			s.logger.Error("persisting pre-loaded model failed",
-				"cause", m.Cause, "tenant", s.tenant, "err", err)
+			return fmt.Errorf("server: persisting pre-loaded model %q for tenant %s: %w",
+				m.Cause, s.tenant, err)
 		}
 	}
+	return nil
 }
 
 // tenantFrom resolves the request's tenant namespace.
@@ -332,14 +359,37 @@ func writeTenantError(w http.ResponseWriter, r *http.Request, err error) {
 }
 
 // writeStoreError maps a persistent-store write failure: an unavailable
-// or closed store is a 503 the client should retry later; anything else
-// is unexpected.
+// or closed store is a 503 the client should retry later, a record the
+// store refuses to frame is the client's payload being too large;
+// anything else is unexpected.
 func writeStoreError(w http.ResponseWriter, r *http.Request, err error) {
-	if errors.Is(err, store.ErrUnavailable) || errors.Is(err, store.ErrClosed) {
+	switch {
+	case errors.Is(err, store.ErrUnavailable) || errors.Is(err, store.ErrClosed):
 		writeError(w, r, http.StatusServiceUnavailable, CodeStoreUnavailable, err)
-		return
+	case errors.Is(err, store.ErrTooLarge):
+		writeError(w, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, err)
+	default:
+		writeError(w, r, http.StatusInternalServerError, CodeInternal, err)
 	}
-	writeError(w, r, http.StatusInternalServerError, CodeInternal, err)
+}
+
+// lockCause serializes learn→persist→rollback per (tenant, cause): two
+// concurrent learns on the same cause could otherwise interleave so
+// that one's failed persist rolls the bank back to its stale pre-learn
+// snapshot, clobbering the other's already-persisted model and leaving
+// memory diverged from the durable store. Entries are never removed —
+// causes are few and long-lived.
+func (s *Server) lockCause(tenant, cause string) func() {
+	key := tenant + "\x00" + cause
+	s.causeMu.Lock()
+	mu, ok := s.causeLocks[key]
+	if !ok {
+		mu = new(sync.Mutex)
+		s.causeLocks[key] = mu
+	}
+	s.causeMu.Unlock()
+	mu.Lock()
+	return mu.Unlock
 }
 
 // handle registers a handler wrapped with the per-endpoint counter and
@@ -725,6 +775,8 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	unlock := s.lockCause(tenant, req.Cause)
+	defer unlock()
 	bank := s.bankFor(tenant)
 	analyzer := s.analyzerFor(tenant)
 	// Snapshot the pre-learn model so a refused persist can be rolled
@@ -838,8 +890,19 @@ func (s *Server) handleImportModels(w http.ResponseWriter, r *http.Request) {
 		writeTenantError(w, r, err)
 		return
 	}
-	repo, err := causal.LoadRepository(r.Body)
+	// The same body cap as dataset uploads: an import the durable store
+	// cannot frame must be refused here, not fsync'd and then discarded
+	// as a torn tail on the next replay.
+	body := http.MaxBytesReader(w, r.Body, s.maxUpload)
+	defer body.Close()
+	repo, err := causal.LoadRepository(body)
 	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, r, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
+				fmt.Errorf("model import exceeds the %d-byte limit", tooLarge.Limit))
+			return
+		}
 		writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}

@@ -179,7 +179,7 @@ func TestRequestIDPropagation(t *testing.T) {
 
 func TestPanicRecoveryReturns500JSON(t *testing.T) {
 	var logBuf safeBuffer
-	srv := New(dbsherlock.MustNew(),
+	srv := MustNew(dbsherlock.MustNew(),
 		WithLogger(slog.New(slog.NewJSONHandler(&logBuf, nil))))
 	// White-box: add a panicking route behind the middleware chain.
 	srv.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
@@ -213,7 +213,7 @@ func TestPanicRecoveryReturns500JSON(t *testing.T) {
 // configured theta and workers.
 func TestRulesAnalyzerInheritsParams(t *testing.T) {
 	parent := dbsherlock.MustNew(dbsherlock.WithTheta(0.07), dbsherlock.WithWorkers(3))
-	s := New(parent)
+	s := MustNew(parent)
 	ra, err := s.rulesAnalyzer()
 	if err != nil {
 		t.Fatal(err)
@@ -231,7 +231,7 @@ func TestRulesAnalyzerInheritsParams(t *testing.T) {
 }
 
 func TestUploadTooLargeReturns413(t *testing.T) {
-	srv := New(dbsherlock.MustNew(), WithMaxUploadBytes(512))
+	srv := MustNew(dbsherlock.MustNew(), WithMaxUploadBytes(512))
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
@@ -285,7 +285,7 @@ func (f *failAfterWriter) Write(p []byte) (int, error) {
 
 func TestExportModelsTruncationLogsAndAborts(t *testing.T) {
 	var logBuf safeBuffer
-	srv := New(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)),
+	srv := MustNew(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)),
 		WithLogger(slog.New(slog.NewJSONHandler(&logBuf, nil))))
 	ts := httptest.NewServer(srv)
 	defer ts.Close()

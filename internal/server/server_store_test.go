@@ -214,7 +214,7 @@ func (f *failingStore) ReplaceModels(tenant string, models []*dbsherlock.CausalM
 func newFailingServer(t *testing.T) (*httptest.Server, *failingStore) {
 	t.Helper()
 	fs := &failingStore{Store: store.NewMemory()}
-	srv := New(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithStore(fs))
+	srv := MustNew(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithStore(fs))
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return ts, fs
@@ -298,7 +298,7 @@ func TestServerStatePersistsAcrossRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithStore(st))
+	srv := MustNew(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithStore(st))
 	ts := httptest.NewServer(srv)
 
 	idA := uploadStep(t, ts, "alpha")
@@ -320,7 +320,7 @@ func TestServerStatePersistsAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	srv2 := New(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithStore(st2))
+	srv2 := MustNew(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithStore(st2))
 	ts2 := httptest.NewServer(srv2)
 	defer ts2.Close()
 
@@ -340,5 +340,108 @@ func TestServerStatePersistsAcrossRestart(t *testing.T) {
 	resp.Body.Close()
 	if !bytes.Equal(exported1, exported2) {
 		t.Fatal("alpha model export differs across restart")
+	}
+}
+
+func TestImportModelsTooLarge(t *testing.T) {
+	srv := MustNew(dbsherlock.MustNew(), WithMaxUploadBytes(256))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// Leading whitespace keeps the JSON decoder reading (rather than
+	// failing on a syntax error) until the byte cap trips.
+	big := bytes.NewReader(bytes.Repeat([]byte(" "), 1024))
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/models", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEnvelope(t, resp, http.StatusRequestEntityTooLarge, CodePayloadTooLarge)
+}
+
+func TestNewFailsWhenPreloadedModelPersistFails(t *testing.T) {
+	// The analyzer arrives pre-loaded (the daemon's -models file) and
+	// the store refuses the write: the server must not start and serve
+	// models that would vanish on restart.
+	a := dbsherlock.MustNew()
+	a.ModelBank().Set(&dbsherlock.CausalModel{Cause: "preloaded", Merged: 1})
+	fs := &failingStore{Store: store.NewMemory()}
+	fs.failWrites(true)
+	if _, err := New(a, WithStore(fs)); err == nil {
+		t.Fatal("New succeeded with a store that cannot persist pre-loaded models")
+	}
+	// With a healthy store the same configuration starts and the model
+	// is durable.
+	fs2 := &failingStore{Store: store.NewMemory()}
+	if _, err := New(a, WithStore(fs2)); err != nil {
+		t.Fatalf("New with healthy store: %v", err)
+	}
+	if got := fs2.Store.Models(store.DefaultTenant); len(got) != 1 || got[0].Cause != "preloaded" {
+		t.Fatalf("pre-loaded model not persisted: %+v", got)
+	}
+}
+
+// flakyStore fails every other PutModel, standing in for a log that
+// flaps between healthy and unavailable.
+type flakyStore struct {
+	store.Store
+	mu sync.Mutex
+	n  int
+}
+
+func (f *flakyStore) PutModel(tenant string, m *dbsherlock.CausalModel) error {
+	f.mu.Lock()
+	f.n++
+	fail := f.n%2 == 0
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("%w: injected", store.ErrUnavailable)
+	}
+	return f.Store.PutModel(tenant, m)
+}
+
+func TestConcurrentLearnNeverDivergesFromStore(t *testing.T) {
+	// Concurrent learns on one cause against a flapping store: without
+	// the per-(tenant, cause) serialization, a failed persist's rollback
+	// can restore a stale pre-learn snapshot over another learn's
+	// already-persisted model, leaving the bank diverged from disk.
+	fs := &flakyStore{Store: store.NewMemory()}
+	srv := MustNew(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithStore(fs))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	id := uploadStep(t, ts, "")
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := learnStep(t, ts, "", id, "racy cause")
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+				t.Errorf("learn status = %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+
+	bankModel := srv.bankFor(store.DefaultTenant).Model("racy cause")
+	var storeModel *dbsherlock.CausalModel
+	for _, m := range fs.Store.Models(store.DefaultTenant) {
+		if m.Cause == "racy cause" {
+			storeModel = m
+		}
+	}
+	switch {
+	case bankModel == nil && storeModel == nil:
+	case bankModel == nil || storeModel == nil:
+		t.Fatalf("bank model = %+v, store model = %+v: memory diverged from disk", bankModel, storeModel)
+	case bankModel.Merged != storeModel.Merged:
+		t.Fatalf("bank merged = %d, store merged = %d: memory diverged from disk",
+			bankModel.Merged, storeModel.Merged)
 	}
 }

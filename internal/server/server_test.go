@@ -14,7 +14,7 @@ import (
 
 func newTestServer(t *testing.T) (*httptest.Server, *Server) {
 	t.Helper()
-	srv := New(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)))
+	srv := MustNew(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)))
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return ts, srv

@@ -212,7 +212,9 @@ func (d *decoder) count(elemSize int) int {
 	if d.err != nil {
 		return 0
 	}
-	if n < 0 || n*elemSize > d.remaining() {
+	// Compare by division: n*elemSize can wrap to a small positive
+	// value where int is 32 bits, letting a corrupt length word through.
+	if n < 0 || n > d.remaining()/elemSize {
 		d.fail()
 		return 0
 	}

@@ -19,6 +19,7 @@ import (
 const (
 	walName  = "wal"
 	snapName = "snapshot"
+	lockName = "lock"
 	tmpExt   = ".tmp"
 )
 
@@ -40,16 +41,25 @@ const DefaultCompactBytes = 4 << 20
 // that cannot be rolled back, reads keep working and every write
 // returns an error wrapping ErrUnavailable — the store refuses to let
 // memory diverge silently from disk.
+//
+// The data directory is single-writer: OpenDurable takes an exclusive
+// advisory lock on a lock file inside it, OpenDurableReadOnly a shared
+// one, so a CLI pointed at a live daemon's -data-dir fails fast with
+// ErrLocked instead of interleaving appends or truncating the daemon's
+// in-flight record as a torn tail.
 type Durable struct {
 	mu           sync.Mutex
 	fs           FS
 	dir          string
 	mem          *Memory
 	wal          File
+	lock         io.Closer
 	walSize      int64
 	seq          uint64
 	syncWrites   bool
+	readOnly     bool
 	compactBytes int64
+	maxRecord    int   // largest accepted encoded op payload
 	failed       error // first unrecoverable log error; nil while healthy
 	closed       bool
 }
@@ -84,15 +94,32 @@ func WithSyncWrites(on bool) DurableOption {
 }
 
 // OpenDurable opens (creating if needed) a durable store rooted at
-// dir: it loads the newest snapshot, replays the intact prefix of the
-// WAL over it, truncates any torn tail, and is then ready to serve.
+// dir: it takes the directory's exclusive lock, loads the newest
+// snapshot, replays the intact prefix of the WAL over it, truncates
+// any torn tail, and is then ready to serve.
 func OpenDurable(dir string, opts ...DurableOption) (*Durable, error) {
+	return openDurable(dir, false, opts)
+}
+
+// OpenDurableReadOnly opens the store for reading only: it takes a
+// shared lock (so concurrent readers coexist but a writer excludes
+// them and vice versa), replays the intact prefix in memory, and never
+// initializes, truncates, or appends to any file. Every write returns
+// ErrReadOnly. This is the open path for diagnosis against a directory
+// a daemon may own.
+func OpenDurableReadOnly(dir string, opts ...DurableOption) (*Durable, error) {
+	return openDurable(dir, true, opts)
+}
+
+func openDurable(dir string, readOnly bool, opts []DurableOption) (*Durable, error) {
 	d := &Durable{
 		fs:           OSFS{},
 		dir:          dir,
 		mem:          NewMemory(),
 		syncWrites:   true,
+		readOnly:     readOnly,
 		compactBytes: DefaultCompactBytes,
+		maxRecord:    maxFrameSize,
 	}
 	for _, opt := range opts {
 		opt(d)
@@ -100,7 +127,27 @@ func OpenDurable(dir string, opts ...DurableOption) (*Durable, error) {
 	if err := d.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create data dir: %w", err)
 	}
-	d.removeTemps()
+	lock, err := d.fs.Lock(d.path(lockName), !readOnly)
+	if err != nil {
+		if errors.Is(err, ErrLocked) {
+			return nil, fmt.Errorf("%w (%s)", ErrLocked, dir)
+		}
+		return nil, fmt.Errorf("store: lock data dir: %w", err)
+	}
+	d.lock = lock
+	if err := d.load(); err != nil {
+		_ = lock.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// load recovers the materialized state under the already-held lock and
+// (read-write only) prepares the WAL for appending.
+func (d *Durable) load() error {
+	if !d.readOnly {
+		d.removeTemps()
+	}
 
 	// Snapshot first: it defines the floor sequence number.
 	var snapSeq uint64
@@ -109,11 +156,11 @@ func OpenDurable(dir string, opts ...DurableOption) (*Durable, error) {
 	case errors.Is(err, os.ErrNotExist):
 		// First boot, or compaction has never run.
 	case err != nil:
-		return nil, fmt.Errorf("store: read snapshot: %w", err)
+		return fmt.Errorf("store: read snapshot: %w", err)
 	default:
 		mem, seq, err := decodeSnapshot(snapData)
 		if err != nil {
-			return nil, fmt.Errorf("store: %s is corrupt: %w", d.path(snapName), err)
+			return fmt.Errorf("store: %s is corrupt: %w", d.path(snapName), err)
 		}
 		d.mem, snapSeq = mem, seq
 	}
@@ -122,11 +169,11 @@ func OpenDurable(dir string, opts ...DurableOption) (*Durable, error) {
 	// Replay the WAL's intact prefix and truncate anything torn.
 	walData, err := d.readFile(d.path(walName))
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return nil, fmt.Errorf("store: read wal: %w", err)
+		return fmt.Errorf("store: read wal: %w", err)
 	}
 	recs, goodSize, err := replayWAL(walData)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for _, rec := range recs {
 		if rec.seq <= snapSeq {
@@ -135,25 +182,30 @@ func OpenDurable(dir string, opts ...DurableOption) (*Durable, error) {
 		rec.op.apply(d.mem)
 		d.seq = rec.seq
 	}
+	if d.readOnly {
+		// Readers serve the intact prefix and leave the files exactly as
+		// found — a torn tail is the owner's to truncate.
+		return nil
+	}
 	if goodSize < int64(len(walMagic)) {
 		// Missing file, or a crash mid-creation tore the header: start a
 		// fresh log.
 		if err := d.writeFileSync(d.path(walName), walMagic); err != nil {
-			return nil, fmt.Errorf("store: initialize wal: %w", err)
+			return fmt.Errorf("store: initialize wal: %w", err)
 		}
 		goodSize = int64(len(walMagic))
 	} else if goodSize < int64(len(walData)) {
 		if err := d.truncateSync(d.path(walName), goodSize); err != nil {
-			return nil, fmt.Errorf("store: truncate torn wal tail: %w", err)
+			return fmt.Errorf("store: truncate torn wal tail: %w", err)
 		}
 	}
 	wal, err := d.fs.OpenFile(d.path(walName), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("store: open wal for append: %w", err)
+		return fmt.Errorf("store: open wal for append: %w", err)
 	}
 	d.wal = wal
 	d.walSize = goodSize
-	return d, nil
+	return nil
 }
 
 func (d *Durable) path(name string) string { return path.Join(d.dir, name) }
@@ -230,6 +282,9 @@ func (d *Durable) writableLocked() error {
 	if d.closed {
 		return ErrClosed
 	}
+	if d.readOnly {
+		return ErrReadOnly
+	}
 	if d.failed != nil {
 		return fmt.Errorf("%w: log failed earlier: %v", ErrUnavailable, d.failed)
 	}
@@ -238,6 +293,14 @@ func (d *Durable) writableLocked() error {
 
 func (d *Durable) commitLocked(o *op) error {
 	frame := encodeWALRecord(d.seq+1, o)
+	// Replay treats any frame longer than maxFrameSize as a torn tail,
+	// so appending one would be acknowledged now and silently discarded
+	// (with every later record) on the next open. Refuse it up front; a
+	// payload past 4 GiB would additionally overflow the u32 length
+	// word.
+	if payload := len(frame) - frameHeaderSize; payload > d.maxRecord {
+		return fmt.Errorf("%w: op encodes to %d bytes (limit %d)", ErrTooLarge, payload, d.maxRecord)
+	}
 	if _, err := d.wal.Write(frame); err != nil {
 		return d.rollbackAppend(err)
 	}
@@ -295,6 +358,11 @@ func (d *Durable) Compact() error {
 // failed.
 func (d *Durable) compactLocked() error {
 	img := encodeSnapshot(d.seq, encodeState(d.mem))
+	// A snapshot frame past the replay limit would make the store
+	// unopenable; keep the (growing but correct) log instead.
+	if payload := len(img) - len(snapMagic) - frameHeaderSize; payload > maxFrameSize {
+		return fmt.Errorf("store: snapshot payload of %d bytes exceeds the %d-byte frame limit", payload, maxFrameSize)
+	}
 	snapTmp := d.path(snapName + tmpExt)
 	if err := d.writeFileSync(snapTmp, img); err != nil {
 		_ = d.fs.Remove(snapTmp)
@@ -417,8 +485,8 @@ func (d *Durable) ReplaceModels(tenant string, models []*causal.Model) error {
 // Tenants implements Store.
 func (d *Durable) Tenants() []string { return d.mem.Tenants() }
 
-// Close implements Store: flush the log and release the handle. The
-// store is unusable afterwards.
+// Close implements Store: flush the log, release the handle, and drop
+// the directory lock. The store is unusable afterwards.
 func (d *Durable) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -426,15 +494,19 @@ func (d *Durable) Close() error {
 		return nil
 	}
 	d.closed = true
-	if d.wal == nil {
-		return nil
-	}
 	var err error
-	if d.failed == nil && !d.syncWrites {
-		err = d.wal.Sync()
+	if d.wal != nil {
+		if d.failed == nil && !d.syncWrites {
+			err = d.wal.Sync()
+		}
+		if cerr := d.wal.Close(); err == nil {
+			err = cerr
+		}
 	}
-	if cerr := d.wal.Close(); err == nil {
-		err = cerr
+	if d.lock != nil {
+		if lerr := d.lock.Close(); err == nil {
+			err = lerr
+		}
 	}
 	return err
 }

@@ -37,6 +37,7 @@ import (
 type FailFS struct {
 	mu    sync.Mutex
 	files map[string]*memNode
+	locks map[string]*memLock
 
 	// CrashAfterBytes arms the power cut: the budget of bytes that may
 	// still be written. Negative = disarmed.
@@ -65,10 +66,21 @@ type memNode struct {
 	synced int // length at last successful Sync
 }
 
+// memLock models flock state on one lock file: at most one exclusive
+// holder, or any number of shared ones.
+type memLock struct {
+	excl    bool
+	readers int
+}
+
 // NewFailFS returns an empty in-memory filesystem with all failpoints
 // disarmed.
 func NewFailFS() *FailFS {
-	return &FailFS{files: make(map[string]*memNode), crashBudget: -1}
+	return &FailFS{
+		files:       make(map[string]*memNode),
+		locks:       make(map[string]*memLock),
+		crashBudget: -1,
+	}
 }
 
 var _ FS = (*FailFS)(nil)
@@ -368,6 +380,56 @@ func (f *FailFS) ReadDir(name string) ([]fs.DirEntry, error) {
 		out[i] = memDirEntry(n)
 	}
 	return out, nil
+}
+
+// Lock implements FS. Lock state lives outside the file map and is
+// not copied by PostCrashFS: like flock(2), locks die with the holding
+// process, so a recovery reopen never finds a stale lock.
+func (f *FailFS) Lock(name string, exclusive bool) (io.Closer, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkAlive(); err != nil {
+		return nil, err
+	}
+	name = norm(name)
+	l := f.locks[name]
+	if l == nil {
+		l = &memLock{}
+		f.locks[name] = l
+	}
+	if l.excl || (exclusive && l.readers > 0) {
+		return nil, ErrLocked
+	}
+	if exclusive {
+		l.excl = true
+	} else {
+		l.readers++
+	}
+	return &memLockHandle{fs: f, lock: l, excl: exclusive}, nil
+}
+
+// memLockHandle releases one acquisition; idempotent, and it works
+// even after the simulated crash (a dead process drops its locks).
+type memLockHandle struct {
+	fs       *FailFS
+	lock     *memLock
+	excl     bool
+	released bool
+}
+
+func (h *memLockHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.released {
+		return nil
+	}
+	h.released = true
+	if h.excl {
+		h.lock.excl = false
+	} else {
+		h.lock.readers--
+	}
+	return nil
 }
 
 // MkdirAll implements FS; directories are implicit in this model.

@@ -23,6 +23,12 @@ type FS interface {
 	// SyncDir fsyncs a directory, making renames and creates in it
 	// durable against power loss.
 	SyncDir(name string) error
+	// Lock acquires an advisory lock on the named lock file without
+	// blocking — exclusive for a writer, shared for readers — and
+	// returns a Closer that releases it. A conflicting holder yields an
+	// error wrapping ErrLocked. The lock must not survive the holding
+	// process, so a crash can never wedge the data directory.
+	Lock(name string, exclusive bool) (io.Closer, error)
 }
 
 // File is the open-file surface the backend uses.
@@ -80,6 +86,20 @@ func (OSFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name
 
 // MkdirAll implements FS.
 func (OSFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Lock implements FS with flock(2): the lock is tied to the open
+// descriptor, released on Close and automatically on process death.
+func (OSFS) Lock(name string, exclusive bool) (io.Closer, error) {
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := flock(f, exclusive); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
 
 // SyncDir implements FS.
 func (OSFS) SyncDir(name string) error {

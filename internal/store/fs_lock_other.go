@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// flock is a no-op where flock(2) is unavailable: the data directory
+// is not protected against concurrent openers on these platforms.
+func flock(*os.File, bool) error { return nil }

@@ -1,0 +1,30 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// flock places a non-blocking advisory lock on f with flock(2):
+// exclusive for a writer, shared for readers. A conflicting holder
+// yields ErrLocked. The lock dies with the file descriptor (and with
+// the process), so a crash can never leave a stale lock behind.
+func flock(f *os.File, exclusive bool) error {
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	for {
+		err := syscall.Flock(int(f.Fd()), how|syscall.LOCK_NB)
+		switch err {
+		case syscall.EINTR:
+			continue
+		case syscall.EWOULDBLOCK:
+			return ErrLocked
+		default:
+			return err
+		}
+	}
+}

@@ -46,6 +46,22 @@ var ErrUnavailable = errors.New("store: unavailable")
 // ErrClosed is returned by every operation after Close.
 var ErrClosed = errors.New("store: closed")
 
+// ErrLocked is returned by OpenDurable and OpenDurableReadOnly when
+// another process holds a conflicting lock on the data directory: the
+// durable backend allows one writer, or any number of readers, never
+// both. Fail fast instead of corrupting a live daemon's log.
+var ErrLocked = errors.New("store: data directory locked by another process")
+
+// ErrReadOnly is returned by every write on a store opened with
+// OpenDurableReadOnly.
+var ErrReadOnly = errors.New("store: opened read-only")
+
+// ErrTooLarge is returned by writes whose encoded WAL record would
+// exceed the on-disk frame limit: appending it would be acknowledged
+// and then discarded as a torn tail on the next replay. The server
+// maps it to 413 payload_too_large.
+var ErrTooLarge = errors.New("store: record too large")
+
 // DatasetInfo summarizes one stored dataset for listings.
 type DatasetInfo struct {
 	ID         string

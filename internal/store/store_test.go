@@ -443,3 +443,130 @@ func TestDurableTempFilesRemovedOnOpen(t *testing.T) {
 		t.Fatal("stale .tmp file survived open")
 	}
 }
+
+func TestDurableSingleWriterLock(t *testing.T) {
+	// Real filesystem: the locks are real flock(2) locks.
+	dir := t.TempDir()
+	d, err := OpenDurable(dir)
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	if _, err := OpenDurable(dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second writer open = %v, want ErrLocked", err)
+	}
+	if _, err := OpenDurableReadOnly(dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("reader open against live writer = %v, want ErrLocked", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Readers coexist with each other but exclude a writer.
+	r1, err := OpenDurableReadOnly(dir)
+	if err != nil {
+		t.Fatalf("read-only open: %v", err)
+	}
+	r2, err := OpenDurableReadOnly(dir)
+	if err != nil {
+		t.Fatalf("second read-only open: %v", err)
+	}
+	if _, err := OpenDurable(dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("writer open against live readers = %v, want ErrLocked", err)
+	}
+	r1.Close()
+	r2.Close()
+
+	// Both locks released: the writer opens again.
+	d2, err := OpenDurable(dir)
+	if err != nil {
+		t.Fatalf("reopen after readers closed: %v", err)
+	}
+	d2.Close()
+}
+
+func TestDurableReadOnly(t *testing.T) {
+	ffs := NewFailFS()
+	d := openFail(t, ffs)
+	if _, err := d.PutDataset("a", testDataset(t, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PutModel("a", testModel("lock contention", 2)); err != nil {
+		t.Fatal(err)
+	}
+	want := encodeState(d.mem)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: a daemon crashed mid-append.
+	f, err := ffs.OpenFile("data/wal", os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{1, 2, 3})
+	f.Close()
+	tornLen := len(ffs.files["data/wal"].data)
+
+	ro, err := OpenDurableReadOnly("data", WithFS(ffs))
+	if err != nil {
+		t.Fatalf("read-only open over torn tail: %v", err)
+	}
+	if got := encodeState(ro.mem); !bytes.Equal(got, want) {
+		t.Fatal("read-only open did not recover the intact prefix")
+	}
+	if _, err := ro.PutDataset("a", testDataset(t, 4, 2)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("PutDataset on read-only store = %v, want ErrReadOnly", err)
+	}
+	if err := ro.PutModel("a", testModel("x", 1)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("PutModel on read-only store = %v, want ErrReadOnly", err)
+	}
+	if err := ro.Compact(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Compact on read-only store = %v, want ErrReadOnly", err)
+	}
+	if err := ro.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The reader left the torn tail exactly as found; only the next
+	// writer truncates it.
+	if got := len(ffs.files["data/wal"].data); got != tornLen {
+		t.Fatalf("read-only open changed the wal: %d bytes, want %d", got, tornLen)
+	}
+	d2 := openFail(t, ffs)
+	defer d2.Close()
+	if got := len(ffs.files["data/wal"].data); got != tornLen-3 {
+		t.Fatalf("writer reopen left %d wal bytes, want %d", got, tornLen-3)
+	}
+}
+
+func TestDurableRejectsOversizedOp(t *testing.T) {
+	ffs := NewFailFS()
+	d := openFail(t, ffs)
+	defer d.Close()
+	if err := d.PutModel("a", testModel("small", 1)); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := d.walSize
+	// Shrink the limit so the rejection path runs without gigabyte
+	// payloads; production uses maxFrameSize.
+	d.maxRecord = int(sizeBefore)
+	err := d.PutModel("a", testModel("this cause name alone exceeds the tiny record limit", 1))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized PutModel = %v, want ErrTooLarge", err)
+	}
+	if d.walSize != sizeBefore {
+		t.Fatalf("rejected op changed walSize from %d to %d", sizeBefore, d.walSize)
+	}
+	// The store stays healthy: small writes still commit and replay.
+	if err := d.PutModel("a", testModel("ok", 1)); err != nil {
+		t.Fatalf("write after rejected op: %v", err)
+	}
+	want := encodeState(d.mem)
+	d.Close()
+	d2 := openFail(t, ffs)
+	defer d2.Close()
+	if got := encodeState(d2.mem); !bytes.Equal(got, want) {
+		t.Fatal("state diverged after an oversized op was rejected")
+	}
+	if models := d2.Models("a"); len(models) != 2 {
+		t.Fatalf("Models after reopen = %+v, want the two accepted ones", models)
+	}
+}
