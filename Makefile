@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet lint build test race alloc-gate bench-smoke fuzz-smoke bench-parallel bench-obs bench-alloc bench-detect bench-lifecycle bench-store
+.PHONY: ci fmt-check vet lint build test race alloc-gate hygiene bench-smoke fuzz-smoke bench-parallel bench-obs bench-alloc bench-detect bench-lifecycle bench-store
 
-ci: fmt-check vet lint build race alloc-gate bench-smoke
+ci: fmt-check vet lint build race alloc-gate hygiene bench-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -50,6 +50,13 @@ race:
 alloc-gate:
 	$(GO) test -run TestExplainAllocCeiling .
 
+# Metric-naming contract: every registered family must carry the
+# dbsherlock_ namespace, _total on counters, a unit suffix on
+# histograms, and help text. Also covered by `race`, but called out as
+# its own gate so a naming break fails fast with an obvious target name.
+hygiene:
+	$(GO) test -run TestMetricsHygiene ./internal/server/
+
 # One iteration of every benchmark: catches API drift and panics in the
 # experiment harnesses without paying for statistically meaningful runs.
 # -benchmem so an allocation explosion is visible even in the smoke run.
@@ -57,7 +64,8 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' ./...
 
 # Short fuzz campaigns over the CSV parser, the model-merge rule, the
-# region iterator round-trip, and the store's on-disk decoders.
+# region iterator round-trip, the store's on-disk decoders, and the
+# Prometheus exposition writer.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReadCSV -fuzztime=10s ./internal/collector/
 	$(GO) test -run='^$$' -fuzz=FuzzMergePredicates -fuzztime=10s ./internal/causal/
@@ -66,6 +74,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzGridClusterEquivalence -fuzztime=10s ./internal/dbscan/
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/store/
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/store/
+	$(GO) test -run='^$$' -fuzz=FuzzWritePrometheus -fuzztime=10s ./internal/obs/
 
 # Regenerate the numbers behind BENCH_parallel.json (sequential vs
 # parallel Explain/Rank at 1/4/8 workers, small and large datasets).
@@ -73,9 +82,13 @@ bench-parallel:
 	$(GO) test -bench 'BenchmarkExplainWorkers|BenchmarkRankWorkers' -benchtime=10x -run='^$$' .
 
 # Regenerate the numbers behind BENCH_obs.json (Explain with diagnosis
-# tracing off vs on; commit the medians across the 5 repetitions).
+# tracing off vs on, plus the store-instrumentation overhead: the
+# observed durable append and the observed end-to-end /v1/learn against
+# their unobserved twins; commit the medians across the 5 repetitions).
 bench-obs:
 	$(GO) test -bench BenchmarkExplainTracing -benchtime=150x -count=5 -benchmem -run='^$$' .
+	$(GO) test -bench 'BenchmarkDurableAppend(Observed)?/dataset_60rows' -benchtime=100x -count=5 -benchmem -run='^$$' ./internal/store/
+	$(GO) test -bench 'BenchmarkLearnEndpointDurable(Observed)?$$' -benchtime=100x -count=5 -benchmem -run='^$$' ./internal/server/
 
 # Regenerate the numbers behind BENCH_alloc.json (full Explain pipeline
 # allocs/op and ns/op on both scales, plus the sliding-window-median
@@ -110,4 +123,4 @@ bench-lifecycle:
 # acceptance budget; commit the medians across the 5 repetitions).
 bench-store:
 	$(GO) test -bench 'BenchmarkDurableAppend|BenchmarkMemoryPut|BenchmarkDurableReplay' -benchtime=100x -count=5 -benchmem -run='^$$' ./internal/store/
-	$(GO) test -bench 'BenchmarkLearnEndpoint' -benchtime=30x -count=5 -benchmem -run='^$$' ./internal/server/
+	$(GO) test -bench 'BenchmarkLearnEndpoint' -benchtime=100x -count=5 -benchmem -run='^$$' ./internal/server/

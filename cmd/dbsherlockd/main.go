@@ -13,9 +13,15 @@
 //	curl -s localhost:8080/metrics
 //
 // Observability flags: -log-level and -log-format shape the structured
-// request log on stderr, -trace attaches per-stage diagnosis traces to
-// every /v1/explain response, -pprof mounts net/http/pprof under
-// /debug/pprof/, and -max-upload caps dataset upload bodies.
+// request log on stderr (one wide event per request;
+// -slow-request-threshold promotes slow ones to WARN), -trace attaches
+// per-stage diagnosis traces to every /v1/explain response, -pprof
+// mounts net/http/pprof under /debug/pprof/ and the recent-event ring
+// under /debug/events, and -max-upload caps dataset upload bodies.
+// GET /readyz reports readiness (503 while draining or after the
+// durable store latches read-only) and GET /v1/status reports build
+// info, uptime, store state, and admission occupancy; /metrics carries
+// Go runtime and durable-store series alongside the HTTP families.
 //
 // Request-lifecycle flags: -max-inflight turns on admission control for
 // the compute endpoints (excess load is shed with 429 + Retry-After),
@@ -74,6 +80,7 @@ type config struct {
 	drain       time.Duration
 	dataDir     string
 	tenant      string
+	slowReq     time.Duration
 }
 
 func main() {
@@ -93,6 +100,7 @@ func main() {
 	flag.DurationVar(&cfg.drain, "drain", 5*time.Second, "graceful-shutdown drain window for in-flight requests")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable store directory (WAL + snapshots); empty = in-memory only")
 	flag.StringVar(&cfg.tenant, "tenant-default", store.DefaultTenant, "tenant that requests without an X-DBSherlock-Tenant header belong to")
+	flag.DurationVar(&cfg.slowReq, "slow-request-threshold", server.DefaultSlowRequestThreshold, "requests slower than this log their wide event at WARN")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		log.Fatal(err)
@@ -128,9 +136,15 @@ func run(cfg config) error {
 	if err := store.ValidTenant(cfg.tenant); err != nil {
 		return fmt.Errorf("invalid -tenant-default %q: %w", cfg.tenant, err)
 	}
+	// One registry carries everything /metrics exposes: the server's
+	// per-endpoint families, the Go runtime collector, and the store
+	// observer for whichever backend is in use.
+	registry := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(registry)
 	var st store.Store
 	if cfg.dataDir != "" {
-		durable, err := store.OpenDurable(cfg.dataDir)
+		storeMetrics := obs.NewStoreMetrics(registry, "durable", obs.DefaultTenantLabelCap)
+		durable, err := store.OpenDurable(cfg.dataDir, store.WithObserver(storeMetrics))
 		if err != nil {
 			return fmt.Errorf("open data dir: %w", err)
 		}
@@ -142,9 +156,11 @@ func run(cfg config) error {
 
 	serverOpts := []server.Option{
 		server.WithLogger(logger),
+		server.WithMetrics(registry),
 		server.WithMaxUploadBytes(cfg.maxUpload),
 		server.WithStore(st),
 		server.WithDefaultTenant(cfg.tenant),
+		server.WithSlowRequestThreshold(cfg.slowReq),
 	}
 	if cfg.pprof {
 		serverOpts = append(serverOpts, server.WithPprof())
@@ -199,9 +215,11 @@ func run(cfg config) error {
 		logger.Info("shutting down", slog.String("signal", sig.String()))
 	}
 
-	// Graceful drain: stop accepting, let in-flight requests finish
-	// within the drain window, then force-close whatever is left so the
-	// process still exits cleanly under a wedged client.
+	// Graceful drain: flip /readyz to unready first so load balancers
+	// stop routing here, then stop accepting, let in-flight requests
+	// finish within the drain window, and force-close whatever is left
+	// so the process still exits cleanly under a wedged client.
+	handler.SetDraining(true)
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestEventRingWrapsOldestFirst(t *testing.T) {
+	ring := NewEventRing(4)
+	for i := 0; i < 7; i++ {
+		ring.Add(Event{Status: i})
+	}
+	if ring.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ring.Len())
+	}
+	snap := ring.Snapshot()
+	for i, want := range []int{3, 4, 5, 6} {
+		if snap[i].Status != want {
+			t.Errorf("snapshot[%d].Status = %d, want %d (oldest first)", i, snap[i].Status, want)
+		}
+	}
+}
+
+func TestEventRingNilSafe(t *testing.T) {
+	var ring *EventRing
+	ring.Add(Event{})
+	if ring.Snapshot() != nil || ring.Len() != 0 {
+		t.Error("nil ring should be empty")
+	}
+	// Annotating outside the middleware is a no-op, not a panic.
+	ev := EventFrom(context.Background())
+	if ev != nil {
+		t.Fatalf("EventFrom on bare context = %+v, want nil", ev)
+	}
+	ev.SetRoute("r")
+	ev.SetTenant("t")
+	ev.SetAdmission("admitted")
+	ev.AddCommit(time.Second)
+}
+
+func TestEventRingHandler(t *testing.T) {
+	ring := NewEventRing(8)
+	ring.Add(Event{Method: "GET", Path: "/x", Status: 200})
+	rec := httptest.NewRecorder()
+	ring.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var events []Event
+	if err := json.Unmarshal(rec.Body.Bytes(), &events); err != nil {
+		t.Fatalf("body is not a JSON event array: %v\n%s", err, rec.Body.String())
+	}
+	if len(events) != 1 || events[0].Path != "/x" || events[0].Status != 200 {
+		t.Errorf("events = %+v", events)
+	}
+}
+
+// logLine decodes one JSON log record emitted by a slog.JSONHandler.
+func logLine(t *testing.T, buf *bytes.Buffer) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, buf.String())
+	}
+	return m
+}
+
+func TestEventLogAnnotatedEvent(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	ring := NewEventRing(8)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ev := EventFrom(r.Context())
+		ev.SetRoute("POST /v1/learn")
+		ev.SetTenant("acme")
+		ev.SetAdmission("admitted")
+		ev.AddCommit(2 * time.Millisecond)
+		ev.AddCommit(3 * time.Millisecond)
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprint(w, "ok")
+	})
+	h := RequestID(EventLog(logger, ring, time.Minute, inner))
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/learn", nil)
+	req.Header.Set(RequestIDHeader, "rid-1")
+	h.ServeHTTP(rec, req)
+
+	if ring.Len() != 1 {
+		t.Fatalf("ring.Len = %d, want 1", ring.Len())
+	}
+	ev := ring.Snapshot()[0]
+	if ev.Route != "POST /v1/learn" || ev.Tenant != "acme" || ev.Admission != "admitted" {
+		t.Errorf("annotations lost: %+v", ev)
+	}
+	if ev.Status != http.StatusCreated || ev.Bytes != 2 || ev.RequestID != "rid-1" {
+		t.Errorf("base fields wrong: %+v", ev)
+	}
+	if ev.CommitMS < 4.9 || ev.CommitMS > 6 {
+		t.Errorf("CommitMS = %v, want ~5 (accumulated)", ev.CommitMS)
+	}
+	if ev.Slow {
+		t.Error("fast request marked slow")
+	}
+
+	m := logLine(t, &buf)
+	if m["level"] != "INFO" || m["msg"] != "request" {
+		t.Errorf("log level/msg = %v/%v", m["level"], m["msg"])
+	}
+	for k, want := range map[string]any{
+		"route": "POST /v1/learn", "tenant": "acme", "admission": "admitted",
+		"status": float64(201), "request_id": "rid-1", "slow": false,
+	} {
+		if m[k] != want {
+			t.Errorf("log[%q] = %v, want %v", k, m[k], want)
+		}
+	}
+}
+
+func TestEventLogSlowRequestWarns(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	ring := NewEventRing(2)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Millisecond)
+	})
+	h := EventLog(logger, ring, time.Millisecond, inner)
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/slow", nil))
+
+	ev := ring.Snapshot()[0]
+	if !ev.Slow {
+		t.Error("request over the threshold not marked slow")
+	}
+	if m := logLine(t, &buf); m["level"] != "WARN" || m["slow"] != true {
+		t.Errorf("slow request logged at %v slow=%v, want WARN/true", m["level"], m["slow"])
+	}
+}
+
+func TestEventLogNilRing(t *testing.T) {
+	h := EventLog(DiscardLogger(), nil, 0, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil)) // must not panic
+}

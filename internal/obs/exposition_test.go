@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestIOBucketsResolveSubMillisecond pins the property IOBuckets exists
+// for: observations in the tens-of-microseconds range land in distinct
+// buckets instead of collapsing into the first one (as they would under
+// DefBuckets, whose lowest bound is 5ms).
+func TestIOBucketsResolveSubMillisecond(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogramFamily("io_seconds", "", IOBuckets).With()
+	h.Observe(40 * time.Microsecond)  // <= 50µs
+	h.Observe(80 * time.Microsecond)  // <= 100µs
+	h.Observe(200 * time.Microsecond) // <= 250µs
+	h.Observe(400 * time.Microsecond) // <= 500µs
+	h.Observe(900 * time.Microsecond) // <= 1ms
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for i, want := range []string{
+		`io_seconds_bucket{le="5e-05"} 1`,
+		`io_seconds_bucket{le="0.0001"} 2`,
+		`io_seconds_bucket{le="0.00025"} 3`,
+		`io_seconds_bucket{le="0.0005"} 4`,
+		`io_seconds_bucket{le="0.001"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bucket %d: exposition missing %q:\n%s", i, want, out)
+		}
+	}
+}
+
+// TestIOBucketsOverAllBounds: an observation past the top bound (500ms)
+// must appear only in +Inf, still counted in _count and _sum.
+func TestIOBucketsOverAllBounds(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogramFamily("io_seconds", "", IOBuckets).With()
+	h.Observe(2 * time.Second)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if want := `io_seconds_bucket{le="0.5"} 0`; !strings.Contains(out, want) {
+		t.Errorf("top finite bucket should be empty, missing %q:\n%s", want, out)
+	}
+	for _, want := range []string{
+		`io_seconds_bucket{le="+Inf"} 1`,
+		"io_seconds_count 1",
+		"io_seconds_sum 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// unescapeLabelValue inverts the exposition escaping for the round-trip
+// test: \\ -> \, \" -> ", \n -> newline.
+func unescapeLabelValue(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default: // \\ and \"
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// TestLabelEscapingRoundTrip feeds every escaping-relevant byte through
+// a label value and checks that (a) the rendered line stays
+// single-line, and (b) unescaping recovers the original value exactly.
+func TestLabelEscapingRoundTrip(t *testing.T) {
+	values := []string{
+		`plain`,
+		`back\slash`,
+		`quo"te`,
+		"new\nline",
+		"\\\"\n",
+		`trailing\`,
+		"\\n literal backslash-n",
+		"mix\\ed \"all\" three\nkinds\\",
+	}
+	for _, v := range values {
+		reg := NewRegistry()
+		reg.NewCounterFamily("rt_total", "").With("k", v).Inc()
+		var b strings.Builder
+		reg.WritePrometheus(&b)
+		out := b.String()
+
+		var line string
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, "rt_total{") {
+				line = l
+				break
+			}
+		}
+		if line == "" {
+			t.Fatalf("value %q: no sample line in:\n%s", v, out)
+		}
+		start := strings.Index(line, `k="`) + len(`k="`)
+		end := strings.LastIndex(line, `"}`)
+		if start < len(`k="`) || end < start {
+			t.Fatalf("value %q: cannot locate label value in line %q", v, line)
+		}
+		if got := unescapeLabelValue(line[start:end]); got != v {
+			t.Errorf("round trip: escaped %q unescapes to %q, want %q", line[start:end], got, v)
+		}
+	}
+}
+
+// TestHelpEscaping: HELP text containing a newline or backslash must
+// render escaped — a raw newline would start a bogus sample line.
+func TestHelpEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounterFamily("h_total", "line one\nline two with \\ slash").With().Inc()
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if want := `# HELP h_total line one\nline two with \\ slash`; !strings.Contains(out, want) {
+		t.Errorf("exposition missing escaped HELP %q:\n%s", want, out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "line two") {
+			t.Errorf("raw HELP newline leaked into its own line: %q\n%s", line, out)
+		}
+	}
+}
+
+// TestCounterWithCap: beyond the limit, unseen label sets collapse into
+// the overflow child; existing children keep resolving, and the family
+// never exceeds limit+1 children.
+func TestCounterWithCap(t *testing.T) {
+	reg := NewRegistry()
+	cf := reg.NewCounterFamily("capped_total", "")
+	overflow := []string{"tenant", "_other"}
+	for i := 0; i < 50; i++ {
+		cf.WithCap(3, overflow, "tenant", fmt.Sprintf("t%d", i)).Inc()
+	}
+	// Children seen before the cap filled keep their identity.
+	if got := cf.WithCap(3, overflow, "tenant", "t0").Value(); got != 1 {
+		t.Errorf("pre-cap child t0 = %d, want 1", got)
+	}
+	// Everything after the first 3 went to the overflow child.
+	if got := cf.WithCap(3, overflow, "tenant", "_other").Value(); got != 47 {
+		t.Errorf("overflow child = %d, want 47", got)
+	}
+	fams := reg.Families()
+	if len(fams) != 1 {
+		t.Fatalf("Families() = %d families, want 1", len(fams))
+	}
+	if fams[0].Children != 4 { // 3 distinct + overflow
+		t.Errorf("children = %d, want limit+1 = 4", fams[0].Children)
+	}
+}
+
+// TestRegisterCollector: collectors run at the top of every
+// WritePrometheus so sampled gauges are current at scrape time.
+func TestRegisterCollector(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.NewGaugeFamily("sampled", "").With()
+	n := 0.0
+	reg.RegisterCollector(func() { n++; g.Set(n) })
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "sampled 2") {
+		t.Errorf("collector did not run on each scrape:\n%s", b.String())
+	}
+}
+
+// TestFamiliesIntrospection: Families reports name, type, help, and
+// child counts for the hygiene test to walk.
+func TestFamiliesIntrospection(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounterFamily("a_total", "ha").With().Inc()
+	reg.NewGaugeFamily("b_bytes", "hb")
+	reg.NewHistogramFamily("c_seconds", "hc", nil).With("x", "1")
+
+	fams := reg.Families()
+	if len(fams) != 3 {
+		t.Fatalf("Families() = %d, want 3", len(fams))
+	}
+	want := []FamilyInfo{
+		{Name: "a_total", Type: "counter", Help: "ha", Children: 1},
+		{Name: "b_bytes", Type: "gauge", Help: "hb", Children: 0},
+		{Name: "c_seconds", Type: "histogram", Help: "hc", Children: 1},
+	}
+	for i, w := range want {
+		if fams[i] != w {
+			t.Errorf("family %d = %+v, want %+v", i, fams[i], w)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleLine matches one exposition sample: metric name, optional
+// label block (values with only valid escapes, no raw quote), value.
+var sampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ([+-]?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$`)
+
+// commentLine matches HELP/TYPE headers.
+var commentLine = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+
+// FuzzWritePrometheus drives arbitrary help text and label values
+// through every family type and asserts the rendered exposition stays
+// line-parseable: every line is a HELP/TYPE comment or a sample whose
+// label values contain only valid escape sequences. A raw quote,
+// newline, or dangling backslash in a label value would corrupt the
+// whole scrape, not just one series.
+func FuzzWritePrometheus(f *testing.F) {
+	f.Add("help text", "tenant-a", 1.5)
+	f.Add("multi\nline \\help", `quo"te\`, -3.0)
+	f.Add("", "\n\\\"", math.Inf(1))
+	f.Add("h", "\\n", 0.0)
+	f.Fuzz(func(t *testing.T, help, label string, v float64) {
+		reg := NewRegistry()
+		reg.NewCounterFamily("fz_total", help).With("k", label).Inc()
+		g := reg.NewGaugeFamily("fz_gauge", help).With("k", label)
+		if !math.IsNaN(v) {
+			g.Set(v)
+		}
+		h := reg.NewHistogramFamily("fz_seconds", help, IOBuckets).With("k", label)
+		h.Observe(time.Duration(math.Abs(float64(int64(v)))) % time.Second)
+
+		var b strings.Builder
+		reg.WritePrometheus(&b)
+		out := b.String()
+		if !strings.HasSuffix(out, "\n") {
+			t.Fatalf("exposition does not end in newline: %q", out)
+		}
+		for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+			if commentLine.MatchString(line) {
+				// HELP text must not smuggle a raw line break (escaped ones
+				// render as the two characters \ n, which is fine).
+				continue
+			}
+			if !sampleLine.MatchString(line) {
+				t.Fatalf("unparseable exposition line %q\nfull output:\n%s", line, out)
+			}
+			// Label values must round-trip back to the original. Scan to
+			// the first unescaped quote: bucket lines carry a trailing
+			// le="..." label, so LastIndex would overshoot.
+			if idx := strings.Index(line, `k="`); idx >= 0 {
+				start := idx + len(`k="`)
+				end := -1
+				for i := start; i < len(line); i++ {
+					if line[i] == '\\' {
+						i++
+						continue
+					}
+					if line[i] == '"' {
+						end = i
+						break
+					}
+				}
+				if end < 0 {
+					t.Fatalf("unterminated label value in %q", line)
+				}
+				if got := unescapeLabelValue(line[start:end]); got != label {
+					t.Fatalf("label value round trip: %q -> %q, want %q", line[start:end], got, label)
+				}
+			}
+		}
+	})
+}

@@ -16,6 +16,16 @@ import (
 // seconds (the Prometheus client default).
 var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
 
+// IOBuckets are histogram bounds for storage-I/O latencies, in seconds.
+// DefBuckets starts at 5ms, which would collapse every WAL append and
+// most fsyncs into the first bucket; these start at 50µs and top out at
+// 500ms (a device flush slower than that is an outage, visible in the
+// +Inf bucket).
+var IOBuckets = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+}
+
 // Counter is a monotonically increasing metric. A nil *Counter is a
 // valid no-op, so optional instrumentation can skip wiring checks.
 type Counter struct {
@@ -141,9 +151,10 @@ type HistogramFamily struct{ f *family }
 // Registry holds metric families and renders them in the Prometheus
 // text exposition format. Safe for concurrent use.
 type Registry struct {
-	mu       sync.Mutex
-	families []*family
-	byName   map[string]*family
+	mu         sync.Mutex
+	families   []*family
+	byName     map[string]*family
+	collectors []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -190,6 +201,42 @@ func (r *Registry) NewHistogramFamily(name, help string, buckets []float64) *His
 	return &HistogramFamily{f: r.family(name, help, "histogram", sorted)}
 }
 
+// RegisterCollector adds a hook run at the start of every
+// WritePrometheus call, before any family is rendered. Collectors
+// sample point-in-time values (runtime stats, file-descriptor counts)
+// into gauges so scrape output is current without a background poller.
+func (r *Registry) RegisterCollector(fn func()) {
+	if fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// FamilyInfo describes one registered metric family for introspection
+// (the metrics-hygiene test walks these).
+type FamilyInfo struct {
+	Name     string
+	Type     string // "counter", "gauge", or "histogram"
+	Help     string
+	Children int // distinct label sets handed out so far
+}
+
+// Families lists every registered family in registration order.
+func (r *Registry) Families() []FamilyInfo {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	out := make([]FamilyInfo, 0, len(families))
+	for _, f := range families {
+		f.mu.Lock()
+		out = append(out, FamilyInfo{Name: f.name, Type: f.typ, Help: f.help, Children: len(f.order)})
+		f.mu.Unlock()
+	}
+	return out
+}
+
 // labelKey renders "k1,v1,k2,v2,..." pairs into a canonical child key
 // and the exposition label string ({k1="v1",k2="v2"}).
 func labelKey(pairs []string) (key, rendered string) {
@@ -212,13 +259,25 @@ func labelKey(pairs []string) (key, rendered string) {
 	return s, s
 }
 
-// escapeLabel escapes a label value per the exposition format.
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double-quote, and newline become \\, \", and \n.
 func escapeLabel(v string) string {
 	if !strings.ContainsAny(v, "\\\"\n") {
 		return v
 	}
 	v = strings.ReplaceAll(v, `\`, `\\`)
 	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// escapeHelp escapes HELP text per the exposition format (only
+// backslash and newline are special there — a raw newline would start
+// a bogus sample line and break every parser downstream).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
 	return strings.ReplaceAll(v, "\n", `\n`)
 }
 
@@ -231,6 +290,34 @@ func (cf *CounterFamily) With(labelPairs ...string) *Counter {
 	defer f.mu.Unlock()
 	if c, ok := f.counters[key]; ok {
 		return c
+	}
+	c := &Counter{}
+	f.counters[key] = c
+	f.labels[key] = rendered
+	f.order = append(f.order, key)
+	return c
+}
+
+// WithCap is With under a cardinality cap: once the family already
+// holds limit distinct children, a label set not seen before collapses
+// into the overflow label set instead of creating a new child. Metrics
+// labeled by client-supplied values (tenant names) use it so an
+// adversarial or buggy client cannot grow the registry — and every
+// /metrics scrape — without bound. The overflow child itself does not
+// count against the limit, so at most limit+1 children ever exist.
+func (cf *CounterFamily) WithCap(limit int, overflow []string, labelPairs ...string) *Counter {
+	f := cf.f
+	key, rendered := labelKey(labelPairs)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.counters[key]; ok {
+		return c
+	}
+	if len(f.order) >= limit {
+		key, rendered = labelKey(overflow)
+		if c, ok := f.counters[key]; ok {
+			return c
+		}
 	}
 	c := &Counter{}
 	f.counters[key] = c
@@ -274,8 +361,15 @@ func (hf *HistogramFamily) With(labelPairs ...string) *Histogram {
 }
 
 // WritePrometheus renders every family in the Prometheus text
-// exposition format (version 0.0.4).
+// exposition format (version 0.0.4), after running the registered
+// collectors so sampled gauges are current.
 func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	collectors := append([]func(){}, r.collectors...)
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn()
+	}
 	r.mu.Lock()
 	families := append([]*family(nil), r.families...)
 	r.mu.Unlock()
@@ -292,7 +386,7 @@ func (f *family) write(w io.Writer) {
 		return
 	}
 	if f.help != "" {
-		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 	}
 	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
 	for _, key := range order {

@@ -147,6 +147,8 @@ func Recover(logger *slog.Logger, next http.Handler) http.Handler {
 func Instrument(reqs *CounterFamily, latency *HistogramFamily, endpoint string, next http.Handler) http.Handler {
 	hist := latency.With("endpoint", endpoint)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The matched route pattern is what the wide event calls "route".
+		EventFrom(r.Context()).SetRoute(endpoint)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(sw, r)

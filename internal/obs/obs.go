@@ -10,10 +10,13 @@
 //     ranking). A nil *Trace is valid and free: every method nil-checks
 //     first, so the un-instrumented hot path pays one branch and zero
 //     allocations.
-//   - Registry: named counter and histogram families rendered in the
-//     Prometheus text exposition format (a /metrics scrape target
-//     without importing a client library).
+//   - Registry: named counter, gauge, and histogram families rendered
+//     in the Prometheus text exposition format (a /metrics scrape
+//     target without importing a client library), plus scrape-time
+//     collectors (RegisterRuntimeMetrics) and the StoreMetrics adapter
+//     instrumenting the durable store's Observer hook.
 //   - Middleware: request-ID injection, panic recovery, structured
-//     access logging, and per-endpoint request counters / latency
-//     histograms for net/http handlers.
+//     access logging, per-endpoint request counters / latency
+//     histograms, and the wide-event request log (EventLog + EventRing
+//     behind GET /debug/events) for net/http handlers.
 package obs

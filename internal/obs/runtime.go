@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"sync/atomic"
+)
+
+// RegisterRuntimeMetrics registers Go-runtime and process gauges into
+// the registry, sampled at scrape time via a collector hook:
+//
+//	dbsherlock_go_goroutines          live goroutines
+//	dbsherlock_go_heap_alloc_bytes    bytes of allocated heap objects
+//	dbsherlock_go_heap_objects        live heap objects
+//	dbsherlock_go_gc_cycles_total     completed GC cycles
+//	dbsherlock_go_last_gc_pause_seconds  most recent stop-the-world pause
+//	dbsherlock_process_open_fds       open file descriptors (Linux /proc; absent elsewhere)
+//
+// The collector runs inline in WritePrometheus, so values are current
+// as of each scrape with no background goroutine. ReadMemStats costs a
+// brief stop-the-world, which is noise at scrape cadence (seconds
+// apart), not on the request path.
+func RegisterRuntimeMetrics(r *Registry) {
+	goroutines := r.NewGaugeFamily(
+		"dbsherlock_go_goroutines",
+		"Number of live goroutines.").With()
+	heapAlloc := r.NewGaugeFamily(
+		"dbsherlock_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.").With()
+	heapObjects := r.NewGaugeFamily(
+		"dbsherlock_go_heap_objects",
+		"Number of live heap objects.").With()
+	gcCycles := r.NewCounterFamily(
+		"dbsherlock_go_gc_cycles_total",
+		"Completed garbage-collection cycles.").With()
+	lastPause := r.NewGaugeFamily(
+		"dbsherlock_go_last_gc_pause_seconds",
+		"Duration of the most recent GC stop-the-world pause.").With()
+	var openFDs *Gauge
+	if _, err := os.ReadDir("/proc/self/fd"); err == nil {
+		openFDs = r.NewGaugeFamily(
+			"dbsherlock_process_open_fds",
+			"Open file descriptors held by the process.").With()
+	}
+	// NumGC at the previous scrape, for the counter delta; atomic
+	// because concurrent scrapes each run the collector.
+	var lastGC atomic.Uint32
+	r.RegisterCollector(func() {
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapObjects.Set(float64(ms.HeapObjects))
+		// Two concurrent scrapes can swap out of order; only count a
+		// forward delta so the counter never jumps by a wrapped uint32.
+		if prev := lastGC.Swap(ms.NumGC); ms.NumGC >= prev {
+			gcCycles.Add(int64(ms.NumGC - prev))
+		}
+		if ms.NumGC > 0 {
+			lastPause.Set(float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9)
+		}
+		if openFDs != nil {
+			if ents, err := os.ReadDir("/proc/self/fd"); err == nil {
+				openFDs.Set(float64(len(ents)))
+			}
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRuntimeMetricsExposition(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+
+	for _, name := range []string{
+		"dbsherlock_go_goroutines",
+		"dbsherlock_go_heap_alloc_bytes",
+		"dbsherlock_go_heap_objects",
+		"dbsherlock_go_gc_cycles_total",
+		"dbsherlock_go_last_gc_pause_seconds",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("runtime exposition missing %s:\n%s", name, out)
+		}
+	}
+	if runtime.GOOS == "linux" && !strings.Contains(out, "dbsherlock_process_open_fds ") {
+		t.Errorf("open-fds gauge missing on linux:\n%s", out)
+	}
+	// Sampled values must be plausible, not just present.
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "dbsherlock_go_goroutines "); ok {
+			n, err := strconv.ParseFloat(rest, 64)
+			if err != nil || n < 1 {
+				t.Errorf("goroutines = %q, want >= 1", rest)
+			}
+		}
+		if rest, ok := strings.CutPrefix(line, "dbsherlock_go_heap_alloc_bytes "); ok {
+			n, err := strconv.ParseFloat(rest, 64)
+			if err != nil || n <= 0 {
+				t.Errorf("heap_alloc_bytes = %q, want > 0", rest)
+			}
+		}
+	}
+}
+
+// TestRuntimeMetricsConcurrentScrapes: the collector must tolerate
+// concurrent WritePrometheus calls (the GC-cycle delta uses an atomic
+// swap; a plain variable here is a real race the detector catches).
+func TestRuntimeMetricsConcurrentScrapes(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				var b strings.Builder
+				reg.WritePrometheus(&b)
+				if i%10 == 0 {
+					runtime.GC()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -114,10 +114,18 @@ func (s *semaphore) grantLocked() {
 	}
 }
 
+// stats reports the current occupancy: slots in use and waiters queued.
+func (s *semaphore) stats() (inUse int64, queued int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inUse, len(s.queue)
+}
+
 // gate wraps a compute-heavy handler with admission control: acquire a
 // slot (bounded wait), run, release. At saturation the request is shed
 // with 429 + Retry-After and the rejected counter increments; a client
-// that disconnects while queued frees its queue entry immediately.
+// that disconnects while queued frees its queue entry immediately. The
+// outcome is recorded on the request's wide event.
 func (s *Server) gate(endpoint string, weight int64, next http.HandlerFunc) http.HandlerFunc {
 	if s.sem == nil {
 		return next
@@ -127,6 +135,7 @@ func (s *Server) gate(endpoint string, weight int64, next http.HandlerFunc) http
 	return func(w http.ResponseWriter, r *http.Request) {
 		if err := s.sem.Acquire(r.Context(), weight); err != nil {
 			if errors.Is(err, errOverloaded) {
+				obs.EventFrom(r.Context()).SetAdmission("rejected")
 				rejected.Inc()
 				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 				writeError(w, r, http.StatusTooManyRequests, CodeOverloaded, err)
@@ -134,12 +143,14 @@ func (s *Server) gate(endpoint string, weight int64, next http.HandlerFunc) http
 			}
 			// The client went away (or its deadline expired) while queued;
 			// nobody is listening for a body.
+			obs.EventFrom(r.Context()).SetAdmission("canceled")
 			s.logger.Debug("request cancelled while queued",
 				"endpoint", endpoint,
 				"err", err,
 				"request_id", obs.RequestIDFrom(r.Context()))
 			return
 		}
+		obs.EventFrom(r.Context()).SetAdmission("admitted")
 		inflight.Add(float64(weight))
 		defer func() {
 			inflight.Add(-float64(weight))

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"dbsherlock"
+	"dbsherlock/internal/obs"
 	"dbsherlock/internal/store"
 )
 
@@ -17,9 +18,10 @@ import (
 // re-diagnoses the 600-row region and commits the merged model, so the
 // durable-vs-memory delta is the full write-path overhead: encode, WAL
 // append, fsync.
-func benchLearnServer(b *testing.B, st store.Store) (*httptest.Server, []byte) {
+func benchLearnServer(b *testing.B, st store.Store, opts ...Option) (*httptest.Server, []byte) {
 	b.Helper()
-	srv := MustNew(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), WithStore(st))
+	srv := MustNew(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)),
+		append([]Option{WithStore(st)}, opts...)...)
 	ts := httptest.NewServer(srv)
 	b.Cleanup(ts.Close)
 
@@ -97,5 +99,21 @@ func BenchmarkLearnEndpointDurableNoSync(b *testing.B) {
 	}
 	b.Cleanup(func() { d.Close() })
 	ts, body := benchLearnServer(b, d)
+	benchLearn(b, ts, body)
+}
+
+// BenchmarkLearnEndpointDurableObserved is the durable learn with the
+// store observer and HTTP metrics attached — the exact production wiring
+// of dbsherlockd -data. The delta to BenchmarkLearnEndpointDurable is
+// the store-instrumentation overhead on the end-to-end request.
+func BenchmarkLearnEndpointDurableObserved(b *testing.B) {
+	reg := obs.NewRegistry()
+	sm := obs.NewStoreMetrics(reg, "durable", obs.DefaultTenantLabelCap)
+	d, err := store.OpenDurable(b.TempDir(), store.WithObserver(sm))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { d.Close() })
+	ts, body := benchLearnServer(b, d, WithMetrics(reg))
 	benchLearn(b, ts, body)
 }

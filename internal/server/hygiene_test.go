@@ -1,0 +1,61 @@
+package server
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"dbsherlock"
+	"dbsherlock/internal/monitor"
+	"dbsherlock/internal/obs"
+)
+
+// metricName is the naming contract every family must satisfy: the
+// dbsherlock_ namespace, lowercase snake case.
+var metricName = regexp.MustCompile(`^dbsherlock_[a-z0-9_]+$`)
+
+// TestMetricsHygiene walks every family the system can register — the
+// server's HTTP families, the Go runtime collector, the store observer,
+// and the monitor's pipeline counters — and enforces the naming
+// conventions: namespace prefix, _total on counters (and only
+// counters), a conventional unit suffix on histograms, and non-empty
+// help text. A name that breaks convention here would ship to every
+// dashboard and be near-impossible to rename later.
+func TestMetricsHygiene(t *testing.T) {
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+	obs.NewStoreMetrics(reg, "durable", obs.DefaultTenantLabelCap)
+	if _, err := monitor.New(monitor.Config{Registry: reg}, func(monitor.Alert) {}); err != nil {
+		t.Fatal(err)
+	}
+	MustNew(dbsherlock.MustNew(), WithMetrics(reg))
+
+	fams := reg.Families()
+	if len(fams) < 25 {
+		t.Fatalf("only %d families registered; the hygiene walk is not seeing the full set", len(fams))
+	}
+	for _, f := range fams {
+		if !metricName.MatchString(f.Name) {
+			t.Errorf("%s: name does not match %s", f.Name, metricName)
+		}
+		if f.Help == "" {
+			t.Errorf("%s: empty help text", f.Name)
+		}
+		switch f.Type {
+		case "counter":
+			if !strings.HasSuffix(f.Name, "_total") {
+				t.Errorf("%s: counter must end in _total", f.Name)
+			}
+		case "histogram":
+			if !strings.HasSuffix(f.Name, "_seconds") && !strings.HasSuffix(f.Name, "_bytes") {
+				t.Errorf("%s: histogram must carry a unit suffix (_seconds or _bytes)", f.Name)
+			}
+		case "gauge":
+			if strings.HasSuffix(f.Name, "_total") {
+				t.Errorf("%s: gauge must not end in _total (reads as a counter)", f.Name)
+			}
+		default:
+			t.Errorf("%s: unknown family type %q", f.Name, f.Type)
+		}
+	}
+}

@@ -6,8 +6,11 @@
 // Endpoints (all JSON unless noted):
 //
 //	GET    /healthz                  liveness
+//	GET    /readyz                   readiness (503 while draining or the store refuses writes)
+//	GET    /v1/status                build info, uptime, store/WAL state, admission occupancy
 //	GET    /metrics                  Prometheus text exposition (per-endpoint counters + latency histograms)
 //	GET    /debug/pprof/             net/http/pprof (only with WithPprof)
+//	GET    /debug/events             recent wide request events (only with WithPprof)
 //	POST   /v1/datasets              upload a CSV dataset -> {"id": ...}
 //	GET    /v1/datasets              list uploaded datasets
 //	DELETE /v1/datasets/{id}         drop an uploaded dataset
@@ -53,6 +56,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dbsherlock"
@@ -65,9 +69,22 @@ import (
 // override with WithMaxUploadBytes.
 const DefaultMaxUploadBytes = 64 << 20
 
+// The metrics adapter must keep satisfying the store's observer hook;
+// checked here because obs deliberately does not import store.
+var _ store.Observer = (*obs.StoreMetrics)(nil)
+
 // TenantHeader is the request header selecting the tenant namespace; an
 // absent header means the server's default tenant.
 const TenantHeader = "X-DBSherlock-Tenant"
+
+// DefaultSlowRequestThreshold is the latency above which a request's
+// wide event logs at WARN; override with WithSlowRequestThreshold.
+const DefaultSlowRequestThreshold = time.Second
+
+// eventRingSize is how many recent wide events GET /debug/events
+// retains. 256 events at a few hundred bytes each keeps the ring well
+// under a megabyte while covering minutes of traffic at typical rates.
+const eventRingSize = 256
 
 // Server is the HTTP façade around one Analyzer and one tenant-scoped
 // Store. It is safe for concurrent use: the store and the per-tenant
@@ -107,6 +124,12 @@ type Server struct {
 
 	sem     *semaphore    // nil: admission control off
 	timeout time.Duration // 0: no per-request deadline
+
+	started       time.Time      // for /v1/status uptime
+	build         buildInfo      // resolved once at construction
+	draining      atomic.Bool    // set by SetDraining; reported by /readyz
+	events        *obs.EventRing // wide-event ring behind GET /debug/events
+	slowThreshold time.Duration  // requests slower than this log at WARN
 }
 
 // Option configures a Server.
@@ -187,6 +210,18 @@ func WithMaxDatasets(n int) Option {
 	}
 }
 
+// WithSlowRequestThreshold promotes the wide event of any request
+// slower than d from INFO to WARN and flags it slow=true, so slow
+// requests surface in log triage without a latency query. d <= 0 keeps
+// the default (1s).
+func WithSlowRequestThreshold(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.slowThreshold = d
+		}
+	}
+}
+
 // WithStore backs the server's datasets and model banks with st
 // (typically a store.Durable, so both survive restarts). The default is
 // a fresh in-memory store with the pre-refactor semantics. The server
@@ -217,14 +252,18 @@ func WithDefaultTenant(tenant string) Option {
 // successful response must never represent.
 func New(analyzer *dbsherlock.Analyzer, opts ...Option) (*Server, error) {
 	s := &Server{
-		analyzer:   analyzer,
-		tenant:     store.DefaultTenant,
-		banks:      make(map[string]*dbsherlock.ModelBank),
-		causeLocks: make(map[string]*sync.Mutex),
-		mux:        http.NewServeMux(),
-		logger:     obs.DiscardLogger(),
-		registry:   obs.NewRegistry(),
-		maxUpload:  DefaultMaxUploadBytes,
+		analyzer:      analyzer,
+		tenant:        store.DefaultTenant,
+		banks:         make(map[string]*dbsherlock.ModelBank),
+		causeLocks:    make(map[string]*sync.Mutex),
+		mux:           http.NewServeMux(),
+		logger:        obs.DiscardLogger(),
+		registry:      obs.NewRegistry(),
+		maxUpload:     DefaultMaxUploadBytes,
+		started:       time.Now(),
+		build:         readBuildInfo(),
+		events:        obs.NewEventRing(eventRingSize),
+		slowThreshold: DefaultSlowRequestThreshold,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -251,6 +290,8 @@ func New(analyzer *dbsherlock.Analyzer, opts ...Option) (*Server, error) {
 		"Requests shed by admission control (429), by endpoint.")
 
 	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /readyz", s.handleReadyz)
+	s.handle("GET /v1/status", s.handleStatus)
 	s.handle("POST /v1/datasets", s.handleUpload)
 	s.handle("GET /v1/datasets", s.handleListDatasets)
 	s.handle("DELETE /v1/datasets/{id}", s.handleDeleteDataset)
@@ -267,10 +308,15 @@ func New(analyzer *dbsherlock.Analyzer, opts ...Option) (*Server, error) {
 		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		// The event ring shares the pprof gate: like profiles, raw
+		// request events (tenants, paths, timings) expose internals.
+		s.mux.Handle("GET /debug/events", s.events.Handler())
 	}
-	// Recovery sits innermost so the access log still records the 500 it
-	// writes; the request ID is injected first so both see it.
-	s.handler = obs.RequestID(obs.AccessLog(s.logger, obs.Recover(s.logger, s.mux)))
+	// The wide-event log subsumes the old access log: one structured
+	// event per request, annotated by the handlers it passes through.
+	// Recovery sits innermost so the event still records the 500 it
+	// writes; the request ID is injected first so the event sees it.
+	s.handler = obs.RequestID(obs.EventLog(s.logger, s.events, s.slowThreshold, obs.Recover(s.logger, s.mux)))
 	return s, nil
 }
 
@@ -313,16 +359,29 @@ func (s *Server) hydrateBanks() error {
 	return nil
 }
 
-// tenantFrom resolves the request's tenant namespace.
+// tenantFrom resolves the request's tenant namespace and records it on
+// the request's wide event.
 func (s *Server) tenantFrom(r *http.Request) (string, error) {
 	t := r.Header.Get(TenantHeader)
 	if t == "" {
+		obs.EventFrom(r.Context()).SetTenant(s.tenant)
 		return s.tenant, nil
 	}
 	if err := store.ValidTenant(t); err != nil {
 		return "", err
 	}
+	obs.EventFrom(r.Context()).SetTenant(t)
 	return t, nil
+}
+
+// timeCommit runs one store write and charges its latency to the
+// request's wide event, so a slow request can be attributed to fsync
+// time without correlating logs against /metrics.
+func timeCommit(ctx context.Context, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	obs.EventFrom(ctx).AddCommit(time.Since(start))
+	return err
 }
 
 // bankFor returns (creating if needed) a tenant's model bank.
@@ -450,8 +509,11 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
-	id, err := s.store.PutDataset(tenant, ds)
-	if err != nil {
+	var id string
+	if err := timeCommit(r.Context(), func() (e error) {
+		id, e = s.store.PutDataset(tenant, ds)
+		return
+	}); err != nil {
 		writeStoreError(w, r, err)
 		return
 	}
@@ -493,8 +555,11 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
-	ok, err := s.store.DeleteDataset(tenant, id)
-	if err != nil {
+	var ok bool
+	if err := timeCommit(r.Context(), func() (e error) {
+		ok, e = s.store.DeleteDataset(tenant, id)
+		return
+	}); err != nil {
 		writeStoreError(w, r, err)
 		return
 	}
@@ -787,7 +852,7 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 		writeComputeError(w, r, err)
 		return
 	}
-	if err := s.persistModel(tenant, bank, req.Cause, prev); err != nil {
+	if err := s.persistModel(r.Context(), tenant, bank, req.Cause, prev); err != nil {
 		writeStoreError(w, r, err)
 		return
 	}
@@ -798,7 +863,7 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 		}
 		// The remediation changed the stored model; persist it too,
 		// rolling back to the remediation-free model if refused.
-		if err := s.persistModel(tenant, bank, req.Cause, model); err != nil {
+		if err := s.persistModel(r.Context(), tenant, bank, req.Cause, model); err != nil {
 			writeStoreError(w, r, err)
 			return
 		}
@@ -811,12 +876,12 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 // persistModel writes the bank's current model for cause to the store.
 // If the store refuses, the bank is rolled back to prev (removed when
 // prev is nil) so memory never serves models that are not durable.
-func (s *Server) persistModel(tenant string, bank *dbsherlock.ModelBank, cause string, prev *dbsherlock.CausalModel) error {
+func (s *Server) persistModel(ctx context.Context, tenant string, bank *dbsherlock.ModelBank, cause string, prev *dbsherlock.CausalModel) error {
 	m := bank.Model(cause)
 	if m == nil {
 		return fmt.Errorf("model %q disappeared before persist", cause)
 	}
-	if err := s.store.PutModel(tenant, m); err != nil {
+	if err := timeCommit(ctx, func() error { return s.store.PutModel(tenant, m) }); err != nil {
 		if prev != nil {
 			bank.Set(prev)
 		} else {
@@ -909,7 +974,9 @@ func (s *Server) handleImportModels(w http.ResponseWriter, r *http.Request) {
 	models := repo.Models()
 	// Persist first, install second: an import the store refuses never
 	// reaches the live bank.
-	if err := s.store.ReplaceModels(tenant, models); err != nil {
+	if err := timeCommit(r.Context(), func() error {
+		return s.store.ReplaceModels(tenant, models)
+	}); err != nil {
 		writeStoreError(w, r, err)
 		return
 	}

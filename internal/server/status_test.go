@@ -1,0 +1,266 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dbsherlock"
+	"dbsherlock/internal/obs"
+	"dbsherlock/internal/store"
+)
+
+// readyzResponse mirrors the /readyz body for decoding.
+type readyzResponse struct {
+	Status  string       `json:"status"`
+	Reasons []string     `json:"reasons"`
+	Store   store.Health `json:"store"`
+}
+
+func getReadyz(t *testing.T, baseURL string) (int, readyzResponse) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body readyzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("/readyz body is not JSON: %v", err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestReadyzHealthy(t *testing.T) {
+	ts, _ := newTestServer(t)
+	code, body := getReadyz(t, ts.URL)
+	if code != http.StatusOK || body.Status != "ready" {
+		t.Errorf("/readyz = %d %q, want 200 ready", code, body.Status)
+	}
+	if body.Store.Backend != "memory" {
+		t.Errorf("store backend = %q, want memory", body.Store.Backend)
+	}
+}
+
+func TestReadyzReportsDraining(t *testing.T) {
+	ts, srv := newTestServer(t)
+	srv.SetDraining(true)
+	code, body := getReadyz(t, ts.URL)
+	if code != http.StatusServiceUnavailable || body.Status != "unready" {
+		t.Fatalf("/readyz while draining = %d %q, want 503 unready", code, body.Status)
+	}
+	if len(body.Reasons) != 1 || body.Reasons[0] != "draining" {
+		t.Errorf("reasons = %v, want [draining]", body.Reasons)
+	}
+	srv.SetDraining(false)
+	if code, _ := getReadyz(t, ts.URL); code != http.StatusOK {
+		t.Errorf("/readyz after drain cleared = %d, want 200", code)
+	}
+}
+
+// TestReadyzFlipsWhenStoreLatches is the acceptance e2e: a double WAL
+// failure (append fsync fails, rollback fsync fails too) latches the
+// durable store read-only, and /readyz — polled like a load balancer
+// would — flips to 503 with the store_failed reason while the
+// dbsherlock_store_read_only gauge reads 1 on /metrics.
+func TestReadyzFlipsWhenStoreLatches(t *testing.T) {
+	ffs := store.NewFailFS()
+	reg := obs.NewRegistry()
+	sm := obs.NewStoreMetrics(reg, "durable", obs.DefaultTenantLabelCap)
+	st, err := store.OpenDurable("data", store.WithFS(ffs), store.WithObserver(sm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := MustNew(dbsherlock.MustNew(), WithStore(st), WithMetrics(reg))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Healthy first: a commit goes through and readiness holds.
+	uploadStep(t, ts, "")
+	if code, _ := getReadyz(t, ts.URL); code != http.StatusOK {
+		t.Fatalf("/readyz on healthy durable store = %d, want 200", code)
+	}
+
+	// Kill the disk: every fsync from now on fails, so the next commit's
+	// append sync fails AND its rollback sync fails — the double failure.
+	ffs.FailSyncFrom(1)
+	resp := doTenant(t, http.MethodPost, ts.URL+"/v1/datasets", "", "text/csv", stepCSV(t, 90))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("upload on dead disk = %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Poll readiness the way an external prober would.
+	deadline := time.Now().Add(5 * time.Second)
+	var code int
+	var body readyzResponse
+	for {
+		code, body = getReadyz(t, ts.URL)
+		if code == http.StatusServiceUnavailable || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz never flipped to 503 after the store latched")
+	}
+	if len(body.Reasons) != 1 || body.Reasons[0] != "store_failed" {
+		t.Errorf("reasons = %v, want [store_failed]", body.Reasons)
+	}
+	if !body.Store.ReadOnly || body.Store.Err == "" {
+		t.Errorf("store health = %+v, want read-only with the latch error", body.Store)
+	}
+
+	scrape := scrapeMetrics(t, ts.URL)
+	if got := metricValue(t, scrape, "dbsherlock_store_read_only", `{backend="durable"}`); got != 1 {
+		t.Errorf("read_only gauge = %v, want 1", got)
+	}
+	if got := metricValue(t, scrape, "dbsherlock_store_rollbacks_total", `{backend="durable"}`); got != 1 {
+		t.Errorf("rollbacks counter = %v, want 1", got)
+	}
+
+	// Reads still serve: unready is not dead.
+	resp, err = http.Get(ts.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("read on latched store = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	ffs := store.NewFailFS()
+	st, err := store.OpenDurable("data", store.WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := MustNew(dbsherlock.MustNew(), WithStore(st), WithMaxInflight(3))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	uploadStep(t, ts, "acme")
+
+	resp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[statusResponse](t, resp, http.StatusOK)
+	if out.Build.GoVersion == "" {
+		t.Error("status missing build go_version")
+	}
+	if out.UptimeSeconds < 0 {
+		t.Errorf("uptime = %v, want >= 0", out.UptimeSeconds)
+	}
+	if out.Draining {
+		t.Error("fresh server reports draining")
+	}
+	if out.Store.Backend != "durable" || out.Store.Tenants != 1 || out.Store.Datasets != 1 {
+		t.Errorf("store health = %+v, want durable with 1 tenant / 1 dataset", out.Store)
+	}
+	if out.Store.WALSequence != 1 || out.Store.WALBytes <= 0 {
+		t.Errorf("WAL state = %+v, want sequence 1 with bytes", out.Store)
+	}
+	if out.Goroutines < 1 {
+		t.Errorf("goroutines = %d, want >= 1", out.Goroutines)
+	}
+	if out.Admission == nil {
+		t.Fatal("status missing admission section despite WithMaxInflight")
+	}
+	if out.Admission.MaxInflight != 3 || out.Admission.Inflight != 0 || out.Admission.Queued != 0 {
+		t.Errorf("admission = %+v, want max 3, idle", out.Admission)
+	}
+}
+
+func TestStatusOmitsAdmissionWhenOff(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decode[statusResponse](t, resp, http.StatusOK)
+	if out.Admission != nil {
+		t.Errorf("admission = %+v, want absent without WithMaxInflight", out.Admission)
+	}
+}
+
+func TestDebugEventsGatedBehindPprof(t *testing.T) {
+	// Without WithPprof the route does not exist.
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/events without pprof gate = %d, want 404", resp.StatusCode)
+	}
+
+	srv := MustNew(dbsherlock.MustNew(), WithPprof())
+	ts2 := httptest.NewServer(srv)
+	defer ts2.Close()
+	// Generate one request with a tenant so its event is annotated.
+	r := doTenant(t, http.MethodGet, ts2.URL+"/v1/datasets", "acme", "", nil)
+	r.Body.Close()
+
+	resp, err = http.Get(ts2.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := decode[[]obs.Event](t, resp, http.StatusOK)
+	var found *obs.Event
+	for i := range events {
+		if events[i].Path == "/v1/datasets" {
+			found = &events[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("no /v1/datasets event in ring: %+v", events)
+	}
+	if found.Route != "GET /v1/datasets" || found.Tenant != "acme" || found.Status != http.StatusOK {
+		t.Errorf("event = %+v, want annotated route/tenant/status", *found)
+	}
+	if found.RequestID == "" {
+		t.Error("event missing request ID")
+	}
+}
+
+// TestWideEventRecordsCommitLatency: a durable upload's event carries
+// the store commit time, so slow requests are attributable to fsync.
+func TestWideEventRecordsCommitLatency(t *testing.T) {
+	ffs := store.NewFailFS()
+	st, err := store.OpenDurable("data", store.WithFS(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := MustNew(dbsherlock.MustNew(), WithStore(st), WithPprof())
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	uploadStep(t, ts, "acme")
+
+	resp, err := http.Get(ts.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := decode[[]obs.Event](t, resp, http.StatusOK)
+	var found *obs.Event
+	for i := range events {
+		if events[i].Route == "POST /v1/datasets" {
+			found = &events[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("no upload event in ring: %+v", events)
+	}
+	if found.CommitMS <= 0 {
+		t.Errorf("upload event CommitMS = %v, want > 0 on a durable store", found.CommitMS)
+	}
+	if found.Status != http.StatusCreated || found.Tenant != "acme" {
+		t.Errorf("event = %+v, want 201 for tenant acme", *found)
+	}
+}

@@ -3,6 +3,8 @@ package store
 import (
 	"fmt"
 	"testing"
+
+	"dbsherlock/internal/obs"
 )
 
 // BenchmarkDurableAppend measures the latency of one committed write —
@@ -133,5 +135,33 @@ func BenchmarkDurableReplaySnapshot(b *testing.B) {
 		if err := d.Close(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDurableAppendObserved is BenchmarkDurableAppend with the
+// store observer wired to a live metrics registry, the way dbsherlockd
+// runs in production. The delta to the unobserved benchmark is the full
+// instrumentation cost per commit: two histogram observations (append +
+// fsync), the op counter, the per-tenant counter, and the WAL gauges.
+// With sync off the fsync histogram is skipped, so nosync shows the
+// instrumentation floor against the cheapest possible commit.
+func BenchmarkDurableAppendObserved(b *testing.B) {
+	for _, sync := range []bool{true, false} {
+		b.Run(fmt.Sprintf("dataset_60rows/sync=%v", sync), func(b *testing.B) {
+			sm := obs.NewStoreMetrics(obs.NewRegistry(), "durable", obs.DefaultTenantLabelCap)
+			d, err := OpenDurable(b.TempDir(), WithSyncWrites(sync), WithObserver(sm))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			ds := testDataset(b, 60, 7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.PutDataset(DefaultTenant, ds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

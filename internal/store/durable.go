@@ -8,6 +8,7 @@ import (
 	"path"
 	"strings"
 	"sync"
+	"time"
 
 	"dbsherlock/internal/causal"
 	"dbsherlock/internal/metrics"
@@ -56,11 +57,13 @@ type Durable struct {
 	lock         io.Closer
 	walSize      int64
 	seq          uint64
+	snapSize     int64
 	syncWrites   bool
 	readOnly     bool
 	compactBytes int64
-	maxRecord    int   // largest accepted encoded op payload
-	failed       error // first unrecoverable log error; nil while healthy
+	maxRecord    int      // largest accepted encoded op payload
+	obs          Observer // optional instrumentation; nil = off
+	failed       error    // first unrecoverable log error; nil while healthy
 	closed       bool
 }
 
@@ -145,6 +148,7 @@ func openDurable(dir string, readOnly bool, opts []DurableOption) (*Durable, err
 // load recovers the materialized state under the already-held lock and
 // (read-write only) prepares the WAL for appending.
 func (d *Durable) load() error {
+	replayStart := time.Now()
 	if !d.readOnly {
 		d.removeTemps()
 	}
@@ -163,6 +167,7 @@ func (d *Durable) load() error {
 			return fmt.Errorf("store: %s is corrupt: %w", d.path(snapName), err)
 		}
 		d.mem, snapSeq = mem, seq
+		d.snapSize = int64(len(snapData))
 	}
 	d.seq = snapSeq
 
@@ -175,16 +180,30 @@ func (d *Durable) load() error {
 	if err != nil {
 		return err
 	}
+	applied := 0
 	for _, rec := range recs {
 		if rec.seq <= snapSeq {
 			continue // already folded into the snapshot
 		}
 		rec.op.apply(d.mem)
 		d.seq = rec.seq
+		applied++
+	}
+	if d.obs != nil {
+		d.obs.ObserveReplay(time.Since(replayStart), applied, int64(len(walData))+d.snapSize)
+		if torn := int64(len(walData)) - goodSize; torn > 0 {
+			d.obs.ObserveTornTail(torn)
+		}
+		d.obs.SetSnapshotSize(d.snapSize)
+		d.obs.SetReadOnly(d.readOnly)
 	}
 	if d.readOnly {
 		// Readers serve the intact prefix and leave the files exactly as
 		// found — a torn tail is the owner's to truncate.
+		d.walSize = int64(len(walData))
+		if d.obs != nil {
+			d.obs.SetWALState(d.walSize, d.seq)
+		}
 		return nil
 	}
 	if goodSize < int64(len(walMagic)) {
@@ -205,6 +224,9 @@ func (d *Durable) load() error {
 	}
 	d.wal = wal
 	d.walSize = goodSize
+	if d.obs != nil {
+		d.obs.SetWALState(d.walSize, d.seq)
+	}
 	return nil
 }
 
@@ -299,19 +321,39 @@ func (d *Durable) commitLocked(o *op) error {
 	// payload past 4 GiB would additionally overflow the u32 length
 	// word.
 	if payload := len(frame) - frameHeaderSize; payload > d.maxRecord {
+		if d.obs != nil {
+			d.obs.ObserveTooLarge()
+		}
 		return fmt.Errorf("%w: op encodes to %d bytes (limit %d)", ErrTooLarge, payload, d.maxRecord)
+	}
+	var writeStart time.Time
+	if d.obs != nil {
+		writeStart = time.Now()
 	}
 	if _, err := d.wal.Write(frame); err != nil {
 		return d.rollbackAppend(err)
 	}
+	var syncDur time.Duration
 	if d.syncWrites {
+		var syncStart time.Time
+		if d.obs != nil {
+			syncStart = time.Now()
+		}
 		if err := d.wal.Sync(); err != nil {
 			return d.rollbackAppend(err)
+		}
+		if d.obs != nil {
+			syncDur = time.Since(syncStart)
 		}
 	}
 	d.seq++
 	d.walSize += int64(len(frame))
 	o.apply(d.mem)
+	if d.obs != nil {
+		d.obs.ObserveAppend(time.Since(writeStart)-syncDur, syncDur, len(frame))
+		d.obs.ObserveCommit(o.tenant, opName(o.kind))
+		d.obs.SetWALState(d.walSize, d.seq)
+	}
 	if d.walSize >= d.compactBytes {
 		// Compaction failure is not a commit failure: the record above
 		// is durable. compactLocked marks the store failed only when it
@@ -329,6 +371,13 @@ func (d *Durable) rollbackAppend(cause error) error {
 		d.failed = fmt.Errorf("append failed (%v) and rollback truncate failed (%v)", cause, err)
 	} else if err := d.wal.Sync(); err != nil {
 		d.failed = fmt.Errorf("append failed (%v) and rollback sync failed (%v)", cause, err)
+	}
+	if d.obs != nil {
+		d.obs.ObserveRollback()
+		if d.failed != nil {
+			// The double failure latched the store read-only.
+			d.obs.SetReadOnly(true)
+		}
 	}
 	return fmt.Errorf("%w: append: %v", ErrUnavailable, cause)
 }
@@ -357,6 +406,21 @@ func (d *Durable) Compact() error {
 // old (correct) log; only losing the append handle marks the store
 // failed.
 func (d *Durable) compactLocked() error {
+	if d.obs == nil {
+		return d.doCompactLocked()
+	}
+	start := time.Now()
+	err := d.doCompactLocked()
+	d.obs.ObserveCompaction(time.Since(start), d.snapSize, err)
+	d.obs.SetSnapshotSize(d.snapSize)
+	d.obs.SetWALState(d.walSize, d.seq)
+	if d.failed != nil {
+		d.obs.SetReadOnly(true)
+	}
+	return err
+}
+
+func (d *Durable) doCompactLocked() error {
 	img := encodeSnapshot(d.seq, encodeState(d.mem))
 	// A snapshot frame past the replay limit would make the store
 	// unopenable; keep the (growing but correct) log instead.
@@ -375,6 +439,7 @@ func (d *Durable) compactLocked() error {
 	if err := d.fs.SyncDir(d.dir); err != nil {
 		return fmt.Errorf("store: sync data dir: %w", err)
 	}
+	d.snapSize = int64(len(img))
 
 	walTmp := d.path(walName + tmpExt)
 	if err := d.writeFileSync(walTmp, walMagic); err != nil {
@@ -484,6 +549,26 @@ func (d *Durable) ReplaceModels(tenant string, models []*causal.Model) error {
 
 // Tenants implements Store.
 func (d *Durable) Tenants() []string { return d.mem.Tenants() }
+
+// Health implements HealthReporter: the memory backend's counts plus
+// this backend's log state. ReadOnly covers both the read-only open
+// mode and the latch a double log failure sets; Err carries the first
+// unrecoverable error so a readiness probe can say *why* writes are
+// refused, not just that they are.
+func (d *Durable) Health() Health {
+	h := d.mem.Health()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h.Backend = "durable"
+	h.ReadOnly = d.readOnly || d.failed != nil
+	if d.failed != nil {
+		h.Err = d.failed.Error()
+	}
+	h.WALBytes = d.walSize
+	h.WALSequence = d.seq
+	h.SnapshotBytes = d.snapSize
+	return h
+}
 
 // Close implements Store: flush the log, release the handle, and drop
 // the directory lock. The store is unusable afterwards.

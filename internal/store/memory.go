@@ -239,3 +239,16 @@ func (m *Memory) Tenants() []string {
 
 // Close implements Store; the memory backend has nothing to flush.
 func (m *Memory) Close() error { return nil }
+
+// Health implements HealthReporter: the memory backend is always
+// writable, and the counts are totals across every tenant.
+func (m *Memory) Health() Health {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	h := Health{Backend: "memory", Tenants: len(m.tenantOrder)}
+	for _, ts := range m.tenants {
+		h.Datasets += len(ts.datasets)
+		h.Models += len(ts.models)
+	}
+	return h
+}

@@ -106,6 +106,31 @@ type Store interface {
 	Close() error
 }
 
+// Health is a point-in-time snapshot of a backend's operational state,
+// for readiness probes and the /v1/status endpoint. WAL fields are
+// zero on the memory backend.
+type Health struct {
+	Backend       string `json:"backend"` // "memory" or "durable"
+	ReadOnly      bool   `json:"read_only"`
+	Err           string `json:"error,omitempty"` // first unrecoverable log error
+	WALBytes      int64  `json:"wal_bytes"`
+	WALSequence   uint64 `json:"wal_sequence"`
+	SnapshotBytes int64  `json:"snapshot_bytes"`
+	Tenants       int    `json:"tenants"`
+	Datasets      int    `json:"datasets"` // across all tenants
+	Models        int    `json:"models"`   // across all tenants
+}
+
+// Writable reports whether the backend currently accepts writes.
+func (h Health) Writable() bool { return !h.ReadOnly && h.Err == "" }
+
+// HealthReporter is the optional introspection interface both bundled
+// backends implement; the server type-asserts it for /readyz and
+// /v1/status so third-party Store implementations stay compatible.
+type HealthReporter interface {
+	Health() Health
+}
+
 // ValidTenant reports whether a tenant name is usable: non-empty, at
 // most MaxTenantLen bytes, drawn from [A-Za-z0-9._-]. The charset keeps
 // names safe for headers, flags, and log lines.
