@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet lint build test race alloc-gate hygiene bench-smoke fuzz-smoke bench-parallel bench-obs bench-alloc bench-detect bench-lifecycle bench-store
+.PHONY: ci fmt-check vet lint build test race alloc-gate hygiene cache-gate bench-smoke fuzz-smoke bench-parallel bench-obs bench-alloc bench-detect bench-lifecycle bench-store bench-serve
 
-ci: fmt-check vet lint build race alloc-gate hygiene bench-smoke
+ci: fmt-check vet lint build race alloc-gate hygiene cache-gate bench-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -57,6 +57,13 @@ alloc-gate:
 hygiene:
 	$(GO) test -run TestMetricsHygiene ./internal/server/
 
+# Diagnosis-cache coherence invariants: hits + misses == lookups and
+# the byte gauge equals the accounted size of every resident entry,
+# under a randomized op mix and under concurrency. Also covered by
+# `race`, but a broken cache invariant should fail with this name.
+cache-gate:
+	$(GO) test -run 'TestCoherenceInvariant|TestConcurrentAccess' ./internal/diagcache/
+
 # One iteration of every benchmark: catches API drift and panics in the
 # experiment harnesses without paying for statistically meaningful runs.
 # -benchmem so an allocation explosion is visible even in the smoke run.
@@ -75,6 +82,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=10s ./internal/store/
 	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/store/
 	$(GO) test -run='^$$' -fuzz=FuzzWritePrometheus -fuzztime=10s ./internal/obs/
+	$(GO) test -run='^$$' -fuzz=FuzzBatchRequestDecode -fuzztime=10s ./internal/server/
 
 # Regenerate the numbers behind BENCH_parallel.json (sequential vs
 # parallel Explain/Rank at 1/4/8 workers, small and large datasets).
@@ -124,3 +132,10 @@ bench-lifecycle:
 bench-store:
 	$(GO) test -bench 'BenchmarkDurableAppend|BenchmarkMemoryPut|BenchmarkDurableReplay' -benchtime=100x -count=5 -benchmem -run='^$$' ./internal/store/
 	$(GO) test -bench 'BenchmarkLearnEndpoint' -benchtime=100x -count=5 -benchmem -run='^$$' ./internal/server/
+
+# Regenerate the numbers behind BENCH_serve.json: end-to-end /v1/explain
+# throughput and latency percentiles with the diagnosis cache off vs
+# warmed, a mixed hot/cold request schedule, and the repeated-incident
+# batch endpoint (commit the medians across the 5 repetitions).
+bench-serve:
+	$(GO) test -bench 'BenchmarkServe' -benchtime=100x -count=5 -run='^$$' ./internal/server/

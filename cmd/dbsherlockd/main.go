@@ -28,7 +28,11 @@
 // -timeout bounds each compute request with a deadline the diagnosis
 // engine honors mid-flight, -max-datasets caps the in-memory dataset
 // registry (oldest evicted first), and -drain bounds how long a
-// SIGINT/SIGTERM shutdown waits for in-flight requests.
+// SIGINT/SIGTERM shutdown waits for in-flight requests. -cache-size
+// budgets the cross-request diagnosis cache that makes repeat
+// /v1/explain calls sub-millisecond (0 disables it), and -job-ttl
+// bounds how long finished async batch results (POST /v1/explain/batch
+// with "async": true) stay fetchable from GET /v1/jobs/{id}.
 //
 // Persistence flags: -data-dir opens a durable store (write-ahead log +
 // snapshots) in the given directory; every dataset upload, learned
@@ -81,6 +85,8 @@ type config struct {
 	dataDir     string
 	tenant      string
 	slowReq     time.Duration
+	cacheSize   int64
+	jobTTL      time.Duration
 }
 
 func main() {
@@ -101,6 +107,8 @@ func main() {
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable store directory (WAL + snapshots); empty = in-memory only")
 	flag.StringVar(&cfg.tenant, "tenant-default", store.DefaultTenant, "tenant that requests without an X-DBSherlock-Tenant header belong to")
 	flag.DurationVar(&cfg.slowReq, "slow-request-threshold", server.DefaultSlowRequestThreshold, "requests slower than this log their wide event at WARN")
+	flag.Int64Var(&cfg.cacheSize, "cache-size", 64<<20, "diagnosis-cache byte budget for repeat /v1/explain requests (0 = cache off)")
+	flag.DurationVar(&cfg.jobTTL, "job-ttl", server.DefaultJobTTL, "how long finished async batch results stay fetchable from /v1/jobs")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		log.Fatal(err)
@@ -173,6 +181,12 @@ func run(cfg config) error {
 	}
 	if cfg.timeout > 0 {
 		serverOpts = append(serverOpts, server.WithTimeout(cfg.timeout))
+	}
+	if cfg.cacheSize > 0 {
+		serverOpts = append(serverOpts, server.WithDiagnosisCache(server.DefaultDiagCacheEntries, cfg.cacheSize))
+	}
+	if cfg.jobTTL > 0 {
+		serverOpts = append(serverOpts, server.WithJobTTL(cfg.jobTTL))
 	}
 	// Write/idle timeouts protect the daemon from slow or dead clients;
 	// the write timeout leaves headroom beyond the compute deadline so a

@@ -238,6 +238,20 @@ type DiagnoseRequest struct {
 	// context.DeadlineExceeded once it expires, even if the parent
 	// context has no deadline.
 	Timeout time.Duration
+	// Reuse, when non-nil, offers a DiagnosisState captured by an
+	// earlier Diagnose of the same context. If it matches this request
+	// (same dataset instance, regions, parameters, and domain
+	// knowledge) the engine skips predicate generation and scoring and
+	// only re-ranks causal models against the retained partition
+	// spaces; on any mismatch it silently runs cold. Output is
+	// identical either way.
+	Reuse *DiagnosisState
+	// CaptureState asks the engine to return a reusable DiagnosisState
+	// in DiagnoseResult.State (it is also returned whenever Reuse was
+	// accepted). Capturing costs a few small copies plus keeping the
+	// evaluator's partition spaces alive; leave it off for one-shot
+	// diagnoses.
+	CaptureState bool
 }
 
 // DiagnoseResult is the output of Diagnose: the full explanation (the
@@ -255,6 +269,11 @@ type DiagnoseResult struct {
 	// Trace is the per-stage diagnosis trace, non-nil only when tracing
 	// was requested (DiagnoseRequest.Trace or WithTracing).
 	Trace *TraceSnapshot
+	// State is the reusable diagnosis state for this context, non-nil
+	// only when DiagnoseRequest.CaptureState was set or Reuse was
+	// accepted. Hand it back via DiagnoseRequest.Reuse to skip
+	// Algorithm 1 on the next diagnosis of the same incident.
+	State *DiagnosisState
 }
 
 // Diagnose runs one full diagnosis under a context: it generates
@@ -281,7 +300,15 @@ func (a *Analyzer) Diagnose(ctx context.Context, req DiagnoseRequest) (*Diagnose
 	if req.Trace || a.tracing {
 		tr = obs.NewTrace(core.ResolveWorkers(a.params.Workers))
 	}
-	expl, ranked, err := a.explainCtx(ctx, req.Dataset, req.Abnormal, req.Normal, tr)
+	if st := req.Reuse; st != nil {
+		abnormal, normal, err := resolveRegions(req.Dataset, req.Abnormal, req.Normal)
+		if err == nil && st.matches(a, req.Dataset, abnormal, normal) {
+			return a.diagnoseReused(ctx, st, tr)
+		}
+		// Mismatched or unresolvable state: fall through to the cold
+		// path (which reports the resolve error properly).
+	}
+	expl, ranked, state, err := a.explainCtx(ctx, req.Dataset, req.Abnormal, req.Normal, tr, req.CaptureState || req.Reuse != nil)
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +317,35 @@ func (a *Analyzer) Diagnose(ctx context.Context, req DiagnoseRequest) (*Diagnose
 		// returns an empty, non-nil slice in that case; match it exactly.
 		ranked = []RankedCause{}
 	}
-	res := &DiagnoseResult{Explanation: expl, AllCauses: ranked}
+	res := &DiagnoseResult{Explanation: expl, AllCauses: ranked, State: state}
+	if tr != nil {
+		expl.Trace = tr.Snapshot()
+		res.Trace = expl.Trace
+	}
+	return res, nil
+}
+
+// diagnoseReused is the cache-hit fast path: the captured predicates
+// are copied out (so callers can never corrupt the shared state) and
+// only causal-model ranking runs, against the state's retained
+// partition spaces. Models are re-read from the live repository, so
+// learns and imports between requests are always reflected.
+func (a *Analyzer) diagnoseReused(ctx context.Context, st *DiagnosisState, tr *obs.Trace) (*DiagnoseResult, error) {
+	expl := &Explanation{
+		Predicates: cloneSlice(st.preds),
+		Ranked:     cloneSlice(st.ranked),
+		Pruned:     cloneSlice(st.pruned),
+	}
+	ranked := []RankedCause{}
+	if repo := a.repository(); repo.Len() > 0 {
+		out, err := repo.RankEvalTracedCtx(ctx, st.ev, tr)
+		if err != nil {
+			return nil, err
+		}
+		ranked = out
+		expl.Causes = causal.FilterByLambda(ranked, a.lambda)
+	}
+	res := &DiagnoseResult{Explanation: expl, AllCauses: ranked, State: st}
 	if tr != nil {
 		expl.Trace = tr.Snapshot()
 		res.Trace = expl.Trace
@@ -311,7 +366,7 @@ func (a *Analyzer) Explain(ds *Dataset, abnormal, normal *Region) (*Explanation,
 	if a.tracing {
 		return a.ExplainTraced(ds, abnormal, normal)
 	}
-	expl, _, err := a.explainCtx(context.Background(), ds, abnormal, normal, nil)
+	expl, _, _, err := a.explainCtx(context.Background(), ds, abnormal, normal, nil, false)
 	return expl, err
 }
 
@@ -321,7 +376,7 @@ func (a *Analyzer) Explain(ds *Dataset, abnormal, normal *Region) (*Explanation,
 // Diagnose with DiagnoseRequest.Trace set.
 func (a *Analyzer) ExplainTraced(ds *Dataset, abnormal, normal *Region) (*Explanation, error) {
 	tr := obs.NewTrace(core.ResolveWorkers(a.params.Workers))
-	expl, _, err := a.explainCtx(context.Background(), ds, abnormal, normal, tr)
+	expl, _, _, err := a.explainCtx(context.Background(), ds, abnormal, normal, tr, false)
 	if err != nil {
 		return nil, err
 	}
@@ -333,21 +388,24 @@ func (a *Analyzer) ExplainTraced(ds *Dataset, abnormal, normal *Region) (*Explan
 // and ExplainTraced. It returns the explanation plus, when the model
 // repository is non-empty, the full confidence ranking the lambda filter
 // was derived from (nil otherwise), so Diagnose gets RankAll's output
-// without ranking twice. ctx errors are returned unwrapped so callers
-// can match them with errors.Is.
-func (a *Analyzer) explainCtx(ctx context.Context, ds *Dataset, abnormal, normal *Region, tr *obs.Trace) (*Explanation, []RankedCause, error) {
+// without ranking twice. With capture set it additionally snapshots the
+// evaluator and predicate slices into a reusable DiagnosisState (the
+// evaluator is then built trace-free, since it outlives this request's
+// trace; ranking output is unaffected). ctx errors are returned
+// unwrapped so callers can match them with errors.Is.
+func (a *Analyzer) explainCtx(ctx context.Context, ds *Dataset, abnormal, normal *Region, tr *obs.Trace, capture bool) (*Explanation, []RankedCause, *DiagnosisState, error) {
 	abnormal, normal, err := resolveRegions(ds, abnormal, normal)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	params := a.params
 	params.Trace = tr
 	preds, err := core.GenerateCtx(ctx, ds, abnormal, normal, params)
 	if err != nil {
 		if ctx.Err() != nil {
-			return nil, nil, ctx.Err()
+			return nil, nil, nil, ctx.Err()
 		}
-		return nil, nil, fmt.Errorf("dbsherlock: %w", err)
+		return nil, nil, nil, fmt.Errorf("dbsherlock: %w", err)
 	}
 	expl := &Explanation{Predicates: preds}
 	if a.knowledge != nil {
@@ -365,21 +423,40 @@ func (a *Analyzer) explainCtx(ctx context.Context, ds *Dataset, abnormal, normal
 			SeparationPower: core.SeparationPower(p, ds, abnormal, normal),
 		}
 	}); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	sort.SliceStable(expl.Ranked, func(i, j int) bool {
 		return expl.Ranked[i].SeparationPower > expl.Ranked[j].SeparationPower
 	})
 	tr.EndStage(obs.StageScore, start)
 	var ranked []RankedCause
-	if repo := a.repository(); repo.Len() > 0 {
+	var state *DiagnosisState
+	if capture {
+		evalParams := a.params
+		evalParams.Trace = nil
+		ev := core.NewEvaluator(ds, abnormal, normal, evalParams)
+		if repo := a.repository(); repo.Len() > 0 {
+			ranked, err = repo.RankEvalTracedCtx(ctx, ev, tr)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			expl.Causes = causal.FilterByLambda(ranked, a.lambda)
+		}
+		state = &DiagnosisState{
+			ev:        ev,
+			knowledge: a.knowledge,
+			preds:     cloneSlice(expl.Predicates),
+			ranked:    cloneSlice(expl.Ranked),
+			pruned:    cloneSlice(expl.Pruned),
+		}
+	} else if repo := a.repository(); repo.Len() > 0 {
 		ranked, err = repo.RankCtx(ctx, ds, abnormal, normal, params)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		expl.Causes = causal.FilterByLambda(ranked, a.lambda)
 	}
-	return expl, ranked, nil
+	return expl, ranked, state, nil
 }
 
 // LearnCause incorporates user feedback: it generates predicates for

@@ -1,0 +1,205 @@
+package dbsherlock_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"dbsherlock"
+)
+
+// learnedAnalyzer builds an analyzer with two learned causes at the
+// given worker count (theta lowered for merging, as in the learning
+// tests).
+func learnedAnalyzer(t *testing.T, workers int, tracing bool) *dbsherlock.Analyzer {
+	t.Helper()
+	opts := []dbsherlock.Option{dbsherlock.WithTheta(0.05), dbsherlock.WithWorkers(workers)}
+	if tracing {
+		opts = append(opts, dbsherlock.WithTracing())
+	}
+	a := dbsherlock.MustNew(opts...)
+	for _, kind := range []dbsherlock.AnomalyKind{dbsherlock.LockContention, dbsherlock.NetworkCongestion} {
+		for seed := int64(10); seed < 12; seed++ {
+			ds, abn := simulateAnomaly(t, kind, seed)
+			if _, err := a.LearnCause(kind.String(), ds, abn, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return a
+}
+
+// stripTrace returns the result with trace snapshots removed: traces
+// carry wall-clock timings, so they are the one part of the output that
+// legitimately differs between runs.
+func stripTrace(res *dbsherlock.DiagnoseResult) *dbsherlock.DiagnoseResult {
+	expl := *res.Explanation
+	expl.Trace = nil
+	return &dbsherlock.DiagnoseResult{Explanation: &expl, AllCauses: res.AllCauses}
+}
+
+// TestDiagnoseReuseByteIdentical pins the cache-correctness contract
+// across the full matrix of worker counts and tracing modes: a
+// diagnosis that captures state, a repeat diagnosis reusing that state,
+// and a plain cold diagnosis all produce deeply equal output
+// (trace timings excluded — they measure the run, not the result).
+func TestDiagnoseReuseByteIdentical(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, traced := range []bool{false, true} {
+			t.Run(fmt.Sprintf("workers=%d,traced=%v", workers, traced), func(t *testing.T) {
+				a := learnedAnalyzer(t, workers, false)
+				ds, abn := simulateAnomaly(t, dbsherlock.LockContention, 99)
+
+				plain, err := a.Diagnose(context.Background(),
+					dbsherlock.DiagnoseRequest{Dataset: ds, Abnormal: abn, Trace: traced})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := a.Diagnose(context.Background(),
+					dbsherlock.DiagnoseRequest{Dataset: ds, Abnormal: abn, Trace: traced, CaptureState: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cold.State == nil {
+					t.Fatal("CaptureState produced no state")
+				}
+				hot, err := a.Diagnose(context.Background(), dbsherlock.DiagnoseRequest{
+					Dataset: ds, Abnormal: abn, Trace: traced, Reuse: cold.State})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if hot.State != cold.State {
+					t.Fatal("accepted reuse must hand the same state back")
+				}
+				if traced && (cold.Trace == nil || hot.Trace == nil) {
+					t.Fatal("traced runs must carry trace snapshots")
+				}
+				if !traced && (cold.Trace != nil || hot.Trace != nil) {
+					t.Fatal("untraced runs must not carry trace snapshots")
+				}
+				want := stripTrace(plain)
+				if got := stripTrace(cold); !reflect.DeepEqual(got, want) {
+					t.Fatalf("capturing run differs from plain run:\n%+v\nvs\n%+v", got, want)
+				}
+				if got := stripTrace(hot); !reflect.DeepEqual(got, want) {
+					t.Fatalf("reused run differs from plain run:\n%+v\nvs\n%+v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestDiagnoseReuseMismatchRunsCold: a state offered for the wrong
+// dataset or the wrong region is silently ignored — the output matches
+// a cold run of the actual request, and fresh state is captured for it.
+func TestDiagnoseReuseMismatchRunsCold(t *testing.T) {
+	a := learnedAnalyzer(t, 0, false)
+	ds1, abn1 := simulateAnomaly(t, dbsherlock.LockContention, 99)
+	ds2, abn2 := simulateAnomaly(t, dbsherlock.NetworkCongestion, 7)
+
+	captured, err := a.Diagnose(context.Background(),
+		dbsherlock.DiagnoseRequest{Dataset: ds1, Abnormal: abn1, CaptureState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.Diagnose(context.Background(),
+		dbsherlock.DiagnoseRequest{Dataset: ds2, Abnormal: abn2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Diagnose(context.Background(), dbsherlock.DiagnoseRequest{
+		Dataset: ds2, Abnormal: abn2, Reuse: captured.State})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State == nil || got.State == captured.State {
+		t.Fatal("mismatched reuse must capture fresh state for the actual request")
+	}
+	if !reflect.DeepEqual(stripTrace(got), stripTrace(want)) {
+		t.Fatalf("mismatched reuse changed the output:\n%+v\nvs\n%+v", got, want)
+	}
+
+	// Same dataset, different region: also a cold run.
+	other := dbsherlock.RegionFromRange(ds1.Rows(), 10, 40)
+	wantOther, err := a.Diagnose(context.Background(),
+		dbsherlock.DiagnoseRequest{Dataset: ds1, Abnormal: other})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotOther, err := a.Diagnose(context.Background(), dbsherlock.DiagnoseRequest{
+		Dataset: ds1, Abnormal: other, Reuse: captured.State})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripTrace(gotOther), stripTrace(wantOther)) {
+		t.Fatal("region-mismatched reuse changed the output")
+	}
+}
+
+// TestDiagnoseReuseSeesNewModels: model ranking is never cached — a
+// cause learned after the state was captured ranks on the very next
+// reused diagnosis.
+func TestDiagnoseReuseSeesNewModels(t *testing.T) {
+	a := dbsherlock.MustNew(dbsherlock.WithTheta(0.05))
+	ds, abn := simulateAnomaly(t, dbsherlock.LockContention, 99)
+	captured, err := a.Diagnose(context.Background(),
+		dbsherlock.DiagnoseRequest{Dataset: ds, Abnormal: abn, CaptureState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(captured.AllCauses) != 0 {
+		t.Fatalf("no models yet, got %v", captured.AllCauses)
+	}
+	dsL, abnL := simulateAnomaly(t, dbsherlock.LockContention, 10)
+	if _, err := a.LearnCause("Lock Contention", dsL, abnL, nil); err != nil {
+		t.Fatal(err)
+	}
+	hot, err := a.Diagnose(context.Background(), dbsherlock.DiagnoseRequest{
+		Dataset: ds, Abnormal: abn, Reuse: captured.State})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot.AllCauses) != 1 || hot.AllCauses[0].Cause != "Lock Contention" {
+		t.Fatalf("reused diagnosis missed the freshly learned model: %+v", hot.AllCauses)
+	}
+}
+
+// TestDiagnoseReuseConcurrent: one captured state serves many
+// concurrent diagnoses (run under -race) with identical output.
+func TestDiagnoseReuseConcurrent(t *testing.T) {
+	a := learnedAnalyzer(t, 4, false)
+	ds, abn := simulateAnomaly(t, dbsherlock.LockContention, 99)
+	cold, err := a.Diagnose(context.Background(),
+		dbsherlock.DiagnoseRequest{Dataset: ds, Abnormal: abn, CaptureState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stripTrace(cold)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				hot, err := a.Diagnose(context.Background(), dbsherlock.DiagnoseRequest{
+					Dataset: ds, Abnormal: abn, Reuse: cold.State})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(stripTrace(hot), want) {
+					errs <- fmt.Errorf("concurrent reused diagnosis diverged")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -201,7 +201,16 @@ func (r *Repository) RankEval(ev *core.Evaluator) []RankedCause {
 // ctx is checked between the per-attribute cache warm-up items and
 // between model scores.
 func (r *Repository) RankEvalCtx(ctx context.Context, ev *core.Evaluator) ([]RankedCause, error) {
-	tr := ev.Params().Trace
+	return r.RankEvalTracedCtx(ctx, ev, ev.Params().Trace)
+}
+
+// RankEvalTracedCtx is RankEvalCtx recording stage timings and work
+// counts into tr instead of the evaluator's own trace. The diagnosis
+// cache needs this split: a cached evaluator is shared by many
+// requests, so it is built trace-free and each request brings its own
+// trace to the ranking pass. Passing ev.Params().Trace reproduces
+// RankEvalCtx exactly; the trace never influences the ranking itself.
+func (r *Repository) RankEvalTracedCtx(ctx context.Context, ev *core.Evaluator, tr *obs.Trace) ([]RankedCause, error) {
 	order, models := r.snapshot()
 	workers := core.ResolveWorkers(ev.Params().Workers)
 	if workers > 1 && len(models) > 1 {

@@ -43,6 +43,57 @@ func NewEvaluator(ds *metrics.Dataset, abnormal, normal *metrics.Region, p Param
 // Params returns the evaluation parameters.
 func (e *Evaluator) Params() Params { return e.p }
 
+// Dataset returns the dataset this evaluator was built over. Callers
+// that retain an evaluator across requests (the diagnosis cache) use
+// pointer identity to verify a reused evaluator still matches the
+// dataset being diagnosed.
+func (e *Evaluator) Dataset() *metrics.Dataset { return e.ds }
+
+// Regions returns the abnormal and normal regions of the evaluation
+// context, for the same reuse-validation purpose as Dataset.
+func (e *Evaluator) Regions() (abnormal, normal *metrics.Region) {
+	return e.abnormal, e.normal
+}
+
+// SizeBytes estimates the retained heap footprint of the evaluator's
+// cached partition spaces plus its region pins — the memory a cache
+// holding this evaluator keeps alive beyond the dataset itself (the
+// dataset is owned by the store and not counted). The estimate walks
+// the space maps under the read lock, so it is safe to call while the
+// evaluator is in concurrent use and reflects lazily added spaces.
+func (e *Evaluator) SizeBytes() int64 {
+	const (
+		numSpaceOverhead = 96 // struct, map entry, key header
+		catSpaceOverhead = 96
+		stringOverhead   = 16
+		regionOverhead   = 32
+	)
+	var n int64
+	e.mu.RLock()
+	for attr, ps := range e.num {
+		n += numSpaceOverhead + int64(len(attr))
+		if ps != nil {
+			n += int64(len(ps.Attr)) + int64(len(ps.Labels))
+		}
+	}
+	for attr, cs := range e.cat {
+		n += catSpaceOverhead + int64(len(attr))
+		if cs != nil {
+			n += int64(len(cs.Attr)) + int64(len(cs.Labels))
+			for _, v := range cs.Values {
+				n += stringOverhead + int64(len(v))
+			}
+		}
+	}
+	e.mu.RUnlock()
+	for _, r := range []*metrics.Region{e.abnormal, e.normal} {
+		if r != nil {
+			n += regionOverhead + int64(r.Len())
+		}
+	}
+	return n
+}
+
 // Prepare builds the partition spaces of the named attributes up front,
 // fanning the per-attribute construction out across the worker pool.
 // Duplicate and unknown names are fine (built once / skipped), so

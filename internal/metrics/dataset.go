@@ -4,8 +4,16 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
+	"sync/atomic"
 )
+
+// datasetGen issues globally unique generation numbers: every dataset
+// mutation takes the next value, so a (dataset id, generation) pair
+// identifies one exact state of one exact dataset instance process-wide.
+// Caches key on it to stay coherent without retaining dataset pointers.
+var datasetGen atomic.Uint64
 
 // Column stores all samples of one attribute, columnar.
 //
@@ -24,6 +32,7 @@ type Dataset struct {
 	time   []int64
 	cols   []Column
 	byName map[string]int
+	gen    uint64 // see Generation
 }
 
 // NewDataset creates a dataset over the given timestamps. Timestamps must
@@ -85,7 +94,31 @@ func (d *Dataset) addColumn(c Column) error {
 	}
 	d.byName[c.Attr.Name] = len(d.cols)
 	d.cols = append(d.cols, c)
+	d.gen = datasetGen.Add(1)
 	return nil
+}
+
+// Generation returns a monotonic mutation counter for this dataset:
+// every successful mutation (column append) bumps it to a fresh,
+// process-globally unique value. Two observations of the same
+// generation therefore saw the identical dataset state — and no two
+// distinct dataset instances ever share a non-zero generation — which
+// is what lets the diagnosis cache key derived state on (id,
+// generation) without pinning or comparing dataset contents.
+func (d *Dataset) Generation() uint64 { return d.gen }
+
+// ContentEqual reports whether two datasets hold identical content —
+// timestamps, attribute order and descriptors, and every value — while
+// ignoring the generation stamp, which is unique per instance by
+// design. Tests comparing independently built datasets want this, not
+// reflect.DeepEqual.
+func (d *Dataset) ContentEqual(o *Dataset) bool {
+	if d == nil || o == nil {
+		return d == o
+	}
+	a, b := *d, *o
+	a.gen, b.gen = 0, 0
+	return reflect.DeepEqual(&a, &b)
 }
 
 // Attributes returns descriptors for all columns in insertion order.

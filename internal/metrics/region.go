@@ -1,6 +1,9 @@
 package metrics
 
-import "fmt"
+import (
+	"fmt"
+	"hash/fnv"
+)
 
 // Region is a selection of dataset rows, used to mark the user-specified
 // abnormal and normal regions (paper Section 2.2). A region is tied to a
@@ -151,6 +154,46 @@ func (r *Region) Complement() *Region {
 		}
 	}
 	return out
+}
+
+// Equal reports whether the two regions are defined over the same
+// number of rows and select exactly the same rows. A nil region equals
+// only another nil region.
+func (r *Region) Equal(o *Region) bool {
+	if r == nil || o == nil {
+		return r == o
+	}
+	if len(r.member) != len(o.member) || r.count != o.count {
+		return false
+	}
+	for i, m := range r.member {
+		if m != o.member[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns a 64-bit FNV-1a digest of the region's size and
+// run structure. Regions with equal fingerprints are almost certainly
+// equal; cache keys use the fingerprint for lookup and verify actual
+// equality (Equal) before trusting reused state, so a collision can
+// cost a cache miss but never a wrong answer.
+func (r *Region) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(len(r.member)))
+	r.Runs(func(lo, hi int) {
+		put(uint64(lo))
+		put(uint64(hi))
+	})
+	return h.Sum64()
 }
 
 // Intersects reports whether the two regions share any row.

@@ -65,7 +65,7 @@ func TestWindowViewMaterialize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(got, ds) {
+	if !got.ContentEqual(ds) {
 		t.Fatalf("materialized dataset differs from source:\n%+v\nvs\n%+v", got, ds)
 	}
 

@@ -1,0 +1,71 @@
+package obs
+
+// CacheMetrics adapts a metrics registry onto the diagnosis cache's
+// Observer hook (internal/diagcache.Observer — the interface speaks
+// only std types so this package need not import the cache). One
+// adapter instruments one cache; the daemon registers it into the
+// shared registry next to the store and HTTP families.
+type CacheMetrics struct {
+	hits          *Counter
+	misses        *Counter
+	evictions     *Counter
+	invalidations *Counter
+	evictedBytes  *Counter
+	entries       *Gauge
+	sizeBytes     *Gauge
+}
+
+// NewCacheMetrics registers the diagnosis-cache metric families into
+// reg and returns the observer to pass to diagcache.New.
+func NewCacheMetrics(reg *Registry) *CacheMetrics {
+	m := &CacheMetrics{}
+	m.hits = reg.NewCounterFamily(
+		"dbsherlock_diagcache_hits_total",
+		"Diagnosis cache lookups that found reusable state.").With()
+	m.misses = reg.NewCounterFamily(
+		"dbsherlock_diagcache_misses_total",
+		"Diagnosis cache lookups that fell through to a cold run.").With()
+	m.evictions = reg.NewCounterFamily(
+		"dbsherlock_diagcache_evictions_total",
+		"Diagnosis cache entries dropped by LRU or byte-budget pressure.").With()
+	m.invalidations = reg.NewCounterFamily(
+		"dbsherlock_diagcache_invalidations_total",
+		"Diagnosis cache entries dropped because their dataset was deleted or replaced.").With()
+	m.evictedBytes = reg.NewCounterFamily(
+		"dbsherlock_diagcache_evicted_bytes_total",
+		"Accounted bytes released by evictions and invalidations.").With()
+	m.entries = reg.NewGaugeFamily(
+		"dbsherlock_diagcache_entries",
+		"Diagnosis cache entries currently retained.").With()
+	m.sizeBytes = reg.NewGaugeFamily(
+		"dbsherlock_diagcache_size_bytes",
+		"Accounted bytes currently retained by the diagnosis cache.").With()
+	return m
+}
+
+// ObserveLookup implements diagcache.Observer.
+func (m *CacheMetrics) ObserveLookup(hit bool) {
+	if hit {
+		m.hits.Inc()
+	} else {
+		m.misses.Inc()
+	}
+}
+
+// ObserveEviction implements diagcache.Observer.
+func (m *CacheMetrics) ObserveEviction(bytes int64) {
+	m.evictions.Inc()
+	m.evictedBytes.Add(bytes)
+}
+
+// ObserveInvalidation implements diagcache.Observer.
+func (m *CacheMetrics) ObserveInvalidation(bytes int64) {
+	m.invalidations.Inc()
+	m.evictedBytes.Add(bytes)
+}
+
+// SetOccupancy implements diagcache.Observer.
+func (m *CacheMetrics) SetOccupancy(entries int, bytes int64) {
+	m.entries.Set(float64(entries))
+	m.sizeBytes.Set(float64(bytes))
+}

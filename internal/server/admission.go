@@ -3,9 +3,12 @@ package server
 import (
 	"context"
 	"errors"
+	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"dbsherlock/internal/obs"
 )
@@ -137,8 +140,7 @@ func (s *Server) gate(endpoint string, weight int64, next http.HandlerFunc) http
 			if errors.Is(err, errOverloaded) {
 				obs.EventFrom(r.Context()).SetAdmission("rejected")
 				rejected.Inc()
-				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-				writeError(w, r, http.StatusTooManyRequests, CodeOverloaded, err)
+				writeOverloaded(w, r, s.retryAfterHint(), err)
 				return
 			}
 			// The client went away (or its deadline expired) while queued;
@@ -160,7 +162,80 @@ func (s *Server) gate(endpoint string, weight int64, next http.HandlerFunc) http
 	}
 }
 
-// retryAfterSeconds is the Retry-After hint on 429 responses. Diagnosis
-// calls finish in well under a second on the paper-scale datasets, so a
-// one-second backoff is enough to drain a full queue.
-const retryAfterSeconds = 1
+// Retry-After bounds: the hint never dips below a second (HTTP
+// Retry-After has whole-second granularity and sub-second retries would
+// hammer a saturated gate) and never asks a client to wait out more
+// than a minute of backlog.
+const (
+	minRetryAfterSeconds = 1
+	maxRetryAfterSeconds = 60
+)
+
+// retryAfterHint derives the Retry-After value for a 429 from live
+// signals instead of a constant: the queue ahead of a retrying client
+// is `queued` requests deep, and each drains in about one median
+// diagnosis latency, so queue depth x recent p50 estimates when a slot
+// will actually be free. Before any diagnosis has completed (cold
+// start) the floor applies.
+func (s *Server) retryAfterHint() int {
+	p50 := s.diagLat.p50()
+	if p50 <= 0 || s.sem == nil {
+		return minRetryAfterSeconds
+	}
+	_, queued := s.sem.stats()
+	secs := int(math.Ceil(p50.Seconds() * float64(queued+1)))
+	if secs < minRetryAfterSeconds {
+		return minRetryAfterSeconds
+	}
+	if secs > maxRetryAfterSeconds {
+		return maxRetryAfterSeconds
+	}
+	return secs
+}
+
+// writeOverloaded sheds one request with 429 + Retry-After.
+func writeOverloaded(w http.ResponseWriter, r *http.Request, retryAfter int, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeError(w, r, http.StatusTooManyRequests, CodeOverloaded, err)
+}
+
+// latencyRingSize is how many recent diagnosis latencies feed the
+// Retry-After estimate. 64 observations smooth bursts while tracking a
+// workload shift (e.g. the cache warming up) within seconds.
+const latencyRingSize = 64
+
+// latencyRing is a fixed-size ring of recent diagnosis durations with
+// a median query. Safe for concurrent use.
+type latencyRing struct {
+	mu  sync.Mutex
+	buf [latencyRingSize]time.Duration
+	n   int // filled entries
+	i   int // next write position
+}
+
+func newLatencyRing() *latencyRing { return &latencyRing{} }
+
+// observe records one diagnosis duration.
+func (l *latencyRing) observe(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.i] = d
+	l.i = (l.i + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// p50 returns the median of the recorded durations, 0 when empty.
+func (l *latencyRing) p50() time.Duration {
+	l.mu.Lock()
+	n := l.n
+	tmp := make([]time.Duration, n)
+	copy(tmp, l.buf[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(tmp, func(a, b int) bool { return tmp[a] < tmp[b] })
+	return tmp[n/2]
+}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"dbsherlock"
+)
+
+// serveBenchRows sizes the synthetic trace for the end-to-end serve
+// benchmarks. 1200 rows (a 20-minute trace at 1 Hz) makes the cold
+// partition-space construction the dominant cost, which is the regime
+// the diagnosis cache exists for; the 190-row lifecycle benchmarks keep
+// covering the HTTP-overhead regime.
+const serveBenchRows = 1200
+
+// serveBenchServer boots a server with one uploaded long trace and
+// returns the explain body for the anomalous region.
+func serveBenchServer(b *testing.B, opts ...Option) (*httptest.Server, *Server) {
+	b.Helper()
+	srv := MustNew(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)), opts...)
+	ts := httptest.NewServer(srv)
+	b.Cleanup(ts.Close)
+
+	cfg := dbsherlock.DefaultTestbed()
+	cfg.Seed = 1
+	ds, _, err := dbsherlock.Simulate(cfg, 0, serveBenchRows, []dbsherlock.Injection{
+		{Kind: dbsherlock.LockContention, Start: 600, Duration: 300},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := dbsherlock.WriteCSV(&csv, ds); err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/datasets", "text/csv", &csv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b.Fatalf("upload status %d", resp.StatusCode)
+	}
+	return ts, srv
+}
+
+func explainBenchBody(b *testing.B, from, to int) []byte {
+	b.Helper()
+	body, err := json.Marshal(explainRequest{Dataset: "ds-1", From: &from, To: &to})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+// serveLoop fires one request per iteration (the body chosen by
+// schedule), reporting throughput and end-to-end latency percentiles,
+// plus the server-side diagnosis p50 from the admission latency ring —
+// the number the cache-hit acceptance budget (< 200µs) is pinned to,
+// free of HTTP client and loopback cost.
+func serveLoop(b *testing.B, ts *httptest.Server, srv *Server, schedule func(i int) []byte) {
+	b.Helper()
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		body := schedule(i)
+		t0 := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/explain", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	sort.Slice(lat, func(x, y int) bool { return lat[x] < lat[y] })
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "req/s")
+	b.ReportMetric(float64(lat[len(lat)*50/100].Microseconds()), "p50-µs")
+	b.ReportMetric(float64(lat[len(lat)*99/100].Microseconds()), "p99-µs")
+	if p50 := srv.diagLat.p50(); p50 > 0 {
+		b.ReportMetric(float64(p50.Microseconds()), "diag-p50-µs")
+	}
+}
+
+// BenchmarkServeExplainUncached is the baseline: every request rebuilds
+// the partition spaces from scratch (cache off).
+func BenchmarkServeExplainUncached(b *testing.B) {
+	ts, srv := serveBenchServer(b)
+	body := explainBenchBody(b, 600, 900)
+	serveLoop(b, ts, srv, func(int) []byte { return body })
+}
+
+// BenchmarkServeExplainHot is the repeat-diagnosis path: the cache is
+// warmed once, then every request reuses the retained evaluator state.
+func BenchmarkServeExplainHot(b *testing.B) {
+	ts, srv := serveBenchServer(b, WithDiagnosisCache(0, 64<<20))
+	body := explainBenchBody(b, 600, 900)
+	resp, err := http.Post(ts.URL+"/v1/explain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	serveLoop(b, ts, srv, func(int) []byte { return body })
+}
+
+// BenchmarkServeExplainMixed is the operational middle ground: 7 of 8
+// requests re-examine the incident region (hits after the first), every
+// 8th asks about a fresh region (a miss that cools the cache the way a
+// real investigation does).
+func BenchmarkServeExplainMixed(b *testing.B) {
+	ts, srv := serveBenchServer(b, WithDiagnosisCache(0, 64<<20))
+	hot := explainBenchBody(b, 600, 900)
+	serveLoop(b, ts, srv, func(i int) []byte {
+		if i%8 == 7 {
+			from := 50 + (i % 500)
+			return explainBenchBody(b, from, from+60)
+		}
+		return hot
+	})
+}
+
+// BenchmarkServeBatchRepeated posts one 16-item batch of the same
+// incident per iteration: dedup diagnoses it once and the repeats are
+// served from the shared state, so the per-item cost approaches the hot
+// single-request path. Metrics are per batch; divide by 16 for
+// per-item figures.
+func BenchmarkServeBatchRepeated(b *testing.B) {
+	ts, srv := serveBenchServer(b, WithDiagnosisCache(0, 64<<20))
+	from, to := 600, 900
+	items := make([]explainRequest, 16)
+	for i := range items {
+		items[i] = explainRequest{Dataset: "ds-1", From: &from, To: &to}
+	}
+	body, err := json.Marshal(batchExplainRequest{Items: items})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/explain/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	sort.Slice(lat, func(x, y int) bool { return lat[x] < lat[y] })
+	b.ReportMetric(float64(b.N)*16/elapsed.Seconds(), "items/s")
+	b.ReportMetric(float64(lat[len(lat)*50/100].Microseconds()), "p50-µs")
+	_ = srv
+}

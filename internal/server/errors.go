@@ -36,6 +36,15 @@ const (
 	// CodeInvalidTenant means the X-DBSherlock-Tenant header is not a
 	// valid tenant name (letters, digits, '.', '_', '-'; max 128 bytes).
 	CodeInvalidTenant ErrorCode = "invalid_tenant"
+	// CodeBatchTooLarge means a /v1/explain/batch request carried more
+	// items than the per-batch cap (DefaultMaxBatchItems).
+	CodeBatchTooLarge ErrorCode = "batch_too_large"
+	// CodeJobNotFound means the async job id is unknown, belongs to a
+	// different tenant, or its results have expired (job TTL).
+	CodeJobNotFound ErrorCode = "job_not_found"
+	// CodeCanceled marks a batch item abandoned because the request (or
+	// job) context was canceled before the item could finish.
+	CodeCanceled ErrorCode = "canceled"
 	// CodeStoreUnavailable means the persistent store refused the write
 	// (failed log append or lost data directory). The request's change
 	// was rolled back rather than kept memory-only; retry once the

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dbsherlock"
+)
+
+// FuzzBatchRequestDecode throws arbitrary bodies at POST
+// /v1/explain/batch: whatever the bytes, the handler must answer with a
+// well-formed JSON envelope (2xx result or error) and never panic. The
+// server is built once per fuzz process — the handler must also not
+// corrupt shared state across requests.
+func FuzzBatchRequestDecode(f *testing.F) {
+	f.Add(`{"items":[{"dataset":"ds-1","from":120,"to":180}]}`)
+	f.Add(`{"items":[]}`)
+	f.Add(`{"items":[{"dataset":"","auto":true}],"async":true}`)
+	f.Add(`{"items":[{"from":-1,"to":999999999999}]}`)
+	f.Add(`{"items":null,"async":false}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"items":[{"dataset":"ds-1"},{"dataset":"ds-1"}`)
+	f.Add("\x00\xff{}")
+
+	srv := MustNew(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)))
+	f.Fuzz(func(t *testing.T, body string) {
+		req := httptest.NewRequest("POST", "/v1/explain/batch", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code < 200 || rec.Code > 599 {
+			t.Fatalf("implausible status %d for body %q", rec.Code, body)
+		}
+		var out any
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("non-JSON response (status %d) for body %q: %s", rec.Code, body, rec.Body.Bytes())
+		}
+	})
+}

@@ -61,6 +61,7 @@ import (
 
 	"dbsherlock"
 	"dbsherlock/internal/causal"
+	"dbsherlock/internal/diagcache"
 	"dbsherlock/internal/obs"
 	"dbsherlock/internal/store"
 )
@@ -124,6 +125,18 @@ type Server struct {
 
 	sem     *semaphore    // nil: admission control off
 	timeout time.Duration // 0: no per-request deadline
+	diagLat *latencyRing  // recent diagnosis latencies, for Retry-After
+
+	// Cross-request diagnosis cache (nil: off). paramsHash digests the
+	// analyzer's output-relevant parameters once — they are fixed for
+	// the server's lifetime.
+	diagCache        *diagcache.Cache
+	diagCacheEntries int
+	diagCacheBytes   int64
+	paramsHash       uint64
+
+	jobs   *jobManager   // async batch jobs (always on)
+	jobTTL time.Duration // how long finished job results stay fetchable
 
 	started       time.Time      // for /v1/status uptime
 	build         buildInfo      // resolved once at construction
@@ -271,6 +284,18 @@ func New(analyzer *dbsherlock.Analyzer, opts ...Option) (*Server, error) {
 	if s.store == nil {
 		s.store = store.NewMemory()
 	}
+	if s.jobTTL <= 0 {
+		s.jobTTL = DefaultJobTTL
+	}
+	s.jobs = newJobManager(s.jobTTL, defaultMaxStoredJobs)
+	s.diagLat = newLatencyRing()
+	s.paramsHash = paramsDigest(analyzer.Params())
+	if s.diagCacheEntries > 0 {
+		// Constructed after the options so the cache's metric families
+		// land in the final registry (WithMetrics may have swapped it).
+		s.diagCache = diagcache.New(s.diagCacheEntries, s.diagCacheBytes,
+			obs.NewCacheMetrics(s.registry))
+	}
 	// The default tenant's bank is the analyzer's own repository.
 	s.banks[s.tenant] = analyzer.ModelBank()
 	if err := s.hydrateBanks(); err != nil {
@@ -297,6 +322,8 @@ func New(analyzer *dbsherlock.Analyzer, opts ...Option) (*Server, error) {
 	s.handle("DELETE /v1/datasets/{id}", s.handleDeleteDataset)
 	s.handle("POST /v1/detect", s.gate("POST /v1/detect", 1, s.handleDetect))
 	s.handle("POST /v1/explain", s.gate("POST /v1/explain", 1, s.handleExplain))
+	s.handle("POST /v1/explain/batch", s.handleExplainBatch)
+	s.handle("GET /v1/jobs/{id}", s.handleGetJob)
 	s.handle("POST /v1/learn", s.gate("POST /v1/learn", 1, s.handleLearn))
 	s.handle("GET /v1/causes", s.handleCauses)
 	s.handle("GET /v1/models", s.handleExportModels)
@@ -529,6 +556,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 					"request_id", obs.RequestIDFrom(r.Context()))
 				break
 			}
+			s.invalidateDiagCache(tenant, oldest)
 			evicted = append(evicted, oldest)
 		}
 	}
@@ -568,6 +596,7 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("unknown dataset %q", id))
 		return
 	}
+	s.invalidateDiagCache(tenant, id)
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
 }
 
@@ -743,38 +772,112 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
-	ds, err := s.dataset(tenant, req.Dataset)
-	if err != nil {
-		writeError(w, r, http.StatusNotFound, CodeDatasetNotFound, err)
-		return
-	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	resp, apiErr := s.explainOne(ctx, tenant, req)
+	if apiErr != nil {
+		apiErr.write(w, r)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// apiError is a handler error that has not been written yet: the same
+// (status, code, message) triple writeError renders, carried as a value
+// so the per-item diagnosis path (explainOne) can serve both the single
+// /v1/explain endpoint and the batch fan-out, where errors become
+// per-item objects instead of the response status.
+type apiError struct {
+	status int
+	code   ErrorCode
+	err    error
+}
+
+// write renders the error envelope. A client that already went away
+// (status 0, context canceled) gets nothing — there is nobody to read
+// it.
+func (e *apiError) write(w http.ResponseWriter, r *http.Request) {
+	if e.status == 0 {
+		return
+	}
+	writeError(w, r, e.status, e.code, e.err)
+}
+
+// payload converts the error to the batch per-item form.
+func (e *apiError) payload() *errorPayload {
+	code := e.code
+	if e.status == 0 {
+		code = CodeCanceled
+	}
+	return &errorPayload{Code: code, Message: e.err.Error()}
+}
+
+// computeAPIError maps a diagnosis-engine error like writeComputeError
+// does, as a value.
+func computeAPIError(err error) *apiError {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{http.StatusServiceUnavailable, CodeDeadlineExceeded,
+			errors.New("request deadline exceeded during diagnosis")}
+	case errors.Is(err, context.Canceled):
+		return &apiError{0, "", err}
+	default:
+		return &apiError{http.StatusBadRequest, CodeInvalidRequest, err}
+	}
+}
+
+// explainOne runs one explain request end to end: dataset resolution,
+// region resolution (detection if auto), the diagnosis itself — through
+// the cross-request diagnosis cache when one is configured — and the
+// JSON shaping. It is the shared engine of POST /v1/explain and every
+// POST /v1/explain/batch item.
+func (s *Server) explainOne(ctx context.Context, tenant string, req explainRequest) (*explainResponse, *apiError) {
+	ds, err := s.dataset(tenant, req.Dataset)
+	if err != nil {
+		return nil, &apiError{http.StatusNotFound, CodeDatasetNotFound, err}
+	}
 	region, err := s.resolveRegion(ctx, ds, req.From, req.To, req.Auto)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			writeComputeError(w, r, err)
-			return
+			return nil, computeAPIError(err)
 		}
-		writeError(w, r, http.StatusBadRequest, CodeInvalidRegion, err)
-		return
+		return nil, &apiError{http.StatusBadRequest, CodeInvalidRegion, err}
 	}
 
 	analyzer := s.analyzerFor(tenant)
 	if req.Rules {
 		withRules, err := s.rulesAnalyzer()
 		if err != nil {
-			writeError(w, r, http.StatusInternalServerError, CodeInternal, err)
-			return
+			return nil, &apiError{http.StatusInternalServerError, CodeInternal, err}
 		}
 		analyzer = withRules
 	}
+	// rules:true diagnoses through a per-request analyzer whose domain
+	// knowledge differs from the shared one, so it bypasses the cache;
+	// everything else looks up (and refreshes) the incident's cached
+	// diagnosis state. A Put on every request — hit or miss — keeps the
+	// byte accounting current as the shared evaluator's partition-space
+	// cache grows lazily.
+	useCache := s.diagCache != nil && !req.Rules
+	var reuse *dbsherlock.DiagnosisState
+	var key diagcache.Key
+	if useCache {
+		key = s.diagKey(tenant, req.Dataset, ds, region)
+		if e, ok := s.diagCache.Get(key); ok {
+			reuse, _ = e.(*dbsherlock.DiagnosisState)
+		}
+	}
+	start := time.Now()
 	res, err := analyzer.Diagnose(ctx, dbsherlock.DiagnoseRequest{
 		Dataset: ds, Abnormal: region, Trace: req.Trace,
+		Reuse: reuse, CaptureState: useCache,
 	})
 	if err != nil {
-		writeComputeError(w, r, err)
-		return
+		return nil, computeAPIError(err)
+	}
+	s.diagLat.observe(time.Since(start))
+	if useCache && res.State != nil {
+		s.diagCache.Put(key, res.State)
 	}
 	expl := res.Explanation
 	if req.Rules {
@@ -790,7 +893,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	resp := explainResponse{Region: regionRanges(region), Trace: expl.Trace}
+	resp := &explainResponse{Region: regionRanges(region), Trace: expl.Trace}
 	for _, p := range expl.Predicates {
 		resp.Predicates = append(resp.Predicates, p.String())
 	}
@@ -802,7 +905,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	for _, c := range expl.Causes {
 		resp.Causes = append(resp.Causes, rankedCause{Cause: c.Cause, Confidence: c.Confidence})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 type learnRequest struct {

@@ -84,12 +84,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // statusResponse is the GET /v1/status body.
 type statusResponse struct {
-	Build         buildInfo        `json:"build"`
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Draining      bool             `json:"draining"`
-	Store         store.Health     `json:"store"`
-	Goroutines    int              `json:"goroutines"`
-	Admission     *admissionStatus `json:"admission,omitempty"`
+	Build          buildInfo        `json:"build"`
+	UptimeSeconds  float64          `json:"uptime_seconds"`
+	Draining       bool             `json:"draining"`
+	Store          store.Health     `json:"store"`
+	Goroutines     int              `json:"goroutines"`
+	Admission      *admissionStatus `json:"admission,omitempty"`
+	DiagnosisCache *cacheStatus     `json:"diagnosis_cache,omitempty"`
+	Jobs           jobsStatus       `json:"jobs"`
 }
 
 // admissionStatus reports the compute-gate occupancy when admission
@@ -98,6 +100,26 @@ type admissionStatus struct {
 	MaxInflight int64 `json:"max_inflight"`
 	Inflight    int64 `json:"inflight"`
 	Queued      int   `json:"queued"`
+}
+
+// cacheStatus reports the diagnosis cache's occupancy and lifetime
+// counters when WithDiagnosisCache is on.
+type cacheStatus struct {
+	Entries       int     `json:"entries"`
+	Bytes         int64   `json:"bytes"`
+	Lookups       uint64  `json:"lookups"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	HitRatio      float64 `json:"hit_ratio"`
+	Evictions     uint64  `json:"evictions"`
+	Invalidations uint64  `json:"invalidations"`
+}
+
+// jobsStatus reports the async batch queue depth: jobs still running
+// and jobs stored (running + finished awaiting their TTL).
+type jobsStatus struct {
+	Running int `json:"running"`
+	Stored  int `json:"stored"`
 }
 
 // handleStatus is the operator introspection endpoint: build identity,
@@ -122,5 +144,19 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			Queued:      queued,
 		}
 	}
+	if s.diagCache != nil {
+		cs := s.diagCache.Stats()
+		resp.DiagnosisCache = &cacheStatus{
+			Entries:       cs.Entries,
+			Bytes:         cs.Bytes,
+			Lookups:       cs.Lookups,
+			Hits:          cs.Hits,
+			Misses:        cs.Misses,
+			HitRatio:      cs.HitRatio(),
+			Evictions:     cs.Evictions,
+			Invalidations: cs.Invalidations,
+		}
+	}
+	resp.Jobs.Running, resp.Jobs.Stored = s.jobs.stats()
 	writeJSON(w, http.StatusOK, resp)
 }
