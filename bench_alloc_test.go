@@ -27,9 +27,13 @@ import (
 // explainAllocCeiling is the enforced per-Explain allocation budget on
 // the small synthetic trace with ten causal models loaded, sequential
 // path. The seed pipeline performed ~3,425 allocs/op; the scratch-arena
-// rewrite brought it to ~490. The ceiling leaves headroom for benign
-// drift while still failing the gate long before the old regime.
-const explainAllocCeiling = 600
+// rewrite brought it to ~490, and the columnar-kernel/prepared-index
+// rewrite holds it there (~495) while roughly halving ns/op. The
+// ceiling leaves headroom for benign drift while still failing the gate
+// long before the old regime; when the measurement drifts within 10% of
+// it, the gate prints a benchstat-style note so the squeeze is visible
+// in `make ci` output before the gate trips.
+const explainAllocCeiling = 520
 
 // BenchmarkExplainAllocs measures ns/op and allocs/op of the full
 // Explain pipeline on both trace scales (see BENCH_alloc.json for the
@@ -60,6 +64,12 @@ func TestExplainAllocCeiling(t *testing.T) {
 	parallelSetup(t)
 	data := parallelData["small"]
 	a := benchAnalyzer(t, 1, true)
+	// Warm once so the one-time prepared-index build (cached by dataset
+	// generation, shared across requests) doesn't smear into the
+	// steady-state per-request count.
+	if _, err := a.Explain(data.ds, data.abn, nil); err != nil {
+		t.Fatal(err)
+	}
 	var err error
 	allocs := testing.AllocsPerRun(20, func() {
 		_, err = a.Explain(data.ds, data.abn, nil)
@@ -69,6 +79,12 @@ func TestExplainAllocCeiling(t *testing.T) {
 	}
 	if allocs > explainAllocCeiling {
 		t.Errorf("Explain allocates %.0f objects per call, ceiling is %d", allocs, explainAllocCeiling)
+	} else if allocs >= 0.9*explainAllocCeiling {
+		// Benchstat-style regression note, printed (not t.Logf, which -v
+		// alone surfaces) so `make ci` shows the squeeze while the gate
+		// still passes.
+		fmt.Printf("alloc-gate: Explain/small %.0f allocs/op vs ceiling %d (headroom %+.1f%%) — within 10%%, investigate drift before the gate trips\n",
+			allocs, explainAllocCeiling, 100*(float64(explainAllocCeiling)-allocs)/allocs)
 	}
 }
 

@@ -27,7 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -175,6 +175,19 @@ func WithDomainKnowledge(rules []Rule) Option {
 
 // Params returns the analyzer's current predicate-generation parameters.
 func (a *Analyzer) Params() Params { return a.params }
+
+// Prewarm builds and caches the prepared per-column index for ds under
+// this analyzer's partition count, so the first Explain/Diagnose against
+// the dataset skips the min/max/bucketing pass and starts from the
+// counting kernels. It is cheap to call redundantly: a dataset whose
+// columns have not changed since the last Prewarm is a cache hit and no
+// work is done. Safe for concurrent use.
+func (a *Analyzer) Prewarm(ds *Dataset) {
+	if ds == nil {
+		return
+	}
+	core.Prewarm(ds, a.params.NumPartitions)
+}
 
 // Explanation is the output of a diagnosis: the generated predicates
 // (secondary symptoms already pruned if domain knowledge is installed)
@@ -416,17 +429,31 @@ func (a *Analyzer) explainCtx(ctx context.Context, ds *Dataset, abnormal, normal
 	}
 	start := tr.Start()
 	expl.Ranked = make([]ScoredPredicate, len(expl.Predicates))
+	// Encode the regions' runs once for the whole scoring loop: every
+	// candidate is scored against the same two regions, so per-predicate
+	// membership re-scans are pure waste (see Region.RunList).
+	aRuns, nRuns := abnormal.RunList(), normal.RunList()
+	cntA, cntN := abnormal.Count(), normal.Count()
 	if err := core.ForEachCtx(ctx, len(expl.Predicates), core.ResolveWorkers(params.Workers), func(i int) {
 		p := expl.Predicates[i]
 		expl.Ranked[i] = ScoredPredicate{
 			Predicate:       p,
-			SeparationPower: core.SeparationPower(p, ds, abnormal, normal),
+			SeparationPower: core.SeparationPowerRuns(p, ds, aRuns, nRuns, cntA, cntN),
 		}
 	}); err != nil {
 		return nil, nil, nil, err
 	}
-	sort.SliceStable(expl.Ranked, func(i, j int) bool {
-		return expl.Ranked[i].SeparationPower > expl.Ranked[j].SeparationPower
+	// Stable descending sort, identical ordering to the former
+	// sort.SliceStable but without the reflect-based swapper.
+	slices.SortStableFunc(expl.Ranked, func(a, b ScoredPredicate) int {
+		switch {
+		case a.SeparationPower > b.SeparationPower:
+			return -1
+		case a.SeparationPower < b.SeparationPower:
+			return 1
+		default:
+			return 0
+		}
 	})
 	tr.EndStage(obs.StageScore, start)
 	var ranked []RankedCause

@@ -50,55 +50,96 @@ func WriteCSV(w io.Writer, ds *metrics.Dataset) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a dataset written by WriteCSV.
+// ReadCSV parses a dataset written by WriteCSV. Parsing streams: each
+// record is decoded straight into columnar builders — timestamps,
+// float64 columns, interned categorical values — so no row-oriented
+// [][]string copy of the upload is ever materialized (the former
+// ReadAll held every field of the file as a separate string at once).
+// csv.Reader's record buffer is reused across rows; the only strings
+// retained are the column names and one copy per distinct categorical
+// value.
 func ReadCSV(r io.Reader) (*metrics.Dataset, error) {
 	cr := csv.NewReader(r)
-	records, err := cr.ReadAll()
+	cr.ReuseRecord = true
+	first, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("collector: empty csv")
+	}
 	if err != nil {
 		return nil, fmt.Errorf("collector: read csv: %w", err)
 	}
-	if len(records) == 0 {
-		return nil, fmt.Errorf("collector: empty csv")
-	}
-	header := records[0]
-	if len(header) < 2 || header[0] != "timestamp" {
+	if len(first) < 2 || first[0] != "timestamp" {
 		return nil, fmt.Errorf("collector: csv must start with a timestamp column")
 	}
-	rows := records[1:]
-	ts := make([]int64, len(rows))
-	for i, rec := range rows {
-		if len(rec) != len(header) {
-			return nil, fmt.Errorf("collector: csv row %d has %d fields, want %d", i, len(rec), len(header))
+	type colBuilder struct {
+		name string
+		cat  bool
+		num  []float64
+		str  []string
+	}
+	cols := make([]colBuilder, len(first)-1)
+	for c := 1; c < len(first); c++ {
+		name := strings.Clone(first[c])
+		if cat, ok := strings.CutPrefix(name, categoricalPrefix); ok {
+			cols[c-1] = colBuilder{name: cat, cat: true}
+		} else {
+			cols[c-1] = colBuilder{name: name}
 		}
-		ts[i], err = strconv.ParseInt(rec[0], 10, 64)
+	}
+	fields := len(first)
+	var ts []int64
+	interned := make(map[string]string)
+	for row := 0; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
 		if err != nil {
-			return nil, fmt.Errorf("collector: csv row %d timestamp: %w", i, err)
+			return nil, fmt.Errorf("collector: read csv: %w", err)
+		}
+		if len(rec) != fields {
+			return nil, fmt.Errorf("collector: csv row %d has %d fields, want %d", row, len(rec), fields)
+		}
+		t, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("collector: csv row %d timestamp: %w", row, err)
+		}
+		ts = append(ts, t)
+		for c := range cols {
+			f := rec[c+1]
+			if cols[c].cat {
+				v, ok := interned[f]
+				if !ok {
+					v = strings.Clone(f)
+					interned[v] = v
+				}
+				cols[c].str = append(cols[c].str, v)
+				continue
+			}
+			x, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("collector: csv row %d column %q: %w", row, cols[c].name, err)
+			}
+			cols[c].num = append(cols[c].num, x)
 		}
 	}
 	ds, err := metrics.NewDataset(ts)
 	if err != nil {
 		return nil, fmt.Errorf("collector: %w", err)
 	}
-	for c := 1; c < len(header); c++ {
-		name := header[c]
-		if cat, ok := strings.CutPrefix(name, categoricalPrefix); ok {
-			col := make([]string, len(rows))
-			for i, rec := range rows {
-				col[i] = rec[c]
+	for i := range cols {
+		if cols[i].cat {
+			if cols[i].str == nil {
+				cols[i].str = []string{}
 			}
-			if err := ds.AddCategorical(cat, col); err != nil {
-				return nil, fmt.Errorf("collector: %w", err)
+			err = ds.AddCategorical(cols[i].name, cols[i].str)
+		} else {
+			if cols[i].num == nil {
+				cols[i].num = []float64{}
 			}
-			continue
+			err = ds.AddNumeric(cols[i].name, cols[i].num)
 		}
-		col := make([]float64, len(rows))
-		for i, rec := range rows {
-			col[i], err = strconv.ParseFloat(rec[c], 64)
-			if err != nil {
-				return nil, fmt.Errorf("collector: csv row %d column %q: %w", i, name, err)
-			}
-		}
-		if err := ds.AddNumeric(name, col); err != nil {
+		if err != nil {
 			return nil, fmt.Errorf("collector: %w", err)
 		}
 	}

@@ -25,19 +25,60 @@ type Evaluator struct {
 	abnormal *metrics.Region
 	normal   *metrics.Region
 	p        Params
+	prep     *PreparedDataset
+
+	// aRuns/nRuns are the regions' run-length encodings, built once at
+	// construction (single-threaded) and shared read-only by every
+	// space build.
+	aRuns, nRuns []int32
 
 	mu  sync.RWMutex
-	num map[string]*NumericSpace
+	num map[string]numEntry
 	cat map[string]*CategoricalSpace
 }
 
-// NewEvaluator prepares an evaluation context. Spaces are built lazily.
-func NewEvaluator(ds *metrics.Dataset, abnormal, normal *metrics.Region, p Params) *Evaluator {
-	return &Evaluator{
-		ds: ds, abnormal: abnormal, normal: normal, p: p,
-		num: make(map[string]*NumericSpace),
-		cat: make(map[string]*CategoricalSpace),
+// numEntry is one cached numeric space plus its label totals, computed
+// once at insert so Separation never re-scans the full space for them.
+// Stored by value: caching costs no allocation beyond the map itself,
+// which keeps the cold diagnosis path on its allocation floor.
+type numEntry struct {
+	ps     *NumericSpace
+	nA, nN int32 // Abnormal / Normal partition counts after filtering
+}
+
+func buildNumEntry(ps *NumericSpace) numEntry {
+	ent := numEntry{ps: ps}
+	if ps == nil {
+		return ent
 	}
+	for _, l := range ps.Labels {
+		switch l {
+		case Abnormal:
+			ent.nA++
+		case Normal:
+			ent.nN++
+		}
+	}
+	return ent
+}
+
+// NewEvaluator prepares an evaluation context. Spaces are built lazily,
+// against the dataset's prepared columnar index (built and cached here
+// on first use; see prepared.go).
+func NewEvaluator(ds *metrics.Dataset, abnormal, normal *metrics.Region, p Params) *Evaluator {
+	e := &Evaluator{
+		ds: ds, abnormal: abnormal, normal: normal, p: p,
+		prep: PreparedFor(ds, p.NumPartitions),
+		num:  make(map[string]numEntry),
+		cat:  make(map[string]*CategoricalSpace),
+	}
+	if abnormal != nil {
+		e.aRuns = abnormal.RunList()
+	}
+	if normal != nil {
+		e.nRuns = normal.RunList()
+	}
+	return e
 }
 
 // Params returns the evaluation parameters.
@@ -70,10 +111,10 @@ func (e *Evaluator) SizeBytes() int64 {
 	)
 	var n int64
 	e.mu.RLock()
-	for attr, ps := range e.num {
+	for attr, ent := range e.num {
 		n += numSpaceOverhead + int64(len(attr))
-		if ps != nil {
-			n += int64(len(ps.Attr)) + int64(len(ps.Labels))
+		if ent.ps != nil {
+			n += int64(len(ent.ps.Attr)) + int64(len(ent.ps.Labels))
 		}
 	}
 	for attr, cs := range e.cat {
@@ -145,23 +186,55 @@ func (e *Evaluator) Separation(pred Predicate) float64 {
 		return 0
 	}
 	if pred.Type == metrics.Numeric {
-		ps := e.numericSpace(pred.Attr, col, nil)
+		ent := e.numericSpace(pred.Attr, col, nil)
+		ps := ent.ps
 		if ps == nil {
 			return 0
 		}
-		var nA, nN, hitA, hitN int
-		for j, l := range ps.Labels {
-			switch l {
+		// The reference scan counts a partition when
+		// MatchesNumeric(Midpoint(j)) holds; midpoints are monotone
+		// non-decreasing in j, so the matching set is the contiguous
+		// range [jLo, jHi) found by binary search with the exact same
+		// strict comparisons MatchesNumeric applies — the counts, and
+		// therefore the ratios, are identical, without evaluating a
+		// midpoint per partition.
+		r := len(ps.Labels)
+		nA, nN := int(ent.nA), int(ent.nN)
+		if !pred.HasLower && !pred.HasUpper {
+			return 0 // MatchesNumeric is false everywhere: zero hits on both sides
+		}
+		jLo, jHi := 0, r
+		if pred.HasLower {
+			lo, hi := 0, r
+			for lo < hi {
+				m := int(uint(lo+hi) >> 1)
+				if ps.Midpoint(m) > pred.Lower {
+					hi = m
+				} else {
+					lo = m + 1
+				}
+			}
+			jLo = lo
+		}
+		if pred.HasUpper {
+			lo, hi := jLo, r
+			for lo < hi {
+				m := int(uint(lo+hi) >> 1)
+				if ps.Midpoint(m) < pred.Upper {
+					lo = m + 1
+				} else {
+					hi = m
+				}
+			}
+			jHi = lo
+		}
+		var hitA, hitN int
+		for j := jLo; j < jHi; j++ {
+			switch ps.Labels[j] {
 			case Abnormal:
-				nA++
-				if pred.MatchesNumeric(ps.Midpoint(j)) {
-					hitA++
-				}
+				hitA++
 			case Normal:
-				nN++
-				if pred.MatchesNumeric(ps.Midpoint(j)) {
-					hitN++
-				}
+				hitN++
 			}
 		}
 		return ratio(hitA, nA) - ratio(hitN, nN)
@@ -189,18 +262,19 @@ func (e *Evaluator) Separation(pred Predicate) float64 {
 	return ratio(hitA, nA) - ratio(hitN, nN)
 }
 
-// numericSpace returns the cached space for attr, building it with the
+// numericSpace returns the cached entry for attr, building it with the
 // given scratch arena on a miss (nil falls back to the shared pool).
-// Cache entries own their Labels — they are handed to concurrent scoring
-// goroutines and outlive every scratch — so nothing scratch-backed is
-// ever stored.
-func (e *Evaluator) numericSpace(attr string, col metrics.Column, sc *scratch) *NumericSpace {
+// Cache entries own their Labels — they are handed to concurrent
+// scoring goroutines and outlive every scratch — so nothing
+// scratch-backed is ever stored. A constant/all-NaN attribute yields an
+// entry with a nil ps.
+func (e *Evaluator) numericSpace(attr string, col metrics.Column, sc *scratch) numEntry {
 	e.mu.RLock()
-	ps, ok := e.num[attr]
+	ent, ok := e.num[attr]
 	e.mu.RUnlock()
 	if ok {
 		e.p.Trace.Count(obs.CounterSpacesReused, 1)
-		return ps
+		return ent
 	}
 	if sc == nil {
 		sc = getScratch()
@@ -209,19 +283,50 @@ func (e *Evaluator) numericSpace(attr string, col metrics.Column, sc *scratch) *
 	// Build outside the lock: construction is the expensive part and is
 	// deterministic, so concurrent builders produce identical spaces and
 	// the first writer wins.
-	built := newNumericSpace(attr, col.Num, e.abnormal, e.normal, e.p.NumPartitions, sc)
+	var built *NumericSpace
+	if pc := e.preparedColumn(attr); pc != nil {
+		built, _, _, _, _ = newNumericSpacePrepared(attr, col.Num, pc, e.aRuns, e.nRuns, e.p.NumPartitions, sc)
+	} else {
+		built = newNumericSpace(attr, col.Num, e.abnormal, e.normal, e.p.NumPartitions, sc)
+	}
 	if built != nil && !e.p.DisableFiltering {
 		built.filter(sc)
 	}
+	entry := buildNumEntry(built)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if ps, ok := e.num[attr]; ok {
+	if ent, ok := e.num[attr]; ok {
 		e.p.Trace.Count(obs.CounterSpacesReused, 1)
-		return ps
+		return ent
 	}
 	e.p.Trace.Count(obs.CounterSpacesBuilt, 1)
-	e.num[attr] = built
-	return built
+	e.num[attr] = entry
+	return entry
+}
+
+// NumericSpaceFor returns the cached (filtered) numeric partition space
+// of an attribute, or nil when the attribute is missing, categorical,
+// or yields no space. Exported for tests and experiment harnesses.
+func (e *Evaluator) NumericSpaceFor(attr string) *NumericSpace {
+	col, ok := e.ds.Column(attr)
+	if !ok || col.Attr.Type != metrics.Numeric {
+		return nil
+	}
+	return e.numericSpace(attr, col, nil).ps
+}
+
+// preparedColumn resolves the prepared index entry of a numeric
+// attribute, nil when the dataset has no prepared index or the column
+// was added after preparation.
+func (e *Evaluator) preparedColumn(attr string) *PreparedColumn {
+	if e.prep == nil {
+		return nil
+	}
+	i, ok := e.ds.ColumnIndex(attr)
+	if !ok {
+		return nil
+	}
+	return e.prep.column(i)
 }
 
 func (e *Evaluator) categoricalSpace(attr string, col metrics.Column, sc *scratch) *CategoricalSpace {
@@ -236,7 +341,12 @@ func (e *Evaluator) categoricalSpace(attr string, col metrics.Column, sc *scratc
 		sc = getScratch()
 		defer putScratch(sc)
 	}
-	built := newCategoricalSpace(attr, col.Cat, e.abnormal, e.normal, sc)
+	var built *CategoricalSpace
+	if col.CatIDs != nil {
+		built = newCategoricalSpaceIDs(attr, col, e.aRuns, e.nRuns, sc)
+	} else {
+		built = newCategoricalSpace(attr, col.Cat, e.abnormal, e.normal, sc)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if cs, ok := e.cat[attr]; ok {

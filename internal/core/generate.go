@@ -101,8 +101,15 @@ func GenerateCtx(ctx context.Context, ds *metrics.Dataset, abnormal, normal *met
 	}
 	results := make([]candidate, ds.NumAttrs())
 	workers := ResolveWorkers(p.Workers)
+	// Resolve the dataset's prepared columnar index once for the whole
+	// fan-out: per-attribute construction then runs against precomputed
+	// bucket ids (see prepared.go) instead of re-scanning raw values.
+	// The regions are run-length encoded once here, at the last
+	// single-threaded moment, so no kernel re-scans membership slices.
+	prep := PreparedFor(ds, p.NumPartitions)
+	aRuns, nRuns := abnormal.RunList(), normal.RunList()
 	// One scratch arena per worker slot: the per-attribute buffers
-	// (membership flags, label snapshots, category counters) are reused
+	// (membership bitsets, label snapshots, category counters) are reused
 	// across all ~R attributes a slot processes instead of reallocated.
 	scratches := make([]*scratch, EffectiveWorkers(ds.NumAttrs(), workers))
 	for i := range scratches {
@@ -112,9 +119,9 @@ func GenerateCtx(ctx context.Context, ds *metrics.Dataset, abnormal, normal *met
 		col := ds.ColumnAt(i)
 		switch col.Attr.Type {
 		case metrics.Numeric:
-			results[i].pred, results[i].ok = generateNumeric(col, abnormal, normal, p, scratches[w])
+			results[i].pred, results[i].ok = generateNumeric(col, prep.column(i), abnormal, normal, aRuns, nRuns, p, scratches[w])
 		case metrics.Categorical:
-			results[i].pred, results[i].ok = generateCategorical(col, abnormal, normal, p, scratches[w])
+			results[i].pred, results[i].ok = generateCategorical(col, abnormal, normal, aRuns, nRuns, p, scratches[w])
 		}
 	})
 	for _, sc := range scratches {
@@ -134,10 +141,26 @@ func GenerateCtx(ctx context.Context, ds *metrics.Dataset, abnormal, normal *met
 	return out, nil
 }
 
-func generateNumeric(col metrics.Column, abnormal, normal *metrics.Region, p Params, sc *scratch) (Predicate, bool) {
+func generateNumeric(col metrics.Column, pc *PreparedColumn, abnormal, normal *metrics.Region, aRuns, nRuns []int32, p Params, sc *scratch) (Predicate, bool) {
 	tr := p.Trace
 	start := tr.Start()
-	ps := newNumericSpace(col.Attr.Name, col.Num, abnormal, normal, p.NumPartitions, sc)
+	var ps *NumericSpace
+	var muA, muN float64
+	if pc != nil {
+		// Prepared fast path: labeling is a counting pass over the
+		// precomputed bucket ids, and both region means fall out of the
+		// same fused pass (identical visit order to regionMean).
+		var sumA, sumN float64
+		var cntA, cntN int
+		ps, sumA, sumN, cntA, cntN = newNumericSpacePrepared(col.Attr.Name, col.Num, pc, aRuns, nRuns, p.NumPartitions, sc)
+		muA, muN = meanOf(sumA, cntA), meanOf(sumN, cntN)
+	} else {
+		ps = newNumericSpace(col.Attr.Name, col.Num, abnormal, normal, p.NumPartitions, sc)
+		if ps != nil {
+			muA = regionMean(col.Num, abnormal)
+			muN = regionMean(col.Num, normal)
+		}
+	}
 	tr.EndStage(obs.StagePartition, start)
 	if ps == nil {
 		return Predicate{}, false
@@ -149,7 +172,6 @@ func generateNumeric(col metrics.Column, abnormal, normal *metrics.Region, p Par
 		tr.Count(obs.CounterPartitionsFiltered, removed)
 		tr.EndStage(obs.StageFilter, start)
 	}
-	muN := regionMean(col.Num, normal)
 	if !p.DisableGapFilling {
 		start = tr.Start()
 		ps.fillGaps(p.Delta, muN, sc)
@@ -163,7 +185,6 @@ func generateNumeric(col metrics.Column, abnormal, normal *metrics.Region, p Par
 	// row-length normalized copy of the column is ever materialized.
 	start = tr.Start()
 	defer tr.EndStage(obs.StageExtract, start)
-	muA := regionMean(col.Num, abnormal)
 	if math.IsNaN(muA) || math.IsNaN(muN) || math.Abs((muA-muN)/(ps.Max-ps.Min)) <= p.Theta {
 		return Predicate{}, false
 	}
@@ -190,10 +211,15 @@ func generateNumeric(col metrics.Column, abnormal, normal *metrics.Region, p Par
 	return pred, true
 }
 
-func generateCategorical(col metrics.Column, abnormal, normal *metrics.Region, p Params, sc *scratch) (Predicate, bool) {
+func generateCategorical(col metrics.Column, abnormal, normal *metrics.Region, aRuns, nRuns []int32, p Params, sc *scratch) (Predicate, bool) {
 	tr := p.Trace
 	start := tr.Start()
-	cs := newCategoricalSpace(col.Attr.Name, col.Cat, abnormal, normal, sc)
+	var cs *CategoricalSpace
+	if col.CatIDs != nil {
+		cs = newCategoricalSpaceIDs(col.Attr.Name, col, aRuns, nRuns, sc)
+	} else {
+		cs = newCategoricalSpace(col.Attr.Name, col.Cat, abnormal, normal, sc)
+	}
 	tr.EndStage(obs.StagePartition, start)
 	if cs == nil {
 		return Predicate{}, false
@@ -208,6 +234,15 @@ func generateCategorical(col metrics.Column, abnormal, normal *metrics.Region, p
 	pred := Predicate{Attr: col.Attr.Name, Type: metrics.Categorical, Categories: values}
 	sortCategories(&pred)
 	return pred, true
+}
+
+// meanOf finishes a fused kernel sum identically to regionMean: NaN for
+// an empty region, sum/n otherwise (same division, same operand order).
+func meanOf(sum float64, n int) float64 {
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
 }
 
 // regionMean returns the mean of values over the region's rows, skipping

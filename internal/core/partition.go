@@ -2,7 +2,8 @@ package core
 
 import (
 	"math"
-	"sort"
+	"slices"
+	"strings"
 
 	"dbsherlock/internal/metrics"
 )
@@ -118,19 +119,8 @@ func NewNumericSpace(attr string, values []float64, abnormal, normal *metrics.Re
 // scratch per worker through it so the hasA/hasN membership flags are
 // reused across all attributes. The returned space owns its Labels.
 func newNumericSpace(attr string, values []float64, abnormal, normal *metrics.Region, r int, sc *scratch) *NumericSpace {
-	min, max := math.Inf(1), math.Inf(-1)
-	for _, v := range values {
-		if math.IsNaN(v) {
-			continue
-		}
-		if v < min {
-			min = v
-		}
-		if v > max {
-			max = v
-		}
-	}
-	if min >= max || math.IsInf(min, 1) {
+	min, max, _, ok := minMaxNaN(values)
+	if !ok || min >= max {
 		return nil
 	}
 	ps := &NumericSpace{
@@ -138,34 +128,53 @@ func newNumericSpace(attr string, values []float64, abnormal, normal *metrics.Re
 		Labels:  make([]Label, r),
 		invSpan: 1 / (max - min),
 	}
-	hasA, hasN := sc.boolPair(r)
-	for i, v := range values {
-		if math.IsNaN(v) {
-			continue
-		}
-		inA, inN := abnormal.Contains(i), normal.Contains(i)
-		if !inA && !inN {
-			continue
-		}
-		j := ps.IndexOf(v)
-		if inA {
-			hasA[j] = true
-		}
-		if inN {
-			hasN[j] = true
-		}
+	hasA, hasN := sc.bitPair(r)
+	n := len(values)
+	mark := func(reg *metrics.Region, bits []uint64) {
+		reg.Runs(func(lo, hi int) {
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				v := values[i]
+				if math.IsNaN(v) {
+					continue
+				}
+				j := uint32(ps.IndexOf(v))
+				bits[j>>6] |= 1 << (j & 63)
+			}
+		})
 	}
-	for j := 0; j < r; j++ {
-		switch {
-		case hasA[j] && !hasN[j]:
-			ps.Labels[j] = Abnormal
-		case hasN[j] && !hasA[j]:
-			ps.Labels[j] = Normal
-		default:
-			ps.Labels[j] = Empty
-		}
-	}
+	mark(abnormal, hasA)
+	mark(normal, hasN)
+	labelsFromBits(hasA, hasN, ps.Labels)
 	return ps
+}
+
+// newNumericSpacePrepared builds the same labeled space from a prepared
+// column index: the min/max scan and per-row IndexOf were done once at
+// preparation, so labeling is a counting pass over the region rows'
+// precomputed bucket ids (regions arrive run-length encoded, see
+// Region.RunList). Returns the fused region sums and counts as a
+// by-product (the rows visited and the summation order are exactly
+// regionMean's), so generateNumeric gets both means for free. The
+// resulting space is bit-identical to newNumericSpace's: identical
+// min/max (same scan), identical bucket per row (same IndexOf), and a
+// set membership bit is exactly a true hasA/hasN flag.
+func newNumericSpacePrepared(attr string, values []float64, pc *PreparedColumn, aRuns, nRuns []int32, r int, sc *scratch) (ps *NumericSpace, sumA, sumN float64, cntA, cntN int) {
+	if pc.Constant {
+		return nil, 0, 0, 0, 0
+	}
+	ps = &NumericSpace{
+		Attr: attr, Min: pc.Min, Max: pc.Max, R: r,
+		Labels:  make([]Label, r),
+		invSpan: pc.invSpan,
+	}
+	hasA, hasN := sc.bitPair(r)
+	sumA, cntA = labelSumKernel(values, pc.Bucket, aRuns, hasA)
+	sumN, cntN = labelSumKernel(values, pc.Bucket, nRuns, hasN)
+	labelsFromBits(hasA, hasN, ps.Labels)
+	return ps, sumA, sumN, cntA, cntN
 }
 
 // Filter applies the paper's Step 3 to the numeric partition space: an
@@ -223,74 +232,73 @@ func (ps *NumericSpace) FillGaps(delta, normalMean float64) {
 	ps.fillGaps(delta, normalMean, sc)
 }
 
-// fillGaps is FillGaps against a caller-owned scratch arena. It fills in
-// place: writes only touch originally-Empty partitions, while every read
-// (leftIdx[j]/rightIdx[j] targets) lands on an originally-non-Empty
-// partition, so no assignment can observe another — the same
-// all-at-once semantics as rewriting into a fresh copy. leftIdx[j] == j
-// exactly when partition j was non-Empty before filling, which is the
-// in-place substitute for consulting the original labels.
+// fillGaps is FillGaps against a caller-owned scratch arena. It walks
+// the gaps between consecutive non-Empty partitions instead of building
+// nearest-neighbour index arrays: within a gap (li, ri) the closest
+// non-Empty partitions of every interior j are exactly li and ri, and
+// before the first / after the last non-Empty partition only one
+// neighbour exists. Writes only touch originally-Empty partitions while
+// all reads target originally-non-Empty ones, so the result is
+// identical to the all-at-once reference — including the per-j
+// delta-scaled distance comparisons, which are reproduced verbatim.
 func (ps *NumericSpace) fillGaps(delta, normalMean float64, sc *scratch) {
+	idx := sc.nonEmpty[:0]
 	hasNormal, hasAbnormal := false, false
-	for _, l := range ps.Labels {
-		switch l {
-		case Normal:
-			hasNormal = true
-		case Abnormal:
-			hasAbnormal = true
+	for j, l := range ps.Labels {
+		if l != Empty {
+			idx = append(idx, j)
+			if l == Normal {
+				hasNormal = true
+			} else {
+				hasAbnormal = true
+			}
 		}
 	}
+	defer func() { sc.nonEmpty = idx[:0] }()
 	if !hasNormal && !hasAbnormal {
 		return
 	}
 	if !hasNormal {
+		// Relabeling the normal-mean partition may promote a previously
+		// Empty partition (or flip an Abnormal one), so re-collect.
 		ps.Labels[ps.IndexOf(normalMean)] = Normal
+		idx = idx[:0]
+		for j, l := range ps.Labels {
+			if l != Empty {
+				idx = append(idx, j)
+			}
+		}
 	}
 
-	// Distance to the closest non-Empty partition on each side.
 	n := len(ps.Labels)
-	leftIdx, rightIdx := sc.intPair(n)
-	last := -1
-	for j := 0; j < n; j++ {
-		if ps.Labels[j] != Empty {
-			last = j
-		}
-		leftIdx[j] = last
+	first, last := idx[0], idx[len(idx)-1]
+	for j := 0; j < first; j++ {
+		ps.Labels[j] = ps.Labels[first] // only a right neighbour
 	}
-	last = -1
-	for j := n - 1; j >= 0; j-- {
-		if ps.Labels[j] != Empty {
-			last = j
-		}
-		rightIdx[j] = last
+	for j := last + 1; j < n; j++ {
+		ps.Labels[j] = ps.Labels[last] // only a left neighbour
 	}
-
-	for j := 0; j < n; j++ {
-		if leftIdx[j] == j {
-			continue // non-Empty before filling
+	for k := 0; k+1 < len(idx); k++ {
+		li, ri := idx[k], idx[k+1]
+		ll, lr := ps.Labels[li], ps.Labels[ri]
+		if ll == lr {
+			for j := li + 1; j < ri; j++ {
+				ps.Labels[j] = ll
+			}
+			continue
 		}
-		li, ri := leftIdx[j], rightIdx[j]
-		switch {
-		case li < 0 && ri < 0:
-			// Unreachable: at least one partition is non-Empty here.
-		case li < 0:
-			ps.Labels[j] = ps.Labels[ri]
-		case ri < 0:
-			ps.Labels[j] = ps.Labels[li]
-		case ps.Labels[li] == ps.Labels[ri]:
-			ps.Labels[j] = ps.Labels[li]
-		default:
+		for j := li + 1; j < ri; j++ {
 			dl := float64(j - li)
 			dr := float64(ri - j)
-			if ps.Labels[li] == Abnormal {
+			if ll == Abnormal {
 				dl *= delta
 			} else {
 				dr *= delta
 			}
 			if dl <= dr {
-				ps.Labels[j] = ps.Labels[li]
+				ps.Labels[j] = ll
 			} else {
-				ps.Labels[j] = ps.Labels[ri]
+				ps.Labels[j] = lr
 			}
 		}
 	}
@@ -371,7 +379,7 @@ func newCategoricalSpace(attr string, values []string, abnormal, normal *metrics
 	if len(order) == 0 {
 		return nil
 	}
-	sort.Strings(order)
+	slices.Sort(order)
 	cs := &CategoricalSpace{
 		Attr:   attr,
 		Values: append(make([]string, 0, len(order)), order...),
@@ -385,6 +393,49 @@ func newCategoricalSpace(attr string, values []string, abnormal, normal *metrics
 			cs.Labels[j] = Normal
 		default:
 			cs.Labels[j] = Empty
+		}
+	}
+	return cs
+}
+
+// newCategoricalSpaceIDs is newCategoricalSpace over the dictionary
+// encoding built at Dataset.AddCategorical: per-id counting arrays
+// replace the string-keyed maps, and the distinct values come from the
+// column dictionary instead of being re-discovered per diagnosis. The
+// result is identical to the map path — the values present in either
+// region, sorted ascending (dictionary values are distinct, so the sort
+// order is unique), with the same strictly-more-abnormal labeling and
+// tie-to-Empty semantics.
+func newCategoricalSpaceIDs(attr string, col metrics.Column, aRuns, nRuns []int32, sc *scratch) *CategoricalSpace {
+	dict := col.CatDict
+	countA, countN := sc.idCounts(len(dict))
+	countIDsKernel(col.CatIDs, aRuns, countA)
+	countIDsKernel(col.CatIDs, nRuns, countN)
+	present := sc.presentIDs(len(dict))
+	for id := range dict {
+		if countA[id] != 0 || countN[id] != 0 {
+			present = append(present, int32(id))
+		}
+	}
+	defer func() { sc.present = present[:0] }()
+	if len(present) == 0 {
+		return nil
+	}
+	slices.SortFunc(present, func(a, b int32) int {
+		return strings.Compare(dict[a], dict[b])
+	})
+	cs := &CategoricalSpace{
+		Attr:   attr,
+		Values: make([]string, len(present)),
+		Labels: make([]Label, len(present)),
+	}
+	for j, id := range present {
+		cs.Values[j] = dict[id]
+		switch {
+		case countA[id] > countN[id]:
+			cs.Labels[j] = Abnormal
+		case countA[id] < countN[id]:
+			cs.Labels[j] = Normal
 		}
 	}
 	return cs

@@ -8,7 +8,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"dbsherlock/internal/metrics"
@@ -128,6 +128,55 @@ func SeparationPower(p Predicate, ds *metrics.Dataset, abnormal, normal *metrics
 	return float64(inA)/float64(abnormal.Count()) - float64(inN)/float64(normal.Count())
 }
 
+// SeparationPowerRuns is SeparationPower over pre-encoded region runs
+// (see Region.RunList) with the regions' row counts passed in: the same
+// per-row matching in the same visit order, without re-scanning region
+// membership for every predicate. The diagnosis ranking loop scores
+// every candidate against the same two regions, so the encoding is
+// built once per request and shared.
+func SeparationPowerRuns(p Predicate, ds *metrics.Dataset, aRuns, nRuns []int32, countA, countN int) float64 {
+	if countA == 0 || countN == 0 {
+		return 0
+	}
+	col, ok := ds.Column(p.Attr)
+	if !ok || col.Attr.Type != p.Type {
+		return 0
+	}
+	count := func(runs []int32) int {
+		var hits int
+		if p.Type == metrics.Numeric {
+			limit := len(col.Num)
+			for k := 0; k+1 < len(runs); k += 2 {
+				lo, hi := int(runs[k]), int(runs[k+1])
+				if hi > limit {
+					hi = limit
+				}
+				for i := lo; i < hi; i++ {
+					if p.MatchesNumeric(col.Num[i]) {
+						hits++
+					}
+				}
+			}
+			return hits
+		}
+		limit := len(col.Cat)
+		for k := 0; k+1 < len(runs); k += 2 {
+			lo, hi := int(runs[k]), int(runs[k+1])
+			if hi > limit {
+				hi = limit
+			}
+			for i := lo; i < hi; i++ {
+				if p.MatchesCategorical(col.Cat[i]) {
+					hits++
+				}
+			}
+		}
+		return hits
+	}
+	inA, inN := count(aRuns), count(nRuns)
+	return float64(inA)/float64(countA) - float64(inN)/float64(countN)
+}
+
 // MatchesAll reports whether row i satisfies every predicate in the
 // conjunct (the paper returns a conjunction of simple predicates).
 func MatchesAll(preds []Predicate, ds *metrics.Dataset, i int) bool {
@@ -141,5 +190,5 @@ func MatchesAll(preds []Predicate, ds *metrics.Dataset, i int) bool {
 
 // sortCategories normalizes a categorical predicate's value order.
 func sortCategories(p *Predicate) {
-	sort.Strings(p.Categories)
+	slices.Sort(p.Categories)
 }

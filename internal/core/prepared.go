@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sync"
+
+	"dbsherlock/internal/metrics"
+)
+
+// PreparedColumn is the immutable columnar index of one numeric
+// attribute: the observed range plus every row's partition id at a
+// fixed partition count R. With it, NumericSpace construction
+// degenerates to a counting pass over the diagnosis regions — no
+// min/max scan, no per-row IndexOf.
+//
+// Bucket[i] is exactly IndexOf(values[i]) for the space the column
+// induces (same min/max scan, same inverse-span fast path), or -1 for
+// NaN rows, so labels built from it are bit-identical to the reference
+// per-row loop. Constant marks columns with no usable span (constant or
+// all-NaN); such columns never yield a partition space.
+type PreparedColumn struct {
+	Min, Max float64
+	NaNs     int
+	Constant bool
+	Bucket   []int32
+
+	invSpan float64
+}
+
+// PreparedDataset indexes every numeric column of one dataset state —
+// one exact (dataset, generation) pair — at one partition count. It is
+// immutable after construction and safe for unsynchronized concurrent
+// use. Categorical columns carry no entry: their dictionary encoding
+// (metrics.Column.CatIDs/CatDict) already is the prepared form.
+type PreparedDataset struct {
+	gen  uint64
+	r    int
+	cols []*PreparedColumn // by column index; nil for categorical columns
+}
+
+// Generation returns the dataset generation this index was built from.
+func (p *PreparedDataset) Generation() uint64 { return p.gen }
+
+// Partitions returns the partition count R the bucket ids encode.
+func (p *PreparedDataset) Partitions() int { return p.r }
+
+// column returns the prepared state of column i, nil-safe on both the
+// receiver and out-of-range indexes (a dataset mutated after
+// preparation has more columns than the index).
+func (p *PreparedDataset) column(i int) *PreparedColumn {
+	if p == nil || i < 0 || i >= len(p.cols) {
+		return nil
+	}
+	return p.cols[i]
+}
+
+// prepareColumn builds the per-column index. The min/max scan and the
+// per-row IndexOf are the exact routines newNumericSpace runs, so every
+// downstream consumer sees identical floating-point state.
+func prepareColumn(values []float64, r int) *PreparedColumn {
+	min, max, nans, ok := minMaxNaN(values)
+	if !ok || min >= max {
+		return &PreparedColumn{Min: min, Max: max, NaNs: nans, Constant: true}
+	}
+	pc := &PreparedColumn{
+		Min: min, Max: max, NaNs: nans,
+		Bucket:  make([]int32, len(values)),
+		invSpan: 1 / (max - min),
+	}
+	ps := NumericSpace{Min: min, Max: max, R: r, invSpan: pc.invSpan}
+	for i, v := range values {
+		if v != v { // NaN
+			pc.Bucket[i] = -1
+			continue
+		}
+		pc.Bucket[i] = int32(ps.IndexOf(v))
+	}
+	return pc
+}
+
+// prepareDataset builds the full index for one dataset state.
+func prepareDataset(ds *metrics.Dataset, r int) *PreparedDataset {
+	p := &PreparedDataset{gen: ds.Generation(), r: r, cols: make([]*PreparedColumn, ds.NumAttrs())}
+	for i := range p.cols {
+		col := ds.ColumnAt(i)
+		if col.Attr.Type == metrics.Numeric {
+			p.cols[i] = prepareColumn(col.Num, r)
+		}
+	}
+	return p
+}
+
+// preparedCacheCap bounds the process-wide prepared-index cache. An
+// entry costs rows x numeric-attrs x 4 bytes (~420 KB for the paper's
+// 900-row / 116-attr testbed), so the cap keeps worst-case retention a
+// few MB while covering every concurrently hot dataset: entries are
+// evicted least-recently-used, and a dataset mutation simply orphans
+// the old generation's entry until it ages out.
+const preparedCacheCap = 16
+
+type prepKey struct {
+	gen uint64
+	r   int
+}
+
+type prepEntry struct {
+	p    *PreparedDataset
+	tick uint64
+}
+
+var (
+	prepMu    sync.Mutex
+	prepCache = make(map[prepKey]*prepEntry)
+	prepTick  uint64
+)
+
+// PreparedFor returns the prepared index of the dataset at partition
+// count r, building and caching it on first use. The cache key is the
+// dataset's generation — process-globally unique per dataset state (see
+// metrics.Dataset.Generation) — so any mutation transparently
+// invalidates: the next call sees a new generation, builds a fresh
+// index, and the stale entry ages out of the LRU. Returns nil for nil,
+// empty, or never-mutated datasets; callers fall back to the unprepared
+// path.
+func PreparedFor(ds *metrics.Dataset, r int) *PreparedDataset {
+	if ds == nil || ds.Rows() == 0 || r < 2 {
+		return nil
+	}
+	gen := ds.Generation()
+	if gen == 0 {
+		return nil
+	}
+	key := prepKey{gen: gen, r: r}
+	prepMu.Lock()
+	if e, ok := prepCache[key]; ok {
+		prepTick++
+		e.tick = prepTick
+		prepMu.Unlock()
+		return e.p
+	}
+	prepMu.Unlock()
+
+	// Build outside the lock: construction is deterministic, so racing
+	// builders produce identical indexes and the first insert wins.
+	built := prepareDataset(ds, r)
+	prepMu.Lock()
+	defer prepMu.Unlock()
+	if e, ok := prepCache[key]; ok {
+		prepTick++
+		e.tick = prepTick
+		return e.p
+	}
+	if len(prepCache) >= preparedCacheCap {
+		var oldest prepKey
+		var oldestTick uint64
+		first := true
+		for k, e := range prepCache {
+			if first || e.tick < oldestTick {
+				oldest, oldestTick, first = k, e.tick, false
+			}
+		}
+		delete(prepCache, oldest)
+	}
+	prepTick++
+	prepCache[key] = &prepEntry{p: built, tick: prepTick}
+	return built
+}
+
+// Prewarm builds and caches the prepared index ahead of the first
+// diagnosis — the server calls it on upload so a cold Explain never
+// pays the build inside the request.
+func Prewarm(ds *metrics.Dataset, r int) {
+	_ = PreparedFor(ds, r)
+}
+
+// preparedCacheLen reports the resident entry count (tests only).
+func preparedCacheLen() int {
+	prepMu.Lock()
+	defer prepMu.Unlock()
+	return len(prepCache)
+}
+
+// preparedCacheReset clears the cache (tests only).
+func preparedCacheReset() {
+	prepMu.Lock()
+	defer prepMu.Unlock()
+	prepCache = make(map[prepKey]*prepEntry)
+	prepTick = 0
+}
+
+// preparedCacheContains reports residency of one (generation, R) key
+// without touching recency (tests only).
+func preparedCacheContains(gen uint64, r int) bool {
+	prepMu.Lock()
+	defer prepMu.Unlock()
+	_, ok := prepCache[prepKey{gen: gen, r: r}]
+	return ok
+}

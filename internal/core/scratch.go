@@ -24,16 +24,18 @@ import "sync"
 //     must own their labels: they are shared across concurrent scoring
 //     goroutines and outlive every scratch.
 type scratch struct {
-	hasA, hasN []bool  // NewNumericSpace: per-partition region membership
-	nonEmpty   []int   // Filter: indices of non-Empty partitions
-	nonEmptyL  []Label // Filter: their labels, snapshot before rewriting
-	leftIdx    []int   // FillGaps: nearest non-Empty partition on the left
-	rightIdx   []int   // FillGaps: nearest non-Empty partition on the right
+	bitsA, bitsN []uint64 // NewNumericSpace: per-partition region membership bitsets
+	nonEmpty     []int    // Filter/FillGaps: indices of non-Empty partitions
+	nonEmptyL    []Label  // Filter: their labels, snapshot before rewriting
 
 	countA map[string]int  // NewCategoricalSpace: abnormal tuples per value
 	countN map[string]int  // NewCategoricalSpace: normal tuples per value
 	seen   map[string]bool // NewCategoricalSpace: first-occurrence filter
 	order  []string        // NewCategoricalSpace: distinct values
+
+	idCountA []int32 // dictionary-encoded categorical: abnormal tuples per id
+	idCountN []int32 // dictionary-encoded categorical: normal tuples per id
+	present  []int32 // dictionary-encoded categorical: ids seen in either region
 }
 
 // catDistinctHint pre-sizes the categorical counting maps. Categorical
@@ -48,26 +50,42 @@ var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
 func putScratch(s *scratch) { scratchPool.Put(s) }
 
-// boolPair returns two zeroed []bool of length n, reusing capacity.
-func (s *scratch) boolPair(n int) (a, b []bool) {
-	if cap(s.hasA) < n {
-		s.hasA = make([]bool, n)
-		s.hasN = make([]bool, n)
+// bitPair returns two zeroed bitsets covering n partitions (one bit per
+// partition, 64 per word), reusing capacity. Bitsets replace the former
+// []bool masks: clearing R/64 words is cheaper than R bytes, and the
+// label conversion skips unoccupied words wholesale (labelsFromBits).
+func (s *scratch) bitPair(n int) (a, b []uint64) {
+	words := (n + 63) >> 6
+	if cap(s.bitsA) < words {
+		s.bitsA = make([]uint64, words)
+		s.bitsN = make([]uint64, words)
 	}
-	a, b = s.hasA[:n], s.hasN[:n]
+	a, b = s.bitsA[:words], s.bitsN[:words]
 	clear(a)
 	clear(b)
 	return a, b
 }
 
-// intPair returns two []int of length n, reusing capacity. Contents are
-// unspecified; callers overwrite every element.
-func (s *scratch) intPair(n int) (a, b []int) {
-	if cap(s.leftIdx) < n {
-		s.leftIdx = make([]int, n)
-		s.rightIdx = make([]int, n)
+// idCounts returns two zeroed per-id counters sized to a categorical
+// column's dictionary, reusing capacity.
+func (s *scratch) idCounts(n int) (a, b []int32) {
+	if cap(s.idCountA) < n {
+		s.idCountA = make([]int32, n)
+		s.idCountN = make([]int32, n)
 	}
-	return s.leftIdx[:n], s.rightIdx[:n]
+	a, b = s.idCountA[:n], s.idCountN[:n]
+	clear(a)
+	clear(b)
+	return a, b
+}
+
+// presentIDs returns an empty id slice with at least n capacity for
+// collecting the ids occurring in either region.
+func (s *scratch) presentIDs(n int) []int32 {
+	if cap(s.present) < n {
+		s.present = make([]int32, 0, n)
+	}
+	return s.present[:0]
 }
 
 // catState returns cleared counting maps and an empty order slice for a

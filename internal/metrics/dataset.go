@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"slices"
 	"sort"
 	"sync/atomic"
 )
@@ -19,10 +20,20 @@ var datasetGen atomic.Uint64
 //
 // Exactly one of Num or Cat is populated, matching Attr.Type. Both slices
 // are indexed by row and have length Dataset.Rows().
+//
+// Categorical columns are additionally dictionary-encoded at add time:
+// CatIDs[row] indexes CatDict, which holds the distinct values in
+// first-occurrence order. Hot paths (partition-space labeling, distinct
+// collection) work over the small integer ids instead of hashing the
+// row strings again on every request; Cat remains the canonical,
+// row-aligned representation for serialization and row access.
 type Column struct {
 	Attr Attribute
 	Num  []float64
 	Cat  []string
+
+	CatIDs  []int32
+	CatDict []string
 }
 
 // Dataset is the timestamp-aligned statistics table produced by the
@@ -77,12 +88,26 @@ func (d *Dataset) AddNumeric(name string, values []float64) error {
 	return d.addColumn(Column{Attr: NumericAttr(name), Num: values})
 }
 
-// AddCategorical appends a categorical column. The values slice is retained.
+// AddCategorical appends a categorical column. The values slice is
+// retained (never mutated) and dictionary-encoded once here, so every
+// later diagnosis can count ids instead of hashing row strings.
 func (d *Dataset) AddCategorical(name string, values []string) error {
 	if len(values) != d.Rows() {
 		return fmt.Errorf("metrics: column %q has %d values, dataset has %d rows", name, len(values), d.Rows())
 	}
-	return d.addColumn(Column{Attr: CategoricalAttr(name), Cat: values})
+	ids := make([]int32, len(values))
+	var dict []string
+	lookup := make(map[string]int32)
+	for i, v := range values {
+		id, ok := lookup[v]
+		if !ok {
+			id = int32(len(dict))
+			dict = append(dict, v)
+			lookup[v] = id
+		}
+		ids[i] = id
+	}
+	return d.addColumn(Column{Attr: CategoricalAttr(name), Cat: values, CatIDs: ids, CatDict: dict})
 }
 
 func (d *Dataset) addColumn(c Column) error {
@@ -141,6 +166,14 @@ func (d *Dataset) Column(name string) (Column, bool) {
 
 // ColumnAt returns the i-th column.
 func (d *Dataset) ColumnAt(i int) Column { return d.cols[i] }
+
+// ColumnIndex returns the insertion-order index of the named column, or
+// false if absent. Prepared per-dataset indexes store per-column state
+// by this index.
+func (d *Dataset) ColumnIndex(name string) (int, bool) {
+	i, ok := d.byName[name]
+	return i, ok
+}
 
 // HasColumn reports whether a column with the given name exists.
 func (d *Dataset) HasColumn(name string) bool {
@@ -216,13 +249,11 @@ func (d *Dataset) UniqueCategories(name string) (values []string, ok bool) {
 	if !found || col.Attr.Type != Categorical {
 		return nil, false
 	}
-	seen := make(map[string]struct{})
-	for _, v := range col.Cat {
-		if _, dup := seen[v]; !dup {
-			seen[v] = struct{}{}
-			values = append(values, v)
-		}
+	if len(col.CatDict) == 0 {
+		return nil, true
 	}
-	sort.Strings(values)
+	values = make([]string, len(col.CatDict))
+	copy(values, col.CatDict)
+	slices.Sort(values)
 	return values, true
 }

@@ -205,3 +205,91 @@ func TestRowsInTimeRangeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRowsInTimeRangeBoundaries pins the degenerate query shapes: an
+// empty dataset, from == to, and ranges falling entirely outside the
+// timestamp span must all yield valid (possibly empty) half-open
+// ranges.
+func TestRowsInTimeRangeBoundaries(t *testing.T) {
+	empty := MustNewDataset(nil)
+	if lo, hi := empty.RowsInTimeRange(0, 100); lo != 0 || hi != 0 {
+		t.Errorf("empty dataset: RowsInTimeRange(0,100) = %d,%d; want 0,0", lo, hi)
+	}
+	ds := MustNewDataset([]int64{10, 20, 30})
+	tests := []struct {
+		name     string
+		from, to int64
+		lo, hi   int
+	}{
+		{"from==to on a timestamp", 20, 20, 1, 1},
+		{"from==to between timestamps", 15, 15, 1, 1},
+		{"entirely before", -50, 5, 0, 0},
+		{"entirely after", 31, 99, 3, 3},
+		{"to before first", 0, 10, 0, 0},
+		{"from past last", 30, 30, 2, 2},
+		{"inverted (from > to)", 25, 15, 2, 1},
+		{"full span plus slack", -100, 100, 0, 3},
+	}
+	for _, tc := range tests {
+		lo, hi := ds.RowsInTimeRange(tc.from, tc.to)
+		if lo != tc.lo || hi != tc.hi {
+			t.Errorf("%s: RowsInTimeRange(%d,%d) = %d,%d; want %d,%d",
+				tc.name, tc.from, tc.to, lo, hi, tc.lo, tc.hi)
+		}
+	}
+}
+
+// TestCategoricalDictionary pins the dictionary encoding AddCategorical
+// builds: ids index a first-occurrence-ordered dictionary that decodes
+// back to the original values, and the input slice is never mutated.
+func TestCategoricalDictionary(t *testing.T) {
+	in := []string{"b", "a", "b", "c", "a"}
+	orig := append([]string(nil), in...)
+	ds := MustNewDataset(seqTimestamps(len(in)))
+	if err := ds.AddCategorical("c", in); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != orig[i] {
+			t.Fatal("AddCategorical mutated its input slice")
+		}
+	}
+	col, _ := ds.Column("c")
+	wantDict := []string{"b", "a", "c"}
+	if len(col.CatDict) != len(wantDict) {
+		t.Fatalf("CatDict = %v, want %v", col.CatDict, wantDict)
+	}
+	for i := range wantDict {
+		if col.CatDict[i] != wantDict[i] {
+			t.Fatalf("CatDict = %v, want %v (first-occurrence order)", col.CatDict, wantDict)
+		}
+	}
+	if len(col.CatIDs) != len(in) {
+		t.Fatalf("CatIDs has %d entries, want %d", len(col.CatIDs), len(in))
+	}
+	for i, id := range col.CatIDs {
+		if id < 0 || int(id) >= len(col.CatDict) {
+			t.Fatalf("CatIDs[%d] = %d out of dictionary range", i, id)
+		}
+		if col.CatDict[id] != in[i] {
+			t.Errorf("row %d decodes to %q, want %q", i, col.CatDict[id], in[i])
+		}
+	}
+}
+
+// TestCategoricalDictionaryEmpty covers the zero-row column: encoding
+// must not invent entries and UniqueCategories keeps its nil contract.
+func TestCategoricalDictionaryEmpty(t *testing.T) {
+	ds := MustNewDataset(nil)
+	if err := ds.AddCategorical("c", nil); err != nil {
+		t.Fatal(err)
+	}
+	col, _ := ds.Column("c")
+	if len(col.CatIDs) != 0 || len(col.CatDict) != 0 {
+		t.Fatalf("empty column encoded as ids=%v dict=%v", col.CatIDs, col.CatDict)
+	}
+	vals, ok := ds.UniqueCategories("c")
+	if !ok || vals != nil {
+		t.Fatalf("UniqueCategories = %v, %v; want nil, true", vals, ok)
+	}
+}

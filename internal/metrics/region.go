@@ -126,6 +126,21 @@ func (r *Region) Runs(fn func(lo, hi int)) {
 	}
 }
 
+// RunList returns the maximal runs of consecutively selected rows as a
+// flat [lo0, hi0, lo1, hi1, ...] slice of half-open bounds. It is the
+// run-length encoding Runs iterates, materialized once: diagnosis entry
+// points build it at a single-threaded moment and hand it to the
+// columnar kernels, which then iterate runs for every attribute without
+// re-scanning the membership slice per call. The result is independent
+// of the region (safe to share read-only across workers).
+func (r *Region) RunList() []int32 {
+	out := make([]int32, 0, 8)
+	r.Runs(func(lo, hi int) {
+		out = append(out, int32(lo), int32(hi))
+	})
+	return out
+}
+
 // Reset deselects every row, keeping the region's size. Hot paths that
 // rebuild a selection every tick (the streaming detector) reuse one
 // region instead of allocating a fresh one.

@@ -544,6 +544,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeStoreError(w, r, err)
 		return
 	}
+	// Build the prepared per-column index now, while the upload request
+	// is already paying for a full pass over the data, so the first
+	// diagnosis against this dataset starts cold-path-free.
+	s.analyzer.Prewarm(ds)
 	// Eviction policy lives here, mechanism in the store: drop the
 	// tenant's oldest datasets until it is back under the cap.
 	var evicted []string
