@@ -5,10 +5,11 @@
 # benchmarks cannot silently rot.
 
 GO ?= go
+SOAK ?= 2s
 
-.PHONY: ci fmt-check vet lint build test race alloc-gate hygiene cache-gate bench-smoke fuzz-smoke bench-parallel bench-obs bench-alloc bench-detect bench-lifecycle bench-store bench-serve bench-cold
+.PHONY: ci fmt-check vet lint build test race alloc-gate hygiene cache-gate soak bench-smoke fuzz-smoke bench-parallel bench-obs bench-alloc bench-detect bench-lifecycle bench-store bench-serve bench-cold bench-ingest
 
-ci: fmt-check vet lint build race alloc-gate hygiene cache-gate bench-smoke
+ci: fmt-check vet lint build race alloc-gate hygiene cache-gate soak bench-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -66,6 +67,14 @@ hygiene:
 # `race`, but a broken cache invariant should fail with this name.
 cache-gate:
 	$(GO) test -run 'TestCoherenceInvariant|TestConcurrentAccess' ./internal/diagcache/
+
+# Ingest-plane soak: churns generations of instances through
+# ingest → stale → evict on a fake clock and asserts the process
+# footprint stays flat (goroutine growth ≤3, bounded heap envelope) —
+# the no-goroutine-per-instance design's regression gate. The 2 s
+# default keeps ci fast; a real soak is `make soak SOAK=5m`.
+soak:
+	$(GO) test ./internal/ingest/ -run TestIngestSoakFlatFootprint -soak=$(SOAK)
 
 # One iteration of every benchmark: catches API drift and panics in the
 # experiment harnesses without paying for statistically meaningful runs.
@@ -150,3 +159,11 @@ bench-cold:
 # batch endpoint (commit the medians across the 5 repetitions).
 bench-serve:
 	$(GO) test -bench 'BenchmarkServe' -benchtime=100x -count=5 -run='^$$' ./internal/server/
+
+# Regenerate the numbers behind BENCH_ingest.json: fleet ingestion
+# throughput (rows/s and rows/s/core) at 100, 1k, and 10k concurrent
+# instances with all cores pushing 30-row chunks through the full
+# pipeline — sharded lookup, queue accounting, streaming detection
+# ticks (commit the medians across the 5 repetitions).
+bench-ingest:
+	$(GO) test -bench BenchmarkIngest -benchtime=100000x -count=5 -run='^$$' ./internal/ingest/

@@ -34,6 +34,16 @@
 // bounds how long finished async batch results (POST /v1/explain/batch
 // with "async": true) stay fetchable from GET /v1/jobs/{id}.
 //
+// Fleet-ingestion flags: agents push per-second samples to
+// POST /v1/ingest/{instance} (CSV or NDJSON); -ingest-window sizes the
+// per-instance detection window in rows, -ingest-queue bounds each
+// instance's pending rows before pushes shed with 429 + Retry-After,
+// -ingest-stale-after and -ingest-evict-after tune the watchdog that
+// flags and then drops silent instances, -ingest-max-instances caps the
+// fleet, and -alert-webhook POSTs every streaming-detection alert as
+// JSON (alerts also fan out over GET /v1/alerts/stream as Server-Sent
+// Events; GET /v1/instances lists per-instance state).
+//
 // Persistence flags: -data-dir opens a durable store (write-ahead log +
 // snapshots) in the given directory; every dataset upload, learned
 // model, and model import is committed there and replayed on restart.
@@ -62,6 +72,7 @@ import (
 	"time"
 
 	"dbsherlock"
+	"dbsherlock/internal/ingest"
 	"dbsherlock/internal/obs"
 	"dbsherlock/internal/server"
 	"dbsherlock/internal/store"
@@ -87,6 +98,13 @@ type config struct {
 	slowReq     time.Duration
 	cacheSize   int64
 	jobTTL      time.Duration
+
+	ingestWindow       int
+	ingestQueue        int
+	ingestStaleAfter   time.Duration
+	ingestEvictAfter   time.Duration
+	ingestMaxInstances int
+	alertWebhook       string
 }
 
 func main() {
@@ -109,6 +127,12 @@ func main() {
 	flag.DurationVar(&cfg.slowReq, "slow-request-threshold", server.DefaultSlowRequestThreshold, "requests slower than this log their wide event at WARN")
 	flag.Int64Var(&cfg.cacheSize, "cache-size", 64<<20, "diagnosis-cache byte budget for repeat /v1/explain requests (0 = cache off)")
 	flag.DurationVar(&cfg.jobTTL, "job-ttl", server.DefaultJobTTL, "how long finished async batch results stay fetchable from /v1/jobs")
+	flag.IntVar(&cfg.ingestWindow, "ingest-window", 0, "per-instance sliding-window length in rows for /v1/ingest streams (0 = default 600)")
+	flag.IntVar(&cfg.ingestQueue, "ingest-queue", 0, "per-instance pending-row budget before ingest sheds with 429 (0 = default 4096)")
+	flag.DurationVar(&cfg.ingestStaleAfter, "ingest-stale-after", 0, "flag an instance stale after this long without samples (0 = default 1m)")
+	flag.DurationVar(&cfg.ingestEvictAfter, "ingest-evict-after", 0, "evict an instance after this long without samples (0 = default 15m, negative = never)")
+	flag.IntVar(&cfg.ingestMaxInstances, "ingest-max-instances", 0, "cap on live instance streams across all tenants (0 = unlimited)")
+	flag.StringVar(&cfg.alertWebhook, "alert-webhook", "", "URL POSTed one JSON body per streaming-detection alert (empty = off)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		log.Fatal(err)
@@ -188,6 +212,14 @@ func run(cfg config) error {
 	if cfg.jobTTL > 0 {
 		serverOpts = append(serverOpts, server.WithJobTTL(cfg.jobTTL))
 	}
+	serverOpts = append(serverOpts, server.WithIngest(ingest.Config{
+		WindowRows:    cfg.ingestWindow,
+		MaxQueuedRows: cfg.ingestQueue,
+		StaleAfter:    cfg.ingestStaleAfter,
+		EvictAfter:    cfg.ingestEvictAfter,
+		MaxInstances:  cfg.ingestMaxInstances,
+		Webhook:       cfg.alertWebhook,
+	}))
 	// Write/idle timeouts protect the daemon from slow or dead clients;
 	// the write timeout leaves headroom beyond the compute deadline so a
 	// slow diagnosis is cut off by its own context, not by a mid-response
@@ -241,6 +273,9 @@ func run(cfg config) error {
 			slog.Duration("drain", cfg.drain), slog.Any("err", err))
 		_ = srv.Close()
 	}
+	// Stop the ingest plane's watchdog/webhook workers and end every SSE
+	// subscription after the listener has drained.
+	handler.Close()
 	if cfg.models != "" {
 		if err := saveStore(analyzer, cfg.models); err != nil {
 			return fmt.Errorf("save models: %w", err)

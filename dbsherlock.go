@@ -373,8 +373,9 @@ func (a *Analyzer) diagnoseReused(ctx context.Context, st *DiagnosisState, tr *o
 // WithTracing enabled the returned Explanation carries a per-stage
 // trace snapshot.
 //
-// Explain is a thin wrapper around Diagnose with a background context;
-// use Diagnose when the call should honor cancellation or a deadline.
+// Deprecated: use Diagnose(ctx, DiagnoseRequest{...}) — it honors
+// cancellation and deadlines and returns the full DiagnoseResult.
+// Explain remains as a thin wrapper with a background context.
 func (a *Analyzer) Explain(ds *Dataset, abnormal, normal *Region) (*Explanation, error) {
 	if a.tracing {
 		return a.ExplainTraced(ds, abnormal, normal)
@@ -387,6 +388,10 @@ func (a *Analyzer) Explain(ds *Dataset, abnormal, normal *Region) (*Explanation,
 // regardless of the WithTracing option. The returned Explanation's
 // Trace field is always populated on success. It is equivalent to
 // Diagnose with DiagnoseRequest.Trace set.
+//
+// Deprecated: use Diagnose(ctx, DiagnoseRequest{Trace: true}) — it
+// honors cancellation and deadlines and returns the trace on the
+// DiagnoseResult.
 func (a *Analyzer) ExplainTraced(ds *Dataset, abnormal, normal *Region) (*Explanation, error) {
 	tr := obs.NewTrace(core.ResolveWorkers(a.params.Workers))
 	expl, _, _, err := a.explainCtx(context.Background(), ds, abnormal, normal, tr, false)
@@ -537,8 +542,10 @@ func (a *Analyzer) Causes() []string { return a.repository().Causes() }
 
 // RankAll computes every known model's confidence for the given anomaly
 // without applying the lambda threshold (useful for inspecting margins).
-// It is RankAllContext with a background context; Diagnose returns the
-// same ranking in DiagnoseResult.AllCauses.
+//
+// Deprecated: use Diagnose(ctx, DiagnoseRequest{...}) — the same
+// ranking is returned in DiagnoseResult.AllCauses — or RankAllContext
+// when only the ranking is needed under a context.
 func (a *Analyzer) RankAll(ds *Dataset, abnormal, normal *Region) ([]RankedCause, error) {
 	return a.RankAllContext(context.Background(), ds, abnormal, normal)
 }
@@ -556,6 +563,10 @@ func (a *Analyzer) RankAllContext(ctx context.Context, ds *Dataset, abnormal, no
 // RankAllTraced is RankAll with a per-stage trace of the ranking pass
 // (evaluator warm-up, model scoring, spaces built/reused, models
 // ranked) recorded for this call.
+//
+// Deprecated: use Diagnose(ctx, DiagnoseRequest{Trace: true}) — the
+// ranking is DiagnoseResult.AllCauses and the trace rides the same
+// result.
 func (a *Analyzer) RankAllTraced(ds *Dataset, abnormal, normal *Region) ([]RankedCause, *TraceSnapshot, error) {
 	abnormal, normal, err := resolveRegions(ds, abnormal, normal)
 	if err != nil {

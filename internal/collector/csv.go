@@ -50,15 +50,18 @@ func WriteCSV(w io.Writer, ds *metrics.Dataset) error {
 	return cw.Error()
 }
 
-// ReadCSV parses a dataset written by WriteCSV. Parsing streams: each
-// record is decoded straight into columnar builders — timestamps,
-// float64 columns, interned categorical values — so no row-oriented
-// [][]string copy of the upload is ever materialized (the former
-// ReadAll held every field of the file as a separate string at once).
-// csv.Reader's record buffer is reused across rows; the only strings
-// retained are the column names and one copy per distinct categorical
-// value.
-func ReadCSV(r io.Reader) (*metrics.Dataset, error) {
+// csvDecoder is the streaming columnar CSV reader shared by ReadCSV
+// (one dataset for the whole stream) and StreamCSV (one dataset per
+// chunk). The header fixes the schema; next decodes one record into a
+// chunkBuilder.
+type csvDecoder struct {
+	cr    *csv.Reader
+	names []string
+	cat   []bool
+	row   int
+}
+
+func newCSVDecoder(r io.Reader) (*csvDecoder, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	first, err := cr.Read()
@@ -71,77 +74,80 @@ func ReadCSV(r io.Reader) (*metrics.Dataset, error) {
 	if len(first) < 2 || first[0] != "timestamp" {
 		return nil, fmt.Errorf("collector: csv must start with a timestamp column")
 	}
-	type colBuilder struct {
-		name string
-		cat  bool
-		num  []float64
-		str  []string
-	}
-	cols := make([]colBuilder, len(first)-1)
+	d := &csvDecoder{cr: cr}
 	for c := 1; c < len(first); c++ {
 		name := strings.Clone(first[c])
 		if cat, ok := strings.CutPrefix(name, categoricalPrefix); ok {
-			cols[c-1] = colBuilder{name: cat, cat: true}
+			d.names = append(d.names, cat)
+			d.cat = append(d.cat, true)
 		} else {
-			cols[c-1] = colBuilder{name: name}
+			d.names = append(d.names, name)
+			d.cat = append(d.cat, false)
 		}
 	}
-	fields := len(first)
-	var ts []int64
-	interned := make(map[string]string)
-	for row := 0; ; row++ {
-		rec, err := cr.Read()
-		if err == io.EOF {
+	return d, nil
+}
+
+// next decodes one record into b, reporting false at a clean EOF.
+func (d *csvDecoder) next(b *chunkBuilder) (bool, error) {
+	rec, err := d.cr.Read()
+	if err == io.EOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("collector: read csv: %w", err)
+	}
+	if len(rec) != len(d.names)+1 {
+		return false, fmt.Errorf("collector: csv row %d has %d fields, want %d",
+			d.row, len(rec), len(d.names)+1)
+	}
+	t, err := strconv.ParseInt(rec[0], 10, 64)
+	if err != nil {
+		return false, fmt.Errorf("collector: csv row %d timestamp: %w", d.row, err)
+	}
+	b.ts = append(b.ts, t)
+	for c := range d.names {
+		f := rec[c+1]
+		if d.cat[c] {
+			b.str[c] = append(b.str[c], b.intern(f))
+			continue
+		}
+		x, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return false, fmt.Errorf("collector: csv row %d column %q: %w", d.row, d.names[c], err)
+		}
+		b.num[c] = append(b.num[c], x)
+	}
+	d.row++
+	return true, nil
+}
+
+// ReadCSV parses a dataset written by WriteCSV. Parsing streams: each
+// record is decoded straight into columnar builders — timestamps,
+// float64 columns, interned categorical values — so no row-oriented
+// [][]string copy of the upload is ever materialized (the former
+// ReadAll held every field of the file as a separate string at once).
+// csv.Reader's record buffer is reused across rows; the only strings
+// retained are the column names and one copy per distinct categorical
+// value.
+func ReadCSV(r io.Reader) (*metrics.Dataset, error) {
+	dec, err := newCSVDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	b := newChunkBuilder(dec.names, dec.cat)
+	for {
+		ok, err := dec.next(b)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
 			break
 		}
-		if err != nil {
-			return nil, fmt.Errorf("collector: read csv: %w", err)
-		}
-		if len(rec) != fields {
-			return nil, fmt.Errorf("collector: csv row %d has %d fields, want %d", row, len(rec), fields)
-		}
-		t, err := strconv.ParseInt(rec[0], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("collector: csv row %d timestamp: %w", row, err)
-		}
-		ts = append(ts, t)
-		for c := range cols {
-			f := rec[c+1]
-			if cols[c].cat {
-				v, ok := interned[f]
-				if !ok {
-					v = strings.Clone(f)
-					interned[v] = v
-				}
-				cols[c].str = append(cols[c].str, v)
-				continue
-			}
-			x, err := strconv.ParseFloat(f, 64)
-			if err != nil {
-				return nil, fmt.Errorf("collector: csv row %d column %q: %w", row, cols[c].name, err)
-			}
-			cols[c].num = append(cols[c].num, x)
-		}
 	}
-	ds, err := metrics.NewDataset(ts)
+	ds, err := b.flush()
 	if err != nil {
 		return nil, fmt.Errorf("collector: %w", err)
-	}
-	for i := range cols {
-		if cols[i].cat {
-			if cols[i].str == nil {
-				cols[i].str = []string{}
-			}
-			err = ds.AddCategorical(cols[i].name, cols[i].str)
-		} else {
-			if cols[i].num == nil {
-				cols[i].num = []float64{}
-			}
-			err = ds.AddNumeric(cols[i].name, cols[i].num)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("collector: %w", err)
-		}
 	}
 	return ds, nil
 }

@@ -1,0 +1,81 @@
+package ingest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkIngest measures fleet ingestion throughput: GOMAXPROCS
+// writers push 30-row chunks round-robin across N instances, with the
+// full pipeline engaged (sharded lookup, queue accounting, detect.Stream
+// append, a detection tick every 30 rows once warm). One op is one
+// chunk; rows/s and rows/s/core are reported as custom metrics — the
+// numbers behind BENCH_ingest.json.
+func BenchmarkIngest(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("instances_%d", n), func(b *testing.B) { benchIngest(b, n) })
+	}
+}
+
+func benchIngest(b *testing.B, instances int) {
+	r := New(Config{
+		Shards:     256,
+		WindowRows: 120,
+		CheckEvery: 30,
+		WarmupRows: 60,
+	})
+	defer r.Close()
+
+	const chunkRows = 30
+	workers := runtime.GOMAXPROCS(0)
+	if workers > instances {
+		workers = instances
+	}
+	names := make([]string, instances)
+	for i := range names {
+		names[i] = fmt.Sprintf("db-%05d", i)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// Disjoint instance partitions keep per-instance timestamps
+		// monotonic without cross-worker coordination.
+		lo, hi := instances*w/workers, instances*(w+1)/workers
+		count := b.N / workers
+		if w < b.N%workers {
+			count++
+		}
+		wg.Add(1)
+		go func(lo, hi, count int) {
+			defer wg.Done()
+			next := make([]int64, hi-lo)
+			for i := range next {
+				next[i] = 1000
+			}
+			for c := 0; c < count; c++ {
+				k := c % (hi - lo)
+				ds := flatChunk(next[k], chunkRows)
+				next[k] += chunkRows
+				if err := r.Ingest("bench", names[lo+k], ds); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(lo, hi, count)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	b.StopTimer()
+
+	rows := float64(b.N) * chunkRows
+	if elapsed > 0 {
+		b.ReportMetric(rows/elapsed, "rows/s")
+		b.ReportMetric(rows/elapsed/float64(workers), "rows/s/core")
+	}
+}

@@ -25,8 +25,9 @@ type Event struct {
 	RequestID  string    `json:"request_id,omitempty"`
 	Method     string    `json:"method"`
 	Path       string    `json:"path"`
-	Route      string    `json:"route,omitempty"`  // mux pattern, e.g. "POST /v1/learn"
-	Tenant     string    `json:"tenant,omitempty"` // resolved tenant namespace
+	Route      string    `json:"route,omitempty"`    // mux pattern, e.g. "POST /v1/learn"
+	Tenant     string    `json:"tenant,omitempty"`   // resolved tenant namespace
+	Instance   string    `json:"instance,omitempty"` // ingest instance stream, for /v1/ingest requests
 	Status     int       `json:"status"`
 	Bytes      int64     `json:"bytes"`
 	DurationMS float64   `json:"duration_ms"`
@@ -55,6 +56,14 @@ func (e *Event) SetRoute(route string) {
 func (e *Event) SetTenant(tenant string) {
 	if e != nil {
 		e.Tenant = tenant
+	}
+}
+
+// SetInstance records the ingest instance stream a request targeted;
+// nil-safe.
+func (e *Event) SetInstance(name string) {
+	if e != nil {
+		e.Instance = name
 	}
 }
 

@@ -299,7 +299,19 @@ func TestGateClientDisconnectFreesSlot(t *testing.T) {
 	if _, err := http.DefaultClient.Do(req); err == nil {
 		t.Fatal("queued request should have timed out client-side")
 	}
-	// Its queue slot must be free again: the next request queues (not
+	// The client-side timeout returns before the server notices the
+	// disconnect (cancellation propagates via the connection's background
+	// reader), so wait for the queue entry to actually be reclaimed.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if _, queued := srv.sem.stats(); queued == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned queue entry never reclaimed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Its queue slot is free again: the next request queues (not
 	// rejected) and completes once the blocker releases.
 	done := make(chan int, 1)
 	go func() {

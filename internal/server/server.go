@@ -20,6 +20,13 @@
 //	GET    /v1/causes                list learned causes
 //	GET    /v1/models                export the model store (SaveModels JSON)
 //	PUT    /v1/models                replace the model store (LoadModels JSON)
+//	POST   /v1/ingest/{instance}     stream per-second samples (CSV or NDJSON) into the fleet registry
+//	GET    /v1/instances             per-instance ingest state (rows, last-sample age, alerts, queue depth)
+//	GET    /v1/alerts/stream         Server-Sent Events feed of streaming-detection alerts
+//
+// Every endpoint is declared once in the route table (routes.go);
+// registration, admission gating, metric labels, and the /v1/status
+// inventory all derive from it.
 //
 // Every request is scoped to a tenant namespace via the
 // X-DBSherlock-Tenant header (absent = the configured default tenant):
@@ -62,6 +69,7 @@ import (
 	"dbsherlock"
 	"dbsherlock/internal/causal"
 	"dbsherlock/internal/diagcache"
+	"dbsherlock/internal/ingest"
 	"dbsherlock/internal/obs"
 	"dbsherlock/internal/store"
 )
@@ -137,6 +145,16 @@ type Server struct {
 
 	jobs   *jobManager   // async batch jobs (always on)
 	jobTTL time.Duration // how long finished job results stay fetchable
+
+	// Fleet ingestion plane (always on; tuned via WithIngest). The
+	// server owns its lifecycle: Close stops its watchdog and ends SSE
+	// subscriptions.
+	ingest    *ingest.Registry
+	ingestCfg ingest.Config
+
+	// endpoints is the /v1/status API inventory, materialized from the
+	// route table by registerRoutes.
+	endpoints []endpointInfo
 
 	started       time.Time      // for /v1/status uptime
 	build         buildInfo      // resolved once at construction
@@ -258,6 +276,14 @@ func WithDefaultTenant(tenant string) Option {
 	}
 }
 
+// WithIngest tunes the fleet ingestion plane (shard count, window and
+// queue budgets, staleness/eviction windows, alert webhook). The plane
+// is always on with defaults; this option replaces its configuration.
+// Config.Registry and Config.Logger default to the server's own.
+func WithIngest(cfg ingest.Config) Option {
+	return func(s *Server) { s.ingestCfg = cfg }
+}
+
 // New builds a server around the analyzer. It fails when the store
 // cannot hydrate — in particular when a model the analyzer was
 // pre-loaded with (the daemon's -models file) cannot be persisted:
@@ -314,21 +340,19 @@ func New(analyzer *dbsherlock.Analyzer, opts ...Option) (*Server, error) {
 		"dbsherlock_http_rejected_total",
 		"Requests shed by admission control (429), by endpoint.")
 
-	s.handle("GET /healthz", s.handleHealthz)
-	s.handle("GET /readyz", s.handleReadyz)
-	s.handle("GET /v1/status", s.handleStatus)
-	s.handle("POST /v1/datasets", s.handleUpload)
-	s.handle("GET /v1/datasets", s.handleListDatasets)
-	s.handle("DELETE /v1/datasets/{id}", s.handleDeleteDataset)
-	s.handle("POST /v1/detect", s.gate("POST /v1/detect", 1, s.handleDetect))
-	s.handle("POST /v1/explain", s.gate("POST /v1/explain", 1, s.handleExplain))
-	s.handle("POST /v1/explain/batch", s.handleExplainBatch)
-	s.handle("GET /v1/jobs/{id}", s.handleGetJob)
-	s.handle("POST /v1/learn", s.gate("POST /v1/learn", 1, s.handleLearn))
-	s.handle("GET /v1/causes", s.handleCauses)
-	s.handle("GET /v1/models", s.handleExportModels)
-	s.handle("PUT /v1/models", s.handleImportModels)
-	s.mux.Handle("GET /metrics", s.registry.Handler())
+	// The ingest registry is constructed after the options so its metric
+	// families land in the final registry and its logger is the final
+	// logger (both overridable via WithIngest).
+	icfg := s.ingestCfg
+	if icfg.Registry == nil {
+		icfg.Registry = s.registry
+	}
+	if icfg.Logger == nil {
+		icfg.Logger = s.logger
+	}
+	s.ingest = ingest.New(icfg)
+
+	s.registerRoutes()
 	if s.pprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -486,6 +510,21 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// Close releases the server's background resources: the ingest
+// registry's watchdog and webhook workers stop and every SSE alert
+// subscription ends. In-flight requests finish; the owner drains the
+// http.Server first (SetDraining + Shutdown), then calls Close.
+func (s *Server) Close() {
+	if s.ingest != nil {
+		s.ingest.Close()
+	}
+}
+
+// IngestRegistry exposes the fleet ingestion registry, so embedders
+// (and the daemon) can subscribe to alerts or inspect instances
+// without going through HTTP.
+func (s *Server) IngestRegistry() *ingest.Registry { return s.ingest }
 
 // requestCtx derives the handler context: the request's own (so a
 // client disconnect cancels the work) plus the configured per-request

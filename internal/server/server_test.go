@@ -17,6 +17,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *Server) {
 	srv := MustNew(dbsherlock.MustNew(dbsherlock.WithTheta(0.05)))
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
 	return ts, srv
 }
 

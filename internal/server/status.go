@@ -6,6 +6,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"dbsherlock/internal/ingest"
 	"dbsherlock/internal/store"
 )
 
@@ -92,6 +93,9 @@ type statusResponse struct {
 	Admission      *admissionStatus `json:"admission,omitempty"`
 	DiagnosisCache *cacheStatus     `json:"diagnosis_cache,omitempty"`
 	Jobs           jobsStatus       `json:"jobs"`
+	Ingest         ingest.Stats     `json:"ingest"`
+	// Endpoints is the API inventory, derived from the route table.
+	Endpoints []endpointInfo `json:"endpoints"`
 }
 
 // admissionStatus reports the compute-gate occupancy when admission
@@ -158,5 +162,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.Jobs.Running, resp.Jobs.Stored = s.jobs.stats()
+	resp.Ingest = s.ingest.Stats()
+	resp.Endpoints = s.endpointInventory()
 	writeJSON(w, http.StatusOK, resp)
 }
